@@ -1,0 +1,45 @@
+# SHARP (Go reproduction) — convenience targets. Everything is plain
+# go tooling; the Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test vet race bench experiments fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/backend/ ./internal/faas/ ./internal/workflow/ \
+		./internal/core/ ./internal/gui/ ./internal/duet/
+
+# One testing.B target per paper table/figure plus ablations and substrate
+# micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure into results/.
+experiments:
+	$(GO) run ./cmd/sharp-experiments --out results all
+
+# Short fuzz sessions over the hand-written parsers.
+fuzz:
+	$(GO) test -run=XXX -fuzz=FuzzParseYAML -fuzztime=30s ./internal/config/
+	$(GO) test -run=XXX -fuzz=FuzzParseMetadata -fuzztime=30s ./internal/record/
+	$(GO) test -run=XXX -fuzz=FuzzCSVRows -fuzztime=30s ./internal/record/
+
+examples:
+	@for ex in quickstart gpu-compare concurrency finegrained stopping duet workflow; do \
+		echo "== examples/$$ex =="; \
+		$(GO) run ./examples/$$ex > /dev/null || exit 1; \
+	done; echo "all examples OK"
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,85 @@
+// Command sharp-experiments regenerates the paper's tables and figures on
+// the simulated testbed (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	sharp-experiments list
+//	sharp-experiments all [--seed 2024] [--out results/]
+//	sharp-experiments fig6 table5 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sharp/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2024, "experiment seed (results are deterministic per seed)")
+	out := flag.String("out", "", "also write each result to <out>/<id>.md")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 || args[0] == "list" {
+		printList(os.Stdout)
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	if err := execute(os.Stdout, ids, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "sharp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// printList writes the experiment index.
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "Experiments (paper tables and figures):")
+	for _, id := range experiments.IDs() {
+		fmt.Fprintln(w, "  -", id)
+	}
+	fmt.Fprintln(w, "\nRun with: sharp-experiments all | sharp-experiments <id> [<id>...]")
+}
+
+// execute regenerates each experiment, printing results to w and optionally
+// writing per-experiment files under outDir. The first failure is returned
+// after all ids have been attempted.
+func execute(w io.Writer, ids []string, seed uint64, outDir string) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, seed)
+		if err != nil {
+			fmt.Fprintf(w, "ERROR %s: %v\n", id, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		text := rep.Render()
+		fmt.Fprintf(w, "%s\n(%s regenerated in %v)\n\n%s\n", text, id,
+			time.Since(start).Round(time.Millisecond),
+			"────────────────────────────────────────────────────────────")
+		if outDir != "" {
+			path := filepath.Join(outDir, id+".md")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,50 @@
+// Command sharp-faas runs the simulated serverless platform: a Knative-like
+// HTTP function service backed by the simulated GPU machines (Machines 1
+// and 3 of Table III). The sharp CLI's faas backend and the stopping-rule
+// experiment of §V-C send requests to it.
+//
+// Usage:
+//
+//	sharp-faas --addr :8080 --seed 42
+//	curl -XPOST localhost:8080/invoke -d '{"workload":"bfs-CUDA","day":1,"run":1}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"sharp/internal/faas"
+	"sharp/internal/machine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "platform seed")
+	idle := flag.Duration("idle-timeout", 10*time.Minute, "warm-instance idle timeout (0 = keep warm forever)")
+	workers := flag.String("workers", "machine1,machine3", "comma-separated worker machines")
+	flag.Parse()
+
+	var machines []*machine.Machine
+	for _, name := range strings.Split(*workers, ",") {
+		m, err := machine.ByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatalf("sharp-faas: %v", err)
+		}
+		machines = append(machines, m)
+	}
+	p := faas.NewPlatform(machines, *seed)
+	p.IdleTimeout = *idle
+
+	fmt.Printf("sharp-faas: serving on %s with workers %v (seed %d)\n",
+		*addr, p.WorkerNames(), *seed)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,34 @@
+// Command sharp-gui serves SHARP's web interface (paper §IV, Fig. 3): run
+// experiments, compare machines, and browse the paper's regenerated tables
+// and figures from a browser.
+//
+// Usage:
+//
+//	sharp-gui --addr :8090
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"sharp/internal/gui"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	maxRuns := flag.Int("max-runs", 2000, "cap on runs per web-triggered experiment")
+	flag.Parse()
+
+	s := gui.New()
+	s.MaxRuns = *maxRuns
+	fmt.Printf("sharp-gui: serving on %s\n", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

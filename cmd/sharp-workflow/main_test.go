@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func pipelinePath(t *testing.T) string {
+	t.Helper()
+	path, err := filepath.Abs("../../examples/workflow/pipeline.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTranslate(t *testing.T) {
+	if err := run([]string{"translate", pipelinePath(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"translate"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"translate", "/nonexistent.yaml"}); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+}
+
+func TestGraph(t *testing.T) {
+	if err := run([]string{"graph", pipelinePath(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"graph"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNativeRun(t *testing.T) {
+	if err := run([]string{"run", "--runs", "10", pipelinePath(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "--machine", "ghost", pipelinePath(t)}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestUsageAndUnknownCommand(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestBadWorkflowFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.yaml")
+	os.WriteFile(bad, []byte("states:\n  - name: a\n    transition: ghost\n"), 0o644)
+	if err := run([]string{"graph", bad}); err == nil {
+		t.Fatal("invalid workflow accepted")
+	}
+}

@@ -1,0 +1,606 @@
+// Command sharp is the SHARP launcher CLI: it runs measurement experiments
+// over the available backends with dynamic stopping rules, records
+// tidy-data CSV logs plus metadata, renders reports, compares
+// distributions, and recreates experiments from their own records.
+//
+// Usage:
+//
+//	sharp run       --workload hotspot --backend sim --machine machine1 --rule ks
+//	sharp compare   --workload bfs-CUDA --machine machine1 --machine2 machine3
+//	sharp report    results.csv
+//	sharp classify  results.csv
+//	sharp recreate  metadata.md
+//	sharp rules
+//	sharp benchmarks
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sharp/internal/backend"
+	"sharp/internal/config"
+	"sharp/internal/core"
+	"sharp/internal/duet"
+	"sharp/internal/faas"
+	"sharp/internal/kernels"
+	"sharp/internal/machine"
+	"sharp/internal/microbench"
+	"sharp/internal/record"
+	"sharp/internal/regress"
+	"sharp/internal/report"
+	"sharp/internal/rodinia"
+	"sharp/internal/similarity"
+	"sharp/internal/stats"
+	"sharp/internal/stopping"
+	"sharp/internal/sweep"
+	"sharp/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sharp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "compare":
+		return cmdCompare(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "classify":
+		return cmdClassify(args[1:])
+	case "recreate":
+		return cmdRecreate(args[1:])
+	case "regress":
+		return cmdRegress(args[1:])
+	case "duet":
+		return cmdDuet(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
+	case "days":
+		return cmdDays(args[1:])
+	case "rules":
+		fmt.Println("Available stopping rules (use with --rule):")
+		for _, name := range stopping.Names() {
+			fmt.Println("  -", name)
+		}
+		return nil
+	case "benchmarks":
+		var rows [][]string
+		for _, b := range rodinia.Suite() {
+			kind := "CPU"
+			if b.CUDA {
+				kind = "CUDA"
+			}
+			rows = append(rows, []string{b.Name, kind, b.Params})
+		}
+		fmt.Println("Rodinia suite (Table II):")
+		fmt.Print(textplot.Table([]string{"Benchmark", "Class", "Parameters"}, rows))
+		fmt.Println("\nBuilt-in microbenchmarks (--backend kernel):")
+		var micro [][]string
+		for _, spec := range microbench.All() {
+			micro = append(micro, []string{spec.Name, spec.Description})
+		}
+		fmt.Print(textplot.Table([]string{"Function", "Stresses"}, micro))
+		return nil
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Println(`sharp — distribution-based reproducible performance evaluation
+
+Commands:
+  run         run a measurement experiment with a dynamic stopping rule
+  compare     measure a workload on two machines and compare distributions
+  report      render a report from a tidy-data CSV log
+  classify    characterize the distribution in a CSV log
+  recreate    re-run an experiment from its metadata record
+  regress     regression-gate a new CSV log against a baseline log
+  duet        paired (duet) comparison of two workloads on one backend
+  sweep       run a factorial design over workloads x machines x days
+  days        day-to-day reproducibility study (Fig. 5b-style heatmaps)
+  rules       list stopping rules
+  benchmarks  list the Rodinia suite (Table II)
+
+Run 'sharp <command> -h' for command flags.`)
+}
+
+// runFlags defines the flags shared by run/compare.
+type runFlags struct {
+	workload    string
+	backendName string
+	machineName string
+	faasURL     string
+	rule        string
+	threshold   float64
+	maxRuns     int
+	minRuns     int
+	day         int
+	seed        uint64
+	concurrency int
+	warmup      int
+	timeout     time.Duration
+	outCSV      string
+	outMeta     string
+	quiet       bool
+}
+
+func (rf *runFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&rf.workload, "workload", "", "workload/benchmark name (see 'sharp benchmarks')")
+	fs.StringVar(&rf.backendName, "backend", "sim", "backend: sim | kernel | faas")
+	fs.StringVar(&rf.machineName, "machine", "machine1", "simulated machine (sim backend)")
+	fs.StringVar(&rf.faasURL, "url", "http://127.0.0.1:8080", "FaaS platform URL (faas backend)")
+	fs.StringVar(&rf.rule, "rule", "meta", "stopping rule (see 'sharp rules')")
+	fs.Float64Var(&rf.threshold, "threshold", 0, "rule threshold (0 = rule default)")
+	fs.IntVar(&rf.maxRuns, "max", 1000, "maximum runs")
+	fs.IntVar(&rf.minRuns, "min", 10, "minimum runs")
+	fs.IntVar(&rf.day, "day", 1, "measurement day (sim backend)")
+	fs.Uint64Var(&rf.seed, "seed", 42, "experiment seed")
+	fs.IntVar(&rf.concurrency, "concurrency", 1, "parallel instances per run")
+	fs.IntVar(&rf.warmup, "warmup", 0, "warm-up runs (not recorded)")
+	fs.DurationVar(&rf.timeout, "timeout", 0, "per-instance timeout")
+	fs.StringVar(&rf.outCSV, "csv", "", "write tidy-data CSV log to this path")
+	fs.StringVar(&rf.outMeta, "meta", "", "write metadata record to this path")
+	fs.BoolVar(&rf.quiet, "quiet", false, "suppress the report; print one summary line")
+}
+
+// buildBackend constructs the requested backend.
+func (rf *runFlags) buildBackend(machineName string) (backend.Backend, error) {
+	switch rf.backendName {
+	case "sim":
+		m, err := machine.ByName(machineName)
+		if err != nil {
+			return nil, err
+		}
+		return backend.NewSim(m, rf.seed), nil
+	case "kernel", "inprocess":
+		return kernelBackend(), nil
+	case "faas":
+		return faas.NewClient(rf.faasURL), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (sim | kernel | faas)", rf.backendName)
+	}
+}
+
+// kernelBackend registers every Rodinia kernel plus the eleven built-in
+// microbenchmark functions as in-process workloads, so
+// 'sharp run --backend kernel' measures real computations.
+func kernelBackend() *backend.InProcess {
+	b := backend.NewInProcess()
+	microbench.Register(b)
+	for _, bench := range rodinia.Suite() {
+		ctor := bench.NewKernel
+		b.Register(bench.Name, func(ctx context.Context, seed uint64) (map[string]float64, error) {
+			k := ctor(seed)
+			res, err := k.Run()
+			if err != nil {
+				return nil, err
+			}
+			if err := k.Verify(res); err != nil {
+				return nil, err
+			}
+			m := map[string]float64{"ops": float64(res.Ops), "checksum": res.Checksum}
+			if lk, ok := k.(*kernels.Leukocyte); ok {
+				// Fine-grained phase metrics (Fig. 7 pipeline).
+				if _, phases, err := lk.RunPhases(); err == nil {
+					m["detection_ops"] = float64(phases[0])
+					m["tracking_ops"] = float64(phases[1])
+				}
+			}
+			return m, nil
+		})
+	}
+	return b
+}
+
+func (rf *runFlags) buildRule() (stopping.Rule, error) {
+	return stopping.NewNamed(rf.rule, rf.threshold, stopping.Bounds{
+		MinSamples: rf.minRuns,
+		MaxSamples: rf.maxRuns,
+	})
+}
+
+func (rf *runFlags) experiment(machineName string) (core.Experiment, error) {
+	b, err := rf.buildBackend(machineName)
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	rule, err := rf.buildRule()
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	return core.Experiment{
+		Name:        fmt.Sprintf("%s@%s", rf.workload, machineName),
+		Workload:    rf.workload,
+		Backend:     b,
+		Rule:        rule,
+		Concurrency: rf.concurrency,
+		Timeout:     rf.timeout,
+		WarmupRuns:  rf.warmup,
+		Day:         rf.day,
+		Seed:        rf.seed,
+	}, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
+	configPath := fs.String("config", "", "load the experiment from a JSON/YAML file (overrides other flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var exp core.Experiment
+	if *configPath != "" {
+		doc, err := config.ParseFile(*configPath)
+		if err != nil {
+			return err
+		}
+		exp, err = core.ExperimentFromConfig(doc, "experiment")
+		if err != nil {
+			return err
+		}
+	} else {
+		if rf.workload == "" {
+			return fmt.Errorf("run: --workload is required")
+		}
+		var err error
+		exp, err = rf.experiment(rf.machineName)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := core.NewLauncher().Run(context.Background(), exp)
+	if err != nil {
+		return err
+	}
+	if rf.outCSV != "" {
+		if err := res.SaveCSV(rf.outCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", rf.outCSV, len(res.Rows))
+	}
+	if rf.outMeta != "" {
+		if err := res.SaveMetadata(rf.outMeta); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", rf.outMeta)
+	}
+	if rf.quiet {
+		sum, _ := res.Summary()
+		fmt.Printf("%s: n=%d mean=%.4g median=%.4g modes=%d (%s)\n",
+			exp.Name, sum.N, sum.Mean, sum.Median, res.Modes(), res.StopReason)
+		return nil
+	}
+	fmt.Print(report.Result(res, report.Options{}))
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
+	machine2 := fs.String("machine2", "machine3", "second simulated machine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if rf.workload == "" {
+		return fmt.Errorf("compare: --workload is required")
+	}
+	launcher := core.NewLauncher()
+	expA, err := rf.experiment(rf.machineName)
+	if err != nil {
+		return err
+	}
+	resA, err := launcher.Run(context.Background(), expA)
+	if err != nil {
+		return err
+	}
+	expB, err := rf.experiment(*machine2)
+	if err != nil {
+		return err
+	}
+	resB, err := launcher.Run(context.Background(), expB)
+	if err != nil {
+		return err
+	}
+	cmp, err := core.CompareResults(resA, resB)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Comparison(cmp, resA.Samples, resB.Samples, report.Options{}))
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	metric := fs.String("metric", backend.MetricExecTime, "metric to report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: usage: sharp report <log.csv>")
+	}
+	rows, err := record.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	values := record.Values(record.Select(rows, record.Filter{Metric: *metric}))
+	if len(values) == 0 {
+		return fmt.Errorf("report: no %q rows in %s", *metric, fs.Arg(0))
+	}
+	fmt.Print(report.Distribution(*metric, values, report.Options{}))
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	metric := fs.String("metric", backend.MetricExecTime, "metric to classify")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("classify: usage: sharp classify <log.csv>")
+	}
+	rows, err := record.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	values := record.Values(record.Select(rows, record.Filter{Metric: *metric}))
+	if len(values) == 0 {
+		return fmt.Errorf("classify: no %q rows in %s", *metric, fs.Arg(0))
+	}
+	p := stats.CountModes(values)
+	prof := core.Result{Samples: values}
+	profile := prof.Profile()
+	fmt.Printf("class: %s\nmodes: %d\nn: %d\nskewness: %.3f\nkurtosis: %.3f\nlag-1 autocorr: %.3f\nESS: %.1f\n",
+		profile.Class, p, profile.N, profile.Skewness, profile.Kurtosis, profile.Lag1, profile.ESS)
+	return nil
+}
+
+func cmdRegress(args []string) error {
+	fs := flag.NewFlagSet("regress", flag.ExitOnError)
+	metric := fs.String("metric", backend.MetricExecTime, "metric to gate on")
+	alpha := fs.Float64("alpha", 0.01, "significance level")
+	tolerance := fs.Float64("tolerance", 2, "tolerated median slowdown (percent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("regress: usage: sharp regress <baseline.csv> <current.csv>")
+	}
+	out, err := regress.CheckFiles(fs.Arg(0), fs.Arg(1), *metric, regress.Config{
+		Alpha:        *alpha,
+		TolerancePct: *tolerance,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(out.Render())
+	if out.Failed() {
+		return fmt.Errorf("performance regression detected")
+	}
+	return nil
+}
+
+func cmdDays(args []string) error {
+	fs := flag.NewFlagSet("days", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
+	nDays := fs.Int("days", 5, "number of measurement days")
+	runs := fs.Int("runs", 1000, "runs per day")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if rf.workload == "" {
+		return fmt.Errorf("days: --workload is required")
+	}
+	m, err := machine.ByName(rf.machineName)
+	if err != nil {
+		return err
+	}
+	launcher := core.NewLauncher()
+	groups := make([][]float64, *nDays)
+	labels := make([]string, *nDays)
+	for d := 1; d <= *nDays; d++ {
+		res, err := launcher.Run(context.Background(), core.Experiment{
+			Name:     fmt.Sprintf("%s-day%d", rf.workload, d),
+			Workload: rf.workload,
+			Backend:  backend.NewSim(m, rf.seed),
+			Rule:     stopping.NewFixed(*runs),
+			Day:      d,
+			Seed:     rf.seed,
+		})
+		if err != nil {
+			return err
+		}
+		groups[d-1] = res.Samples
+		labels[d-1] = fmt.Sprintf("day%d", d)
+		sum, _ := res.Summary()
+		fmt.Printf("day %d: mean %.4fs median %.4fs modes %d\n",
+			d, sum.Mean, sum.Median, res.Modes())
+	}
+	namd, err := similarity.Matrix(similarity.MetricNAMD, groups)
+	if err != nil {
+		return err
+	}
+	ks, err := similarity.Matrix(similarity.MetricKS, groups)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nNAMD (point-summary similarity):\n\n%s\n", textplot.Heatmap(labels, labels, namd))
+	fmt.Printf("KS (distribution similarity):\n\n%s\n", textplot.Heatmap(labels, labels, ks))
+	dissimilar := 0
+	total := 0
+	for i := range ks {
+		for j := i + 1; j < len(ks); j++ {
+			total++
+			if ks[i][j] > 0.1 {
+				dissimilar++
+			}
+		}
+	}
+	fmt.Printf("%d/%d day pairs dissimilar under KS (> 0.1)\n", dissimilar, total)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	workloads := fs.String("workloads", "", "comma-separated workloads (required)")
+	machines := fs.String("machines", "machine1,machine3", "comma-separated machines")
+	days := fs.String("days", "1", "comma-separated day indices")
+	rule := fs.String("rule", "ks", "stopping rule per cell")
+	threshold := fs.Float64("threshold", 0.1, "rule threshold")
+	maxRuns := fs.Int("max", 300, "maximum runs per cell")
+	seed := fs.Uint64("seed", 42, "experiment seed")
+	outCSV := fs.String("csv", "", "write the combined tidy log to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workloads == "" {
+		return fmt.Errorf("sweep: --workloads is required")
+	}
+	var dayList []int
+	for _, d := range strings.Split(*days, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(d))
+		if err != nil {
+			return fmt.Errorf("sweep: bad day %q", d)
+		}
+		dayList = append(dayList, n)
+	}
+	out, err := sweep.Run(context.Background(), sweep.Design{
+		Name:      "cli-sweep",
+		Workloads: splitTrim(*workloads),
+		Machines:  splitTrim(*machines),
+		Days:      dayList,
+		RuleName:  *rule,
+		Threshold: *threshold,
+		MaxRuns:   *maxRuns,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *outCSV != "" {
+		if err := out.SaveCSV(*outCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outCSV)
+	}
+	fmt.Print(out.Render())
+	for _, factor := range []string{"workload", "machine", "day"} {
+		eff, err := out.EffectOf(factor)
+		if err != nil {
+			return err
+		}
+		if len(eff.Levels) < 2 {
+			continue
+		}
+		fmt.Printf("\nEffect of %s:\n\n", factor)
+		var rows [][]string
+		for _, l := range eff.Levels {
+			rows = append(rows, []string{l.Level, fmt.Sprintf("%d", l.N),
+				fmt.Sprintf("%.4g", l.Mean), fmt.Sprintf("%.4g", l.Median),
+				fmt.Sprintf("%.4g", l.P95), fmt.Sprintf("%d", l.Modes)})
+		}
+		fmt.Print(textplot.Table([]string{"level", "n", "mean", "median", "p95", "modes"}, rows))
+	}
+	return nil
+}
+
+// splitTrim splits a comma list and trims whitespace.
+func splitTrim(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func cmdDuet(args []string) error {
+	fs := flag.NewFlagSet("duet", flag.ExitOnError)
+	var rf runFlags
+	rf.register(fs)
+	workloadB := fs.String("workload2", "", "second workload (required)")
+	pairs := fs.Int("pairs", 500, "maximum pairs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if rf.workload == "" || *workloadB == "" {
+		return fmt.Errorf("duet: --workload and --workload2 are required")
+	}
+	be, err := rf.buildBackend(rf.machineName)
+	if err != nil {
+		return err
+	}
+	res, err := duet.Run(context.Background(), be, duet.Config{
+		WorkloadA:      rf.workload,
+		WorkloadB:      *workloadB,
+		MaxPairs:       *pairs,
+		Day:            rf.day,
+		Seed:           rf.seed,
+		AlternateOrder: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func cmdRecreate(args []string) error {
+	fs := flag.NewFlagSet("recreate", flag.ExitOnError)
+	outCSV := fs.String("csv", "", "write the reproduction's CSV log to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("recreate: usage: sharp recreate <metadata.md>")
+	}
+	md, err := record.ParseMetadataFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	exp, err := core.RecreateExperiment(md, map[string]backend.Backend{
+		"inprocess": kernelBackend(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recreating experiment %q (workload %s, rule %s)\n",
+		exp.Name, exp.Workload, md.Get("rule"))
+	res, err := core.NewLauncher().Run(context.Background(), exp)
+	if err != nil {
+		return err
+	}
+	if *outCSV != "" {
+		if err := res.SaveCSV(*outCSV); err != nil {
+			return err
+		}
+	}
+	fmt.Print(report.Result(res, report.Options{}))
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package sharp is a Go reproduction of SHARP, the distribution-based
+// framework for reproducible performance evaluation (Mittal et al.,
+// IISWC 2024).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the binaries under cmd/ expose the launcher, the simulated
+// FaaS platform, the workflow translator, and the paper's experiment
+// regenerators; examples/ holds runnable walkthroughs; and bench_test.go in
+// this directory is the benchmark harness with one testing.B target per
+// paper table and figure.
+package sharp

@@ -1,0 +1,63 @@
+// Quickstart: measure one benchmark with SHARP's auto-stopping and print a
+// full distribution report.
+//
+// This is the minimal SHARP loop: pick a workload and a backend, let the
+// meta-heuristic stopping rule decide how many repetitions are enough, and
+// get a distribution — not a point summary — plus a reproducible record.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sharp/internal/backend"
+	"sharp/internal/core"
+	"sharp/internal/machine"
+	"sharp/internal/report"
+)
+
+func main() {
+	// 1. Pick a (simulated) machine and a workload from the Rodinia suite.
+	m, err := machine.ByName("machine1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp := core.Experiment{
+		Name:     "quickstart-hotspot",
+		Workload: "hotspot",
+		Backend:  backend.NewSim(m, 42),
+		// Rule: nil -> the meta-heuristic classifies the distribution online
+		// and applies the most appropriate stopping criterion.
+		Day:  1,
+		Seed: 42,
+	}
+
+	// 2. Run. The launcher repeats the workload until the stopping rule is
+	// satisfied, logging every instance of every run.
+	res, err := core.NewLauncher().Run(context.Background(), exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Report the distribution.
+	fmt.Print(report.Result(res, report.Options{}))
+
+	// 4. Record everything: tidy CSV + metadata that can recreate this very
+	// experiment ('sharp recreate quickstart-meta.md').
+	dir := os.TempDir()
+	csvPath := filepath.Join(dir, "quickstart-log.csv")
+	metaPath := filepath.Join(dir, "quickstart-meta.md")
+	if err := res.SaveCSV(csvPath); err != nil {
+		log.Fatal(err)
+	}
+	if err := res.SaveMetadata(metaPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRecorded: %s and %s\n", csvPath, metaPath)
+	fmt.Printf("Stopping: %s after %d runs (%s rule)\n", res.StopReason, res.Runs, res.RuleName)
+}

@@ -1,0 +1,61 @@
+// Stopping rules on the synthetic tuning set (paper §IV-c): how many
+// samples does each rule take to declare a distribution measured, and what
+// does the meta-heuristic detect?
+//
+//	go run ./examples/stopping
+package main
+
+import (
+	"fmt"
+
+	"sharp/internal/classify"
+	"sharp/internal/randx"
+	"sharp/internal/similarity"
+	"sharp/internal/stopping"
+	"sharp/internal/textplot"
+)
+
+func main() {
+	const seed = 99
+	bounds := stopping.Bounds{MaxSamples: 5000}
+	fresh := func(i int) randx.Sampler { return randx.TuningSet(randx.New(seed))[i] }
+
+	var rows [][]string
+	for i, s := range randx.TuningSet(randx.New(seed)) {
+		name := s.Name()
+
+		// What does the classifier say at 1000 samples?
+		profile := classify.Classify(randx.SampleN(fresh(i), 1000))
+
+		// Drive three rules over identical deterministic streams.
+		meta := stopping.NewMeta(stopping.MetaConfig{Seed: seed}, bounds)
+		metaSamples := stopping.Drive(fresh(i).Next, meta)
+
+		ks := stopping.NewKS(0.1, bounds)
+		ksSamples := stopping.Drive(fresh(i).Next, ks)
+
+		ci := stopping.NewCI(0.95, 0.05, bounds)
+		ciSamples := stopping.Drive(fresh(i).Next, ci)
+
+		// How close is the meta-stopped sample to a 5000-run truth?
+		truth := randx.SampleN(fresh(i), 5000)
+		div := similarity.KS(metaSamples, truth)
+
+		rows = append(rows, []string{
+			name,
+			string(profile.Class),
+			fmt.Sprintf("%d", len(metaSamples)),
+			fmt.Sprintf("%d", len(ksSamples)),
+			fmt.Sprintf("%d", len(ciSamples)),
+			fmt.Sprintf("%.3f", div),
+		})
+	}
+	fmt.Println("# Stopping rules on the ten synthetic tuning distributions")
+	fmt.Println()
+	fmt.Print(textplot.Table(
+		[]string{"distribution", "detected class", "meta runs", "ks runs", "ci runs", "meta KS-to-truth"},
+		rows))
+	fmt.Println("\nThe meta-heuristic adapts its criterion to the detected family;")
+	fmt.Println("rules stop early on easy distributions and guard against hard ones")
+	fmt.Println("(Cauchy has no mean: CI-style rules would never converge).")
+}

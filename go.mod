@@ -1,0 +1,3 @@
+module sharp
+
+go 1.22

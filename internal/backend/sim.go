@@ -1,0 +1,113 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sharp/internal/machine"
+	"sharp/internal/perfmodel"
+)
+
+// Sim executes workloads against the simulated testbed: execution times are
+// drawn from the calibrated perfmodel generators instead of wall-clock
+// measurement, so five "days" of 1000-run experiments complete in
+// milliseconds. This is the substitution that replaces the paper's physical
+// A100/H100 servers (see DESIGN.md).
+type Sim struct {
+	// Machine is the simulated machine executing requests.
+	Machine *machine.Machine
+	// Seed is the experiment seed.
+	Seed uint64
+
+	mu   sync.Mutex
+	gens map[string]*perfmodel.Gen      // keyed by workload|day
+	phg  map[string]*perfmodel.PhaseGen // phase generators where available
+}
+
+// NewSim returns a simulated backend on the given machine.
+func NewSim(m *machine.Machine, seed uint64) *Sim {
+	return &Sim{
+		Machine: m,
+		Seed:    seed,
+		gens:    map[string]*perfmodel.Gen{},
+		phg:     map[string]*perfmodel.PhaseGen{},
+	}
+}
+
+// Name implements Backend.
+func (b *Sim) Name() string { return "sim" }
+
+// gen returns (creating if needed) the sampler for a workload/day pair.
+// Samplers are cached so consecutive runs continue one deterministic
+// stream, exactly like repeated executions on a real machine-day.
+func (b *Sim) gen(workload string, day int) (*perfmodel.Gen, *perfmodel.PhaseGen, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	key := fmt.Sprintf("%s|%d", workload, day)
+	if g, ok := b.gens[key]; ok {
+		return g, b.phg[key], nil
+	}
+	model, ok := perfmodel.For(workload)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, workload)
+	}
+	g, err := model.Sampler(b.Machine, day, b.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.gens[key] = g
+	if len(model.Phases) > 0 {
+		pg, err := model.PhaseSampler(b.Machine, day, b.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.phg[key] = pg
+	}
+	return g, b.phg[key], nil
+}
+
+// Invoke implements Backend. Phase-decomposed workloads report per-phase
+// metrics alongside exec_time (the Fig. 7 fine-grained path).
+func (b *Sim) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, pg, err := b.gen(req.Workload, req.Day)
+	if err != nil {
+		return nil, err
+	}
+	conc := req.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	out := make([]Invocation, conc)
+	now := time.Now()
+	for i := 0; i < conc; i++ {
+		metrics := map[string]float64{}
+		// The sampler is a single deterministic stream; instances draw
+		// sequentially under the lock.
+		b.mu.Lock()
+		if pg != nil {
+			total, phases := pg.Next()
+			metrics[MetricExecTime] = total
+			for j, name := range pg.PhaseNames() {
+				metrics[name] = phases[j]
+			}
+		} else {
+			metrics[MetricExecTime] = g.Next()
+		}
+		b.mu.Unlock()
+		out[i] = Invocation{
+			Instance: i + 1,
+			Start:    now,
+			Metrics:  metrics,
+			Worker:   b.Machine.Name,
+		}
+	}
+	return out, nil
+}
+
+// Close implements Backend.
+func (b *Sim) Close() error { return nil }

@@ -1,0 +1,68 @@
+package config
+
+import (
+	"testing"
+)
+
+// FuzzParseYAML checks that the YAML-subset parser never panics and that
+// every successfully parsed document is a well-formed value tree (only
+// map[string]any, []any, string, int64, float64, bool, nil).
+func FuzzParseYAML(f *testing.F) {
+	seeds := []string{
+		"",
+		"a: 1\n",
+		"a:\n  b: 2\n  c: [1, 2.5, x]\n",
+		"list:\n  - 1\n  - name: x\n    v: true\n",
+		"- a\n- b\n",
+		"k: \"quoted: value\"\nweird: 'it''s'\n",
+		"deep:\n  a:\n    b:\n      c: null\n",
+		"# comment only\n",
+		"a: [ [1, 2], {} ]\n",
+		"x: 1\ny:\n- p: 1\n- q: 2\n",
+		"broken\n",
+		"a: 1\n\tb: 2\n",
+		"::\n",
+		"a: [unclosed\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := ParseYAML(data)
+		if err != nil {
+			return
+		}
+		checkTree(t, v, 0)
+	})
+}
+
+// checkTree validates the value-tree invariant.
+func checkTree(t *testing.T, v any, depth int) {
+	if depth > 200 {
+		t.Fatal("tree too deep")
+	}
+	switch node := v.(type) {
+	case nil, string, int64, float64, bool:
+	case map[string]any:
+		for _, child := range node {
+			checkTree(t, child, depth+1)
+		}
+	case []any:
+		for _, child := range node {
+			checkTree(t, child, depth+1)
+		}
+	default:
+		t.Fatalf("unexpected node type %T", v)
+	}
+}
+
+// FuzzParseScalar checks scalar parsing never panics and is total.
+func FuzzParseScalar(f *testing.F) {
+	for _, s := range []string{"", "1", "1.5", "true", "null", `"x"`, "'y'", "[1,2]", "[", "{}", "a # c"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v := parseScalar(s)
+		checkTree(t, v, 0)
+	})
+}

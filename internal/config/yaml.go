@@ -1,0 +1,293 @@
+// Package config loads SHARP configuration documents. The paper's launcher
+// accepts JSON or YAML files describing backends, metrics, and workflows
+// (§IV-a, §IV-d); the Go standard library has no YAML support, so this
+// package includes a parser for the YAML subset those configuration files
+// actually use: block mappings, block sequences, scalars (null, bool, int,
+// float, quoted and plain strings), nesting by indentation, comments, and
+// simple flow sequences ([a, b, c]).
+//
+// Parsed documents are plain Go values (map[string]any, []any, string,
+// float64, int64, bool, nil) wrapped in a Document with typed, path-based
+// accessors, and can be decoded into structs via Unmarshal.
+package config
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax wraps YAML-subset syntax errors.
+var ErrSyntax = errors.New("config: syntax error")
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+type yamlLine struct {
+	indent int
+	text   string // content with indentation stripped
+	num    int    // 1-based source line
+}
+
+// ParseYAML parses a document in the YAML subset described in the package
+// comment and returns the root value.
+func ParseYAML(data []byte) (any, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "\t") {
+			return nil, fmt.Errorf("%w: line %d: tabs are not allowed for indentation", ErrSyntax, i+1)
+		}
+		if trimmed == "---" {
+			continue // document separator: single-document subset
+		}
+		p.lines = append(p.lines, yamlLine{indent: len(line) - len(trimmed), text: trimmed, num: i + 1})
+	}
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	v, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("%w: line %d: unexpected content %q", ErrSyntax, p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return v, nil
+}
+
+// parseBlock parses a mapping or sequence whose entries sit at exactly
+// the given indent.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, nil
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("%w: line %d: unexpected indentation", ErrSyntax, ln.num)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break // sequence at same level: belongs to an outer construct
+		}
+		key, rest, err := splitKey(ln.text, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("%w: line %d: duplicate key %q", ErrSyntax, ln.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key] = parseScalar(rest)
+			continue
+		}
+		// Value is a nested block (or null if nothing deeper follows).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else if p.pos < len(p.lines) && p.lines[p.pos].indent == indent &&
+			(strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-") {
+			// Sequences are commonly written at the same indent as the key.
+			v, err := p.parseSequence(indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || (!strings.HasPrefix(ln.text, "- ") && ln.text != "-") {
+			break
+		}
+		item := strings.TrimPrefix(ln.text, "-")
+		item = strings.TrimPrefix(item, " ")
+		p.pos++
+		switch {
+		case item == "":
+			// Nested block item.
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				seq = append(seq, v)
+			} else {
+				seq = append(seq, nil)
+			}
+		case strings.Contains(item, ": ") || strings.HasSuffix(item, ":"):
+			// Inline first key of a map item: "- name: x" with the rest of
+			// the map indented beneath.
+			key, rest, err := splitKey(item, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			itemMap := map[string]any{}
+			if rest != "" {
+				itemMap[key] = parseScalar(rest)
+			} else if p.pos < len(p.lines) && p.lines[p.pos].indent > indent+2 {
+				v, err := p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				itemMap[key] = v
+			} else {
+				itemMap[key] = nil
+			}
+			// Continuation keys are indented by the "- " width (indent+2).
+			if p.pos < len(p.lines) && p.pos < len(p.lines) && p.lines[p.pos].indent == indent+2 &&
+				!strings.HasPrefix(p.lines[p.pos].text, "- ") {
+				rest, err := p.parseMapping(indent + 2)
+				if err != nil {
+					return nil, err
+				}
+				for k, v := range rest.(map[string]any) {
+					if _, dup := itemMap[k]; dup {
+						return nil, fmt.Errorf("%w: line %d: duplicate key %q", ErrSyntax, ln.num, k)
+					}
+					itemMap[k] = v
+				}
+			}
+			seq = append(seq, itemMap)
+		default:
+			seq = append(seq, parseScalar(item))
+		}
+	}
+	return seq, nil
+}
+
+// splitKey splits "key: value" handling quoted keys; rest is "" when the
+// value is a nested block.
+func splitKey(text string, num int) (key, rest string, err error) {
+	if strings.HasPrefix(text, `"`) {
+		end := strings.Index(text[1:], `"`)
+		if end < 0 {
+			return "", "", fmt.Errorf("%w: line %d: unterminated quoted key", ErrSyntax, num)
+		}
+		key = text[1 : 1+end]
+		after := strings.TrimLeft(text[2+end:], " ")
+		if !strings.HasPrefix(after, ":") {
+			return "", "", fmt.Errorf("%w: line %d: expected ':' after key", ErrSyntax, num)
+		}
+		return key, strings.TrimLeft(after[1:], " "), nil
+	}
+	idx := strings.Index(text, ":")
+	if idx < 0 {
+		return "", "", fmt.Errorf("%w: line %d: expected 'key: value', got %q", ErrSyntax, num, text)
+	}
+	after := text[idx+1:]
+	if after != "" && !strings.HasPrefix(after, " ") {
+		return "", "", fmt.Errorf("%w: line %d: missing space after ':' in %q", ErrSyntax, num, text)
+	}
+	return strings.TrimSpace(text[:idx]), strings.TrimSpace(after), nil
+}
+
+// parseScalar interprets a scalar token: null, bool, int, float, quoted
+// string, flow sequence, or plain string. Trailing comments are stripped
+// from unquoted scalars.
+func parseScalar(s string) any {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2 {
+		if unq, err := strconv.Unquote(s); err == nil {
+			return unq
+		}
+		return s[1 : len(s)-1]
+	}
+	if strings.HasPrefix(s, `'`) && strings.HasSuffix(s, `'`) && len(s) >= 2 {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'")
+	}
+	// Strip trailing comment on unquoted scalars.
+	if i := strings.Index(s, " #"); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	// Flow sequence [a, b, c].
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}
+		}
+		parts := splitFlow(inner)
+		out := make([]any, len(parts))
+		for i, part := range parts {
+			out[i] = parseScalar(strings.TrimSpace(part))
+		}
+		return out
+	}
+	// Flow mapping {} (empty only; nested flow maps are out of subset).
+	if s == "{}" {
+		return map[string]any{}
+	}
+	switch s {
+	case "null", "~", "":
+		return nil
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// splitFlow splits a flow-sequence body on top-level commas, respecting
+// quotes and nested brackets.
+func splitFlow(s string) []string {
+	var parts []string
+	depth := 0
+	inQuote := byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

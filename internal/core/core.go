@@ -1,0 +1,493 @@
+// Package core is SHARP's framework layer: the Launcher that orchestrates
+// experiment repetitions over an execution backend under a dynamic stopping
+// rule, the Result type carrying the full measurement distribution plus its
+// tidy-data log, the comparison API built on the similarity metrics, and the
+// metadata round-trip that recreates an experiment from its own record
+// (§IV-a, §IV-d).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"sharp/internal/backend"
+	"sharp/internal/classify"
+	"sharp/internal/config"
+	"sharp/internal/machine"
+	"sharp/internal/record"
+	"sharp/internal/similarity"
+	"sharp/internal/stats"
+	"sharp/internal/stopping"
+	"sharp/internal/sysinfo"
+)
+
+// Experiment configures one SHARP measurement campaign.
+type Experiment struct {
+	// Name identifies the experiment in logs and metadata.
+	Name string
+	// Workload is the function/benchmark to measure.
+	Workload string
+	// Args are workload arguments.
+	Args []string
+	// Backend executes the workload. Required.
+	Backend backend.Backend
+	// Rule decides when to stop. Nil defaults to the meta-heuristic with
+	// a 1000-run cap.
+	Rule stopping.Rule
+	// Metric drives the stopping rule (default exec_time). All metrics
+	// returned by the backend are logged regardless.
+	Metric string
+	// Concurrency is parallel instances per run (default 1). The rule
+	// observes the mean across instances of each run.
+	Concurrency int
+	// Timeout bounds each instance.
+	Timeout time.Duration
+	// WarmupRuns execute before measurement and are not recorded
+	// (cold-start control, §IV-a).
+	WarmupRuns int
+	// Cold requests cold-start invocations throughout (FaaS).
+	Cold bool
+	// Day is the measurement-day coordinate for simulated backends.
+	Day int
+	// Seed is the experiment seed recorded for reproduction.
+	Seed uint64
+	// SUT describes the system under test; the zero value is filled from
+	// the local host (or the simulated machine for Sim backends).
+	SUT sysinfo.SUT
+}
+
+// withDefaults validates and fills defaults.
+func (e Experiment) withDefaults() (Experiment, error) {
+	if e.Backend == nil {
+		return e, errors.New("core: experiment needs a backend")
+	}
+	if e.Workload == "" {
+		return e, errors.New("core: experiment needs a workload")
+	}
+	if e.Name == "" {
+		e.Name = e.Workload
+	}
+	if e.Rule == nil {
+		e.Rule = stopping.NewMeta(stopping.MetaConfig{Seed: e.Seed}, stopping.Bounds{})
+	}
+	if e.Metric == "" {
+		e.Metric = backend.MetricExecTime
+	}
+	if e.Concurrency < 1 {
+		e.Concurrency = 1
+	}
+	if e.SUT == (sysinfo.SUT{}) {
+		if sim, ok := e.Backend.(*backend.Sim); ok {
+			e.SUT = sim.Machine.SUT()
+		} else {
+			e.SUT = sysinfo.Collect()
+		}
+	}
+	return e, nil
+}
+
+// Result is the outcome of a measurement campaign: the distribution, not a
+// point summary.
+type Result struct {
+	// Experiment echoes the configuration (post-defaults).
+	Experiment Experiment
+	// Samples holds the primary-metric value of each measured run (mean
+	// across concurrent instances).
+	Samples []float64
+	// Rows is the complete tidy-data log (one row per instance per metric).
+	Rows []record.Row
+	// Runs is the number of measured repetitions.
+	Runs int
+	// StopReason is the stopping rule's explanation.
+	StopReason string
+	// RuleName names the stopping rule used.
+	RuleName string
+	// Errors counts failed instances (excluded from Samples).
+	Errors int
+	// Started/Finished bound the campaign.
+	Started, Finished time.Time
+}
+
+// Launcher orchestrates experiments (the centerpiece component of Fig. 2).
+type Launcher struct {
+	// Clock is the time source (tests may override).
+	Clock func() time.Time
+}
+
+// NewLauncher returns a Launcher.
+func NewLauncher() *Launcher { return &Launcher{Clock: time.Now} }
+
+// Run executes the experiment until its stopping rule is satisfied and
+// returns the full Result.
+func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
+	e, err := e.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Experiment: e,
+		RuleName:   e.Rule.Name(),
+		Started:    l.Clock(),
+	}
+	// Warm-up runs: executed, discarded.
+	for w := 0; w < e.WarmupRuns; w++ {
+		if _, err := e.Backend.Invoke(ctx, l.request(e, -(w+1))); err != nil {
+			return nil, fmt.Errorf("core: warmup run %d: %w", w+1, err)
+		}
+	}
+	run := 0
+	for !e.Rule.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		run++
+		invs, err := e.Backend.Invoke(ctx, l.request(e, run))
+		if err != nil {
+			return nil, fmt.Errorf("core: run %d: %w", run, err)
+		}
+		sum, ok := 0.0, 0
+		now := l.Clock()
+		for _, inv := range invs {
+			if inv.Err != nil {
+				res.Errors++
+				continue
+			}
+			for metricName, v := range inv.Metrics {
+				res.Rows = append(res.Rows, record.Row{
+					Timestamp:  now,
+					Experiment: e.Name,
+					Workload:   e.Workload,
+					Backend:    e.Backend.Name(),
+					Machine:    inv.Worker,
+					Day:        e.Day,
+					Run:        run,
+					Instance:   inv.Instance,
+					Metric:     metricName,
+					Value:      v,
+					Unit:       unitFor(metricName),
+				})
+			}
+			if v, has := inv.Metrics[e.Metric]; has {
+				sum += v
+				ok++
+			}
+		}
+		if ok == 0 {
+			// Whole run failed; feed nothing but avoid a livelock by
+			// charging the rule one observation cap-wise.
+			continue
+		}
+		v := sum / float64(ok)
+		res.Samples = append(res.Samples, v)
+		e.Rule.Add(v)
+	}
+	res.Runs = run
+	res.StopReason = e.Rule.Explain()
+	res.Finished = l.Clock()
+	return res, nil
+}
+
+// request assembles the backend request for a run index.
+func (l *Launcher) request(e Experiment, run int) backend.Request {
+	return backend.Request{
+		Workload:    e.Workload,
+		Args:        e.Args,
+		Concurrency: e.Concurrency,
+		Timeout:     e.Timeout,
+		Cold:        e.Cold,
+		Run:         run,
+		Day:         e.Day,
+	}
+}
+
+// unitFor maps metric names to units for the tidy log.
+func unitFor(metric string) string {
+	switch metric {
+	case backend.MetricExecTime, "detection_time", "tracking_time":
+		return "seconds"
+	case "cold_start":
+		return "bool"
+	default:
+		return ""
+	}
+}
+
+// Summary returns the descriptive statistics of the primary metric.
+func (r *Result) Summary() (stats.Summary, error) { return stats.Describe(r.Samples) }
+
+// Profile characterizes the measured distribution.
+func (r *Result) Profile() classify.Profile { return classify.Classify(r.Samples) }
+
+// Modes returns the detected mode count.
+func (r *Result) Modes() int { return stats.CountModes(r.Samples) }
+
+// MetricSamples extracts per-run means of any logged metric (e.g. the
+// leukocyte phase metrics of Fig. 7).
+func (r *Result) MetricSamples(metric string) []float64 {
+	perRun := map[int][]float64{}
+	for _, row := range r.Rows {
+		if row.Metric == metric {
+			perRun[row.Run] = append(perRun[row.Run], row.Value)
+		}
+	}
+	out := make([]float64, 0, len(perRun))
+	for run := 1; run <= r.Runs; run++ {
+		if vs, ok := perRun[run]; ok {
+			out = append(out, stats.Mean(vs))
+		}
+	}
+	return out
+}
+
+// SaveCSV writes the tidy-data log to path.
+func (r *Result) SaveCSV(path string) error {
+	w, err := record.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteAll(r.Rows); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// Metadata builds the experiment's metadata record, sufficient for
+// RecreateExperiment to rebuild and re-run the campaign.
+func (r *Result) Metadata() *record.Metadata {
+	e := r.Experiment
+	m := record.NewMetadata(e.Name, e.SUT)
+	m.Set("workload", e.Workload)
+	m.Set("backend", e.Backend.Name())
+	if sim, ok := e.Backend.(*backend.Sim); ok {
+		m.Set("machine", sim.Machine.Name)
+		m.Set("backend_seed", sim.Seed)
+	}
+	m.Set("rule", r.RuleName)
+	m.Set("metric", e.Metric)
+	m.Set("concurrency", e.Concurrency)
+	m.Set("warmup_runs", e.WarmupRuns)
+	m.Set("cold", e.Cold)
+	m.Set("day", e.Day)
+	m.Set("seed", e.Seed)
+	m.Set("runs", r.Runs)
+	m.Set("stop_reason", r.StopReason)
+	if len(e.Args) > 0 {
+		m.Set("args", fmt.Sprintf("%v", e.Args))
+	}
+	return m
+}
+
+// SaveMetadata writes the metadata Markdown file to path.
+func (r *Result) SaveMetadata(path string) error { return r.Metadata().WriteFile(path) }
+
+// RecreateExperiment rebuilds an Experiment from a metadata record written
+// by SaveMetadata. Backends are reconstructed for the reproducible kinds:
+// "sim" (with its machine) always; other backends must be supplied by the
+// caller via the backends map (keyed by backend name).
+func RecreateExperiment(m *record.Metadata, backends map[string]backend.Backend) (Experiment, error) {
+	e := Experiment{
+		Name:     m.Experiment,
+		Workload: m.Get("workload"),
+		Metric:   m.Get("metric"),
+	}
+	if e.Workload == "" {
+		return e, errors.New("core: metadata has no workload")
+	}
+	atoi := func(key string) int {
+		n, _ := strconv.Atoi(m.Get(key))
+		return n
+	}
+	e.Concurrency = atoi("concurrency")
+	e.WarmupRuns = atoi("warmup_runs")
+	e.Day = atoi("day")
+	e.Cold = m.Get("cold") == "true"
+	seed, _ := strconv.ParseUint(m.Get("seed"), 10, 64)
+	e.Seed = seed
+
+	switch name := m.Get("backend"); name {
+	case "sim":
+		mach, err := machine.ByName(m.Get("machine"))
+		if err != nil {
+			return e, err
+		}
+		bseed := seed
+		if s, err := strconv.ParseUint(m.Get("backend_seed"), 10, 64); err == nil {
+			bseed = s
+		}
+		e.Backend = backend.NewSim(mach, bseed)
+	default:
+		b, ok := backends[name]
+		if !ok {
+			return e, fmt.Errorf("core: backend %q cannot be recreated automatically; supply it", name)
+		}
+		e.Backend = b
+	}
+	// Rebuild the stopping rule from its recorded name ("ks-0.1" etc.).
+	rule, err := ruleFromName(m.Get("rule"), seed)
+	if err != nil {
+		return e, err
+	}
+	e.Rule = rule
+	e.SUT = m.SUT
+	return e, nil
+}
+
+// ruleFromName parses rule names of the form "kind-threshold" produced by
+// the stopping rules' Name methods.
+func ruleFromName(name string, seed uint64) (stopping.Rule, error) {
+	if name == "" {
+		return nil, nil // default rule
+	}
+	kind := name
+	threshold := 0.0
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '-' {
+			if t, err := strconv.ParseFloat(name[i+1:], 64); err == nil {
+				kind = name[:i]
+				threshold = t
+			}
+			break
+		}
+	}
+	switch kind {
+	case "fixed":
+		return stopping.NewFixed(int(threshold)), nil
+	case "ci":
+		return stopping.NewCI(0.95, threshold, stopping.Bounds{}), nil
+	case "ks":
+		return stopping.NewKS(threshold, stopping.Bounds{}), nil
+	case "cv":
+		return stopping.NewCV(threshold, stopping.Bounds{}), nil
+	case "mean-stability":
+		return stopping.NewMeanStability(threshold, 0, stopping.Bounds{}), nil
+	case "median-stability":
+		return stopping.NewMedianStability(threshold, 0, stopping.Bounds{}), nil
+	case "tail-stability":
+		return stopping.NewTailStability(0.95, threshold, stopping.Bounds{}), nil
+	case "modality-stability":
+		return stopping.NewModalityStability(int(threshold), stopping.Bounds{}), nil
+	case "ess":
+		return stopping.NewESS(threshold, stopping.Bounds{}), nil
+	case "self-similarity":
+		return stopping.NewSelfSimilarity(threshold, 0, seed, stopping.Bounds{}), nil
+	case "meta":
+		return stopping.NewMeta(stopping.MetaConfig{Seed: seed}, stopping.Bounds{}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown rule name %q", name)
+	}
+}
+
+// Comparison is the distribution-level comparison of two results (§V-B):
+// both the point-summary metric (NAMD) and the distribution-based metrics,
+// so reports can show what each captures.
+type Comparison struct {
+	NameA, NameB string
+	NA, NB       int
+	MeanA, MeanB float64
+	// Speedup is MeanA / MeanB (how much faster B is).
+	Speedup float64
+	NAMD    float64
+	KS      float64
+	KSTest  stats.TestResult
+	W1      float64
+	JSD     float64
+	Overlap float64
+	// MannWhitney tests stochastic dominance.
+	MannWhitney stats.TestResult
+	ModesA      int
+	ModesB      int
+}
+
+// Compare computes the full similarity comparison between two sample sets.
+func Compare(nameA string, a []float64, nameB string, b []float64) (Comparison, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return Comparison{}, errors.New("core: cannot compare empty sample sets")
+	}
+	namd, err := similarity.NAMDTrimmed(a, b)
+	if err != nil {
+		return Comparison{}, err
+	}
+	meanA, meanB := stats.Mean(a), stats.Mean(b)
+	return Comparison{
+		NameA: nameA, NameB: nameB,
+		NA: len(a), NB: len(b),
+		MeanA: meanA, MeanB: meanB,
+		Speedup:     meanA / meanB,
+		NAMD:        namd,
+		KS:          similarity.KS(a, b),
+		KSTest:      stats.KSTest(a, b),
+		W1:          similarity.Wasserstein1(a, b),
+		JSD:         similarity.JensenShannon(a, b, 0),
+		Overlap:     similarity.OverlapCoefficient(a, b, 0),
+		MannWhitney: stats.MannWhitneyU(a, b),
+		ModesA:      stats.CountModes(a),
+		ModesB:      stats.CountModes(b),
+	}, nil
+}
+
+// CompareResults compares the primary-metric distributions of two Results.
+func CompareResults(a, b *Result) (Comparison, error) {
+	return Compare(a.Experiment.Name, a.Samples, b.Experiment.Name, b.Samples)
+}
+
+// ExperimentFromConfig builds an Experiment from a configuration document —
+// the launcher's file-driven mode (§IV-a: behavior "controlled via the
+// command line ... or a JSON or YAML interface"). Expected structure:
+//
+//	experiment:
+//	  name: nightly-hotspot
+//	  workload: hotspot
+//	  rule: ks
+//	  threshold: 0.1
+//	  max_runs: 1000
+//	  min_runs: 10
+//	  warmup_runs: 2
+//	  concurrency: 1
+//	  day: 1
+//	  seed: 42
+//	  metric: exec_time
+//	  backend:
+//	    type: sim
+//	    machine: machine1
+func ExperimentFromConfig(doc *config.Document, path string) (Experiment, error) {
+	e := Experiment{
+		Name:        doc.String(path+".name", ""),
+		Workload:    doc.String(path+".workload", ""),
+		Args:        doc.Strings(path + ".args"),
+		Metric:      doc.String(path+".metric", ""),
+		Concurrency: doc.Int(path+".concurrency", 1),
+		WarmupRuns:  doc.Int(path+".warmup_runs", 0),
+		Cold:        doc.Bool(path+".cold", false),
+		Day:         doc.Int(path+".day", 1),
+		Seed:        uint64(doc.Int(path+".seed", 42)),
+	}
+	if e.Workload == "" {
+		return e, errors.New("core: config: experiment needs a workload")
+	}
+	if t := doc.String(path+".timeout", ""); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			return e, fmt.Errorf("core: config: bad timeout: %w", err)
+		}
+		e.Timeout = d
+	}
+	b, err := backend.FromConfig(doc, path+".backend")
+	if err != nil {
+		return e, err
+	}
+	e.Backend = b
+	ruleName := doc.String(path+".rule", "meta")
+	rule, err := stopping.NewNamed(ruleName, doc.Float(path+".threshold", 0), stopping.Bounds{
+		MinSamples: doc.Int(path+".min_runs", 0),
+		MaxSamples: doc.Int(path+".max_runs", 0),
+	})
+	if err != nil {
+		return e, err
+	}
+	e.Rule = rule
+	return e, nil
+}

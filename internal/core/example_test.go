@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+
+	"sharp/internal/backend"
+	"sharp/internal/core"
+	"sharp/internal/machine"
+	"sharp/internal/stopping"
+)
+
+// The minimal SHARP loop: measure a workload on the simulated testbed under
+// a dynamic stopping rule and inspect the resulting distribution — not a
+// point summary.
+func ExampleLauncher_Run() {
+	m, _ := machine.ByName("machine1")
+	res, err := core.NewLauncher().Run(context.Background(), core.Experiment{
+		Workload: "hotspot",
+		Backend:  backend.NewSim(m, 42),
+		Rule:     stopping.NewKS(0.1, stopping.Bounds{MaxSamples: 1000}),
+		Day:      1,
+		Seed:     42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs: %d of at most 1000\n", res.Runs)
+	fmt.Printf("modes: %d\n", res.Modes())
+	// Output:
+	// runs: 80 of at most 1000
+	// modes: 2
+}
+
+// Distribution comparison yields both the point-summary and the
+// distribution view.
+func ExampleCompare() {
+	a := []float64{1.00, 1.01, 0.99, 1.02, 1.00, 0.98, 1.01, 0.99}
+	b := []float64{0.50, 0.51, 0.49, 0.52, 0.50, 0.48, 0.51, 0.49}
+	cmp, _ := core.Compare("A100", a, "H100", b)
+	fmt.Printf("speedup %.1fx, KS %.2f\n", cmp.Speedup, cmp.KS)
+	// Output: speedup 2.0x, KS 1.00
+}

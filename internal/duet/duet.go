@@ -1,0 +1,176 @@
+// Package duet implements duet benchmarking (Bulej et al., discussed in
+// the paper's related work §VII): to compare two artifacts on a noisy
+// platform, run them in interleaved pairs so that interference — which
+// "tends to impact similar tenants equally" — affects both sides of every
+// pair alike, then analyze the *paired* differences and ratios.
+//
+// The duet procedure composes with SHARP's machinery: any Backend executes
+// the pairs, a CI stopping rule decides how many pairs are enough, and the
+// result carries the full ratio distribution rather than a single number.
+package duet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"sharp/internal/backend"
+	"sharp/internal/stats"
+	"sharp/internal/stopping"
+)
+
+// Config configures a duet comparison.
+type Config struct {
+	// WorkloadA and WorkloadB are the two artifacts to compare.
+	WorkloadA, WorkloadB string
+	// Metric drives the comparison (default exec_time).
+	Metric string
+	// Rule stops the pair stream; it observes the per-pair ratio A/B.
+	// Nil defaults to a CI rule (0.95, threshold 0.02) capped at MaxPairs.
+	Rule stopping.Rule
+	// MaxPairs caps the number of pairs (default 500).
+	MaxPairs int
+	// Day and Seed are forwarded to the backend requests.
+	Day  int
+	Seed uint64
+	// AlternateOrder alternates AB / BA pair ordering to cancel positional
+	// effects (default true via NewConfig; zero value means false).
+	AlternateOrder bool
+}
+
+// Result is the outcome of a duet comparison.
+type Result struct {
+	Config Config
+	// TimesA and TimesB are the per-pair measurements.
+	TimesA, TimesB []float64
+	// Ratios are per-pair TimesA[i]/TimesB[i].
+	Ratios []float64
+	// MeanRatio and MedianRatio summarize the ratio distribution.
+	MeanRatio, MedianRatio float64
+	// RatioCI is the bootstrap CI of the median ratio.
+	RatioCI stats.Interval
+	// Wilcoxon is the paired signed-rank test on the differences.
+	Wilcoxon stats.TestResult
+	// Pairs is the number of pairs executed.
+	Pairs int
+	// StopReason explains why the stream ended.
+	StopReason string
+}
+
+// Faster reports which workload is faster at significance alpha:
+// "A", "B", or "" for a statistical tie.
+func (r *Result) Faster(alpha float64) string {
+	if !r.Wilcoxon.Significant(alpha) {
+		return ""
+	}
+	if r.MedianRatio > 1 {
+		return "B" // A took longer per pair
+	}
+	return "A"
+}
+
+// Render formats the duet outcome.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "duet: %s vs %s (%d pairs; %s)\n",
+		r.Config.WorkloadA, r.Config.WorkloadB, r.Pairs, r.StopReason)
+	fmt.Fprintf(&b, "median ratio A/B: %.4f  (95%% CI [%.4f, %.4f])\n",
+		r.MedianRatio, r.RatioCI.Low, r.RatioCI.High)
+	fmt.Fprintf(&b, "mean ratio A/B:   %.4f\n", r.MeanRatio)
+	fmt.Fprintf(&b, "Wilcoxon signed-rank p = %.3g\n", r.Wilcoxon.PValue)
+	switch r.Faster(0.01) {
+	case "A":
+		fmt.Fprintf(&b, "verdict: %s is faster\n", r.Config.WorkloadA)
+	case "B":
+		fmt.Fprintf(&b, "verdict: %s is faster\n", r.Config.WorkloadB)
+	default:
+		b.WriteString("verdict: statistical tie\n")
+	}
+	return b.String()
+}
+
+// Run executes the duet comparison over the backend.
+func Run(ctx context.Context, be backend.Backend, cfg Config) (*Result, error) {
+	if cfg.WorkloadA == "" || cfg.WorkloadB == "" {
+		return nil, errors.New("duet: both workloads are required")
+	}
+	if cfg.Metric == "" {
+		cfg.Metric = backend.MetricExecTime
+	}
+	if cfg.MaxPairs <= 0 {
+		cfg.MaxPairs = 500
+	}
+	rule := cfg.Rule
+	if rule == nil {
+		rule = stopping.NewCI(0.95, 0.02, stopping.Bounds{MaxSamples: cfg.MaxPairs})
+	}
+	res := &Result{Config: cfg}
+	// Deterministic order alternation.
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xDEADBEEF))
+	pair := 0
+	for !rule.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pair++
+		first, second := cfg.WorkloadA, cfg.WorkloadB
+		swapped := false
+		if cfg.AlternateOrder && (pair%2 == 0) != (rng.IntN(2) == 0) {
+			first, second = second, first
+			swapped = true
+		}
+		t1, err := invokeOne(ctx, be, first, cfg, pair)
+		if err != nil {
+			return nil, fmt.Errorf("duet: pair %d (%s): %w", pair, first, err)
+		}
+		t2, err := invokeOne(ctx, be, second, cfg, pair)
+		if err != nil {
+			return nil, fmt.Errorf("duet: pair %d (%s): %w", pair, second, err)
+		}
+		ta, tb := t1, t2
+		if swapped {
+			ta, tb = t2, t1
+		}
+		res.TimesA = append(res.TimesA, ta)
+		res.TimesB = append(res.TimesB, tb)
+		ratio := ta / tb
+		res.Ratios = append(res.Ratios, ratio)
+		rule.Add(ratio)
+	}
+	res.Pairs = pair
+	res.StopReason = rule.Explain()
+	if len(res.Ratios) == 0 {
+		return nil, errors.New("duet: no pairs executed")
+	}
+	res.MeanRatio = stats.Mean(res.Ratios)
+	res.MedianRatio = stats.Median(res.Ratios)
+	boot := rand.New(rand.NewPCG(cfg.Seed+1, 0x5eed))
+	res.RatioCI = stats.BootstrapCI(boot, res.Ratios, 1000, 0.95, stats.Median)
+	res.Wilcoxon = stats.WilcoxonSignedRank(res.TimesA, res.TimesB)
+	return res, nil
+}
+
+// invokeOne runs a single instance and returns its metric value.
+func invokeOne(ctx context.Context, be backend.Backend, workload string, cfg Config, run int) (float64, error) {
+	invs, err := be.Invoke(ctx, backend.Request{
+		Workload: workload,
+		Run:      run,
+		Day:      cfg.Day,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(invs) == 0 {
+		return 0, errors.New("no invocations returned")
+	}
+	if invs[0].Err != nil {
+		return 0, invs[0].Err
+	}
+	v, ok := invs[0].Metrics[cfg.Metric]
+	if !ok {
+		return 0, fmt.Errorf("metric %q not reported", cfg.Metric)
+	}
+	return v, nil
+}

@@ -1,0 +1,108 @@
+package duet
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sharp/internal/backend"
+	"sharp/internal/machine"
+	"sharp/internal/stopping"
+)
+
+func sim(t *testing.T) *backend.Sim {
+	t.Helper()
+	m, err := machine.ByName("machine1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return backend.NewSim(m, 42)
+}
+
+func TestDuetDetectsFasterWorkload(t *testing.T) {
+	// bfs (base 1.8s) vs srad (base 4.0s): bfs clearly faster.
+	res, err := Run(context.Background(), sim(t), Config{
+		WorkloadA:      "bfs",
+		WorkloadB:      "srad",
+		Seed:           1,
+		Day:            1,
+		AlternateOrder: true,
+		MaxPairs:       200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianRatio > 0.6 {
+		t.Errorf("median ratio = %.3f, want << 1", res.MedianRatio)
+	}
+	if got := res.Faster(0.01); got != "A" {
+		t.Errorf("faster = %q, want A", got)
+	}
+	if res.RatioCI.High >= 1 {
+		t.Errorf("ratio CI %v should exclude 1", res.RatioCI)
+	}
+	if !strings.Contains(res.Render(), "bfs is faster") {
+		t.Errorf("render:\n%s", res.Render())
+	}
+}
+
+func TestDuetTieOnSameWorkload(t *testing.T) {
+	res, err := Run(context.Background(), sim(t), Config{
+		WorkloadA: "hotspot",
+		WorkloadB: "hotspot",
+		Seed:      2,
+		Day:       1,
+		MaxPairs:  150,
+		Rule:      stopping.NewFixed(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same workload: ratio ~1 and no significant difference. (The two
+	// sides draw from the same stream interleaved, so pairs differ only by
+	// sampling noise.)
+	if res.MedianRatio < 0.9 || res.MedianRatio > 1.1 {
+		t.Errorf("self-duet median ratio = %.3f", res.MedianRatio)
+	}
+	if got := res.Faster(0.001); got != "" {
+		t.Errorf("self-duet verdict = %q, want tie", got)
+	}
+}
+
+func TestDuetStopsDynamically(t *testing.T) {
+	res, err := Run(context.Background(), sim(t), Config{
+		WorkloadA: "bfs",
+		WorkloadB: "needle",
+		Seed:      3,
+		Day:       1,
+		MaxPairs:  500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs >= 500 {
+		t.Errorf("CI rule never converged: %d pairs", res.Pairs)
+	}
+	if len(res.Ratios) != res.Pairs || len(res.TimesA) != res.Pairs {
+		t.Error("bookkeeping mismatch")
+	}
+}
+
+func TestDuetValidation(t *testing.T) {
+	if _, err := Run(context.Background(), sim(t), Config{WorkloadA: "bfs"}); err == nil {
+		t.Error("missing workload B accepted")
+	}
+	if _, err := Run(context.Background(), sim(t), Config{
+		WorkloadA: "bfs", WorkloadB: "ghost", MaxPairs: 5,
+	}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestDuetContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, sim(t), Config{WorkloadA: "bfs", WorkloadB: "srad"}); err == nil {
+		t.Error("cancelled context not honored")
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V, §VI) on the simulated testbed. Each experiment is a
+// function from a seed to a Report whose Render method prints the same
+// rows/series the paper reports; cmd/sharp-experiments exposes them on the
+// command line and the repository's bench harness runs them under
+// testing.B.
+//
+// Absolute numbers differ from the paper (the substrate is a calibrated
+// simulator, not the authors' servers); the *shape* of each result — who
+// wins, by what factor, where the crossovers fall — is the reproduction
+// target. EXPERIMENTS.md records paper-vs-measured for every entry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sharp/internal/machine"
+	"sharp/internal/perfmodel"
+	"sharp/internal/randx"
+)
+
+// Report is a rendered experiment result.
+type Report interface {
+	// Render returns the human-readable result (Markdown-friendly text).
+	Render() string
+}
+
+// Func regenerates one experiment.
+type Func func(seed uint64) (Report, error)
+
+// Registry maps experiment ids (fig1b, table2, ...) to their regenerators.
+var Registry = map[string]Func{
+	"table1": func(uint64) (Report, error) { return Table1(), nil },
+	"table2": func(uint64) (Report, error) { return Table2(), nil },
+	"table3": func(uint64) (Report, error) { return Table3(), nil },
+	"table4": func(uint64) (Report, error) { return Table4(), nil },
+	"fig1b":  func(seed uint64) (Report, error) { return Fig1b(seed) },
+	"fig4":   func(seed uint64) (Report, error) { return Fig4(seed) },
+	"fig5a":  func(seed uint64) (Report, error) { return Fig5a(seed) },
+	"fig5b":  func(seed uint64) (Report, error) { return Fig5b(seed) },
+	"fig5c":  func(seed uint64) (Report, error) { return Fig5c(seed) },
+	"fig6":   func(seed uint64) (Report, error) { return Fig6(seed) },
+	"fig7":   func(seed uint64) (Report, error) { return Fig7(seed) },
+	"fig8":   func(seed uint64) (Report, error) { return Fig8(seed) },
+	"fig9":   func(seed uint64) (Report, error) { return Fig9(seed) },
+	"table5": func(seed uint64) (Report, error) { return Table5(seed) },
+	"tuning": func(seed uint64) (Report, error) { return Tuning(seed) },
+}
+
+// IDs returns the registry keys in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates the experiment with the given id.
+func Run(id string, seed uint64) (Report, error) {
+	f, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return f(seed)
+}
+
+// sampleBench draws n execution times for a benchmark on a machine-day.
+func sampleBench(bench string, mach *machine.Machine, day, n int, seed uint64) ([]float64, error) {
+	model, ok := perfmodel.For(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	g, err := model.Sampler(mach, day, seed)
+	if err != nil {
+		return nil, err
+	}
+	return randx.SampleN(g, n), nil
+}
+
+// mustMachine returns a testbed machine by name.
+func mustMachine(name string) *machine.Machine {
+	m, err := machine.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// text is a Report over a prerendered string.
+type text string
+
+// Render implements Report.
+func (t text) Render() string { return string(t) }

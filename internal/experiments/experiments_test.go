@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+const seed = 2024
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1b", "fig4", "fig5a", "fig5b", "fig5c", "fig6",
+		"fig7", "fig8", "fig9", "table1", "table2", "table3", "table4",
+		"table5", "tuning"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", 1); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	for id, want := range map[string]string{
+		"table1": "Hunold",
+		"table2": "graph1MW_6.txt",
+		"table3": "Nvidia H100 80GB",
+		"table4": "T = 0.1",
+	} {
+		rep, err := Run(id, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(rep.Render(), want) {
+			t.Errorf("%s missing %q", id, want)
+		}
+	}
+}
+
+func TestFig4ModalityCensus(t *testing.T) {
+	r, err := Fig4(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 20 {
+		t.Fatalf("benchmarks = %d", len(r.Benchmarks))
+	}
+	// Paper: 30% unimodal, 40% bimodal, 20% trimodal, 10% >3. Allow one
+	// benchmark of slack for detection noise at this seed.
+	if r.Split[1] < 5 || r.Split[1] > 7 {
+		t.Errorf("unimodal count = %d, want ~6", r.Split[1])
+	}
+	if r.Split[2] < 7 || r.Split[2] > 9 {
+		t.Errorf("bimodal count = %d, want ~8", r.Split[2])
+	}
+	if r.Split[3] < 3 || r.Split[3] > 5 {
+		t.Errorf("trimodal count = %d, want ~4", r.Split[3])
+	}
+	if r.Split[4] < 1 || r.Split[4] > 3 {
+		t.Errorf(">3-modal count = %d, want ~2", r.Split[4])
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Modality census") || !strings.Contains(out, "hotspot") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig5aScatter(t *testing.T) {
+	r, err := Fig5a(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pairs) != 330 {
+		t.Fatalf("pairs = %d, want 330 (11 benchmarks x 3 machines x 10 pairs)", len(r.Pairs))
+	}
+	// Paper: more than half of daily distributions dissimilar; and a
+	// population of low-NAMD/high-KS points exists.
+	if frac := float64(r.DissimilarKS) / float64(len(r.Pairs)); frac < 0.3 {
+		t.Errorf("dissimilar fraction = %.2f, want > 0.3", frac)
+	}
+	if r.Divergent < 20 {
+		t.Errorf("low-NAMD/high-KS pairs = %d, want a sizable population", r.Divergent)
+	}
+	if !strings.Contains(r.Render(), "NAMD") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig5bHeatmapCell(t *testing.T) {
+	r, err := Fig5b(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonals identical.
+	for i := 0; i < 5; i++ {
+		if r.NAMD[i][i] != 0 || r.KS[i][i] != 0 {
+			t.Errorf("diagonal not zero at %d: %v %v", i, r.NAMD[i][i], r.KS[i][i])
+		}
+	}
+	// Day 3 vs day 5: NAMD ~ 0 but KS clearly larger (paper: 0.00 / 0.21).
+	namd35, ks35 := r.NAMD[2][4], r.KS[2][4]
+	if namd35 > 0.02 {
+		t.Errorf("NAMD(3,5) = %.3f, want ~0", namd35)
+	}
+	if ks35 < 0.08 {
+		t.Errorf("KS(3,5) = %.3f, want clearly > 0", ks35)
+	}
+	if ks35 < namd35*3 {
+		t.Errorf("KS (%.3f) should dominate NAMD (%.3f)", ks35, namd35)
+	}
+}
+
+func TestFig5cModeFlip(t *testing.T) {
+	r, err := Fig5c(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModesDay3 != 3 || r.ModesDay5 != 2 {
+		t.Errorf("modes = %d/%d, want 3/2", r.ModesDay3, r.ModesDay5)
+	}
+	// Means nearly equal.
+	if rel := (r.MeanDay3 - r.MeanDay5) / r.MeanDay5; rel > 0.01 || rel < -0.01 {
+		t.Errorf("means differ by %.3f%%", rel*100)
+	}
+}
+
+func TestFig6StoppingRules(t *testing.T) {
+	r, err := Fig6(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Outcomes) != 9*4 {
+		t.Fatalf("outcomes = %d", len(r.Outcomes))
+	}
+	// Shape checks per the paper's conclusions:
+	// 1. KS rule saves a large majority of the computation.
+	if r.Savings["ks-0.1"] < 0.6 {
+		t.Errorf("KS savings = %.2f, want > 0.6 (paper: 0.898)", r.Savings["ks-0.1"])
+	}
+	// 2. The tight CI threshold T2 runs longer than T1.
+	if r.Savings["ci-0.01"] > r.Savings["ci-0.05"] {
+		t.Errorf("CI T2 saved more than T1: %.2f vs %.2f", r.Savings["ci-0.01"], r.Savings["ci-0.05"])
+	}
+	// 3. KS divergence to truth stays low.
+	if r.MeanKS["ks-0.1"] > 0.2 {
+		t.Errorf("KS rule divergence = %.3f, want <= 0.2 (paper: 0.104)", r.MeanKS["ks-0.1"])
+	}
+	// 4. Fixed-100 saves exactly 90%.
+	if r.Savings["fixed-100"] < 0.89 || r.Savings["fixed-100"] > 0.91 {
+		t.Errorf("fixed-100 savings = %.3f", r.Savings["fixed-100"])
+	}
+	if !strings.Contains(r.Render(), "computation saved") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig1bHeadline(t *testing.T) {
+	r, err := Fig1b(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SavingsKS < 0.6 || r.SavingsKS >= 1 {
+		t.Errorf("savings = %.3f", r.SavingsKS)
+	}
+	if len(r.RunsPerBenchmark) != 9 {
+		t.Errorf("per-benchmark runs = %d entries", len(r.RunsPerBenchmark))
+	}
+}
+
+func TestFig7PhaseModes(t *testing.T) {
+	r, err := Fig7(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModesDetection != 1 {
+		t.Errorf("detection modes = %d, want 1", r.ModesDetection)
+	}
+	if r.ModesTracking != 2 {
+		t.Errorf("tracking modes = %d, want 2", r.ModesTracking)
+	}
+	if r.ModesTotal != 2 {
+		t.Errorf("total modes = %d, want 2", r.ModesTotal)
+	}
+}
+
+func TestFig8Fig9Speedups(t *testing.T) {
+	f8, err := Fig8(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f8.Comparison.Speedup < 1.8 || f8.Comparison.Speedup > 2.2 {
+		t.Errorf("bfs speedup = %.2f, want ~2", f8.Comparison.Speedup)
+	}
+	if f8.Comparison.ModesB <= f8.Comparison.ModesA {
+		t.Errorf("H100 modes (%d) not greater than A100 (%d)", f8.Comparison.ModesB, f8.Comparison.ModesA)
+	}
+	f9, err := Fig9(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f9.Comparison.Speedup < 1.1 || f9.Comparison.Speedup > 1.35 {
+		t.Errorf("srad speedup = %.2f, want ~1.2", f9.Comparison.Speedup)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	r, err := Table5(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Monotone columns as in Table V.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].AvgTime <= r.Rows[i-1].AvgTime {
+			t.Errorf("avg time not increasing at c=%d", r.Rows[i].Concurrency)
+		}
+		if r.Rows[i].PerUnit >= r.Rows[i-1].PerUnit {
+			t.Errorf("per-unit not decreasing at c=%d", r.Rows[i].Concurrency)
+		}
+	}
+	// Calibration anchors (paper: 3.46 and 23.14 s).
+	if r.Rows[0].AvgTime < 3.2 || r.Rows[0].AvgTime > 3.7 {
+		t.Errorf("c=1 avg = %.2f", r.Rows[0].AvgTime)
+	}
+	if r.Rows[4].AvgTime < 21 || r.Rows[4].AvgTime > 25 {
+		t.Errorf("c=16 avg = %.2f", r.Rows[4].AvgTime)
+	}
+	// Paper's ranges: runtime +39%..570%, per-unit -30%..57%.
+	if r.RuntimeIncreasePct[0] < 20 || r.RuntimeIncreasePct[1] > 700 {
+		t.Errorf("runtime increase range = %v", r.RuntimeIncreasePct)
+	}
+	if r.PerUnitDecreasePct[0] < 20 || r.PerUnitDecreasePct[1] > 70 {
+		t.Errorf("per-unit decrease range = %v", r.PerUnitDecreasePct)
+	}
+}
+
+func TestTuningDetection(t *testing.T) {
+	r, err := Tuning(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.CorrectDetections < 9 {
+		t.Errorf("correct detections = %d/10", r.CorrectDetections)
+	}
+	for _, row := range r.Rows {
+		if row.MetaRuns < 10 {
+			t.Errorf("%s: meta stopped below floor (%d)", row.Distribution, row.MetaRuns)
+		}
+		if row.SelfRuns >= 5000 && row.Distribution != "cauchy" {
+			t.Errorf("%s: self-similarity hit the cap", row.Distribution)
+		}
+	}
+}
+
+func TestAllRendersNonEmpty(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "fig4" || id == "fig5a" || id == "fig6" || id == "fig1b" {
+			continue // exercised above; skip the heavy ones here
+		}
+		rep, err := Run(id, seed)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(rep.Render()) < 50 {
+			t.Errorf("%s: render too short", id)
+		}
+	}
+}
+
+func TestTuningAccuracyPass(t *testing.T) {
+	r, err := Tuning(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accuracy) != 10 {
+		t.Fatalf("accuracy entries = %d", len(r.Accuracy))
+	}
+	for fam, acc := range r.Accuracy {
+		if acc < 0.7 {
+			t.Errorf("%s: accuracy %.0f%%, want >= 70%%", fam, 100*acc)
+		}
+	}
+	if !strings.Contains(r.Render(), "Per-family accuracy") {
+		t.Error("render missing accuracy table")
+	}
+}

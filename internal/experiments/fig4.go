@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sharp/internal/rodinia"
+	"sharp/internal/stats"
+	"sharp/internal/textplot"
+)
+
+// Fig4Result holds the per-benchmark distributions of 5000 runs on
+// Machine 1 (1000 runs on each of 5 days, pooled — the setup of §V-A).
+type Fig4Result struct {
+	// Benchmarks maps name -> pooled samples.
+	Benchmarks map[string][]float64
+	// Modes maps name -> detected mode count.
+	Modes map[string]int
+	// Split is the modality census: Split[k] = number of benchmarks with k
+	// modes (4 means ">3" as in the paper's 10% bucket).
+	Split map[int]int
+	order []string
+}
+
+// Fig4 regenerates Fig. 4: distributions and boxplots for 5000 runs of all
+// 20 benchmarks on Machine 1, and the headline modality census (70%
+// multimodal: 40% bimodal, 20% trimodal, 10% more than three modes).
+func Fig4(seed uint64) (*Fig4Result, error) {
+	m1 := mustMachine("machine1")
+	res := &Fig4Result{
+		Benchmarks: map[string][]float64{},
+		Modes:      map[string]int{},
+		Split:      map[int]int{},
+	}
+	for _, bench := range rodinia.Suite() {
+		if bench.CUDA && !m1.HasGPU() {
+			continue
+		}
+		pooled := make([]float64, 0, 5000)
+		for day := 1; day <= 5; day++ {
+			s, err := sampleBench(bench.Name, m1, day, 1000, seed)
+			if err != nil {
+				return nil, err
+			}
+			pooled = append(pooled, s...)
+		}
+		res.Benchmarks[bench.Name] = pooled
+		modes := stats.CountModes(pooled)
+		res.Modes[bench.Name] = modes
+		bucket := modes
+		if bucket > 4 {
+			bucket = 4
+		}
+		res.Split[bucket]++
+		res.order = append(res.order, bench.Name)
+	}
+	return res, nil
+}
+
+// Render implements Report.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 4: distributions and boxplots, 5000 runs on Machine 1\n\n")
+	total := len(r.order)
+	multi := total - r.Split[1]
+	fmt.Fprintf(&b, "Modality census: %d/%d multimodal (%.0f%%) — %d bimodal (%.0f%%), %d trimodal (%.0f%%), %d with >3 modes (%.0f%%).\n",
+		multi, total, 100*float64(multi)/float64(total),
+		r.Split[2], 100*float64(r.Split[2])/float64(total),
+		r.Split[3], 100*float64(r.Split[3])/float64(total),
+		r.Split[4], 100*float64(r.Split[4])/float64(total))
+	b.WriteString("Paper: 70% multimodal — 40% bimodal, 20% trimodal, 10% >3 modes.\n\n")
+	for _, name := range r.order {
+		data := r.Benchmarks[name]
+		sum, _ := stats.Describe(data)
+		fmt.Fprintf(&b, "## %s  (n=%d, modes=%d, median=%.3fs)\n\n```\n",
+			name, sum.N, r.Modes[name], sum.Median)
+		b.WriteString(textplot.HistogramData(data, 44))
+		fmt.Fprintf(&b, "%s\n```\n\n", textplot.Boxplot(data, sum.Min, sum.Max, 60))
+	}
+	return b.String()
+}

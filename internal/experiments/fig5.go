@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sharp/internal/machine"
+	"sharp/internal/rodinia"
+	"sharp/internal/similarity"
+	"sharp/internal/stats"
+	"sharp/internal/textplot"
+)
+
+// PairComparison is one day-pair similarity measurement (a point in the
+// Fig. 5a scatter).
+type PairComparison struct {
+	Benchmark    string
+	Machine      string
+	DayA, DayB   int
+	NAMD, KS     float64
+	MeanA, MeanB float64
+}
+
+// Fig5aResult holds the 330 pairwise day comparisons of §V-B: 11 CPU
+// benchmarks x 3 machines x C(5,2)=10 day pairs.
+type Fig5aResult struct {
+	Pairs []PairComparison
+	// Divergent counts pairs with low NAMD (< 0.02) but high KS (> 0.1):
+	// the cases where the point-summary metric misses real distribution
+	// changes.
+	Divergent int
+	// DissimilarKS counts pairs whose KS exceeds 0.1 (day-to-day
+	// irreproducibility under the distribution view).
+	DissimilarKS int
+}
+
+// Fig5a regenerates the NAMD-vs-KS scatter of Fig. 5a.
+func Fig5a(seed uint64) (*Fig5aResult, error) {
+	res := &Fig5aResult{}
+	const runsPerDay = 1000
+	for _, bench := range rodinia.CPU() {
+		for _, mach := range machine.Testbed() {
+			days := make([][]float64, 6)
+			for d := 1; d <= 5; d++ {
+				s, err := sampleBench(bench.Name, mach, d, runsPerDay, seed)
+				if err != nil {
+					return nil, err
+				}
+				days[d] = s
+			}
+			for a := 1; a <= 5; a++ {
+				for bday := a + 1; bday <= 5; bday++ {
+					namd, err := similarity.NAMDSorted(days[a], days[bday])
+					if err != nil {
+						return nil, err
+					}
+					ks := similarity.KS(days[a], days[bday])
+					res.Pairs = append(res.Pairs, PairComparison{
+						Benchmark: bench.Name, Machine: mach.Name,
+						DayA: a, DayB: bday,
+						NAMD: namd, KS: ks,
+						MeanA: stats.Mean(days[a]), MeanB: stats.Mean(days[bday]),
+					})
+					if namd < 0.02 && ks > 0.1 {
+						res.Divergent++
+					}
+					if ks > 0.1 {
+						res.DissimilarKS++
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render implements Report.
+func (r *Fig5aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 5a: NAMD vs KS over day-pair comparisons\n\n")
+	fmt.Fprintf(&b, "%d comparisons (11 CPU benchmarks x 3 machines x 10 day pairs).\n", len(r.Pairs))
+	fmt.Fprintf(&b, "- %d pairs (%.0f%%) are dissimilar under KS (> 0.1) — day-to-day drift is common.\n",
+		r.DissimilarKS, 100*float64(r.DissimilarKS)/float64(len(r.Pairs)))
+	fmt.Fprintf(&b, "- %d pairs (%.0f%%) have low NAMD (< 0.02) but high KS (> 0.1): the mean\n  looks reproducible while the distribution is not.\n\n",
+		r.Divergent, 100*float64(r.Divergent)/float64(len(r.Pairs)))
+	xs := make([]float64, len(r.Pairs))
+	ys := make([]float64, len(r.Pairs))
+	for i, p := range r.Pairs {
+		xs[i] = p.NAMD
+		ys[i] = p.KS
+	}
+	b.WriteString("```\n")
+	b.WriteString(textplot.Scatter(xs, ys, 64, 18, "NAMD", "KS"))
+	b.WriteString("```\n")
+	return b.String()
+}
+
+// Fig5bResult holds the hotspot/Machine 2 day-by-day similarity heatmaps.
+type Fig5bResult struct {
+	NAMD [][]float64
+	KS   [][]float64
+	days []string
+}
+
+// Fig5b regenerates the Fig. 5b heatmaps: pairwise NAMD and KS across the
+// five daily runs of hotspot on Machine 2. The day3-vs-day5 cell shows the
+// paper's disagreement (NAMD ~ 0, KS ~ 0.2).
+func Fig5b(seed uint64) (*Fig5bResult, error) {
+	m2 := mustMachine("machine2")
+	days := make([][]float64, 6)
+	for d := 1; d <= 5; d++ {
+		s, err := sampleBench("hotspot", m2, d, 1000, seed)
+		if err != nil {
+			return nil, err
+		}
+		days[d] = s
+	}
+	res := &Fig5bResult{
+		NAMD: make([][]float64, 5),
+		KS:   make([][]float64, 5),
+	}
+	for a := 1; a <= 5; a++ {
+		res.NAMD[a-1] = make([]float64, 5)
+		res.KS[a-1] = make([]float64, 5)
+		res.days = append(res.days, fmt.Sprintf("day%d", a))
+		for bday := 1; bday <= 5; bday++ {
+			namd, err := similarity.NAMDSorted(days[a], days[bday])
+			if err != nil {
+				return nil, err
+			}
+			res.NAMD[a-1][bday-1] = namd
+			res.KS[a-1][bday-1] = similarity.KS(days[a], days[bday])
+		}
+	}
+	return res, nil
+}
+
+// Render implements Report.
+func (r *Fig5bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 5b: hotspot on Machine 2 — similarity heatmaps across days\n\n")
+	b.WriteString("NAMD (point-summary):\n\n```\n")
+	b.WriteString(textplot.Heatmap(r.days, r.days, r.NAMD))
+	b.WriteString("```\n\nKS (distribution):\n\n```\n")
+	b.WriteString(textplot.Heatmap(r.days, r.days, r.KS))
+	b.WriteString("```\n\n")
+	fmt.Fprintf(&b, "Day 3 vs day 5: NAMD = %.3f, KS = %.3f (paper: 0.00 and 0.21).\n",
+		r.NAMD[2][4], r.KS[2][4])
+	return b.String()
+}
+
+// Fig5cResult holds the day-3 vs day-5 hotspot distributions.
+type Fig5cResult struct {
+	Day3, Day5             []float64
+	ModesDay3, ModesDay5   int
+	NAMD, KS               float64
+	MeanDay3, MeanDay5     float64
+	MedianDay3, MedianDay5 float64
+}
+
+// Fig5c regenerates Fig. 5c: the two distributions behind the heatmap cell —
+// day 3 trimodal, day 5 bimodal, equal means.
+func Fig5c(seed uint64) (*Fig5cResult, error) {
+	m2 := mustMachine("machine2")
+	day3, err := sampleBench("hotspot", m2, 3, 1000, seed)
+	if err != nil {
+		return nil, err
+	}
+	day5, err := sampleBench("hotspot", m2, 5, 1000, seed)
+	if err != nil {
+		return nil, err
+	}
+	namd, err := similarity.NAMDSorted(day3, day5)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5cResult{
+		Day3: day3, Day5: day5,
+		ModesDay3: stats.CountModes(day3), ModesDay5: stats.CountModes(day5),
+		NAMD: namd, KS: similarity.KS(day3, day5),
+		MeanDay3: stats.Mean(day3), MeanDay5: stats.Mean(day5),
+		MedianDay3: stats.Median(day3), MedianDay5: stats.Median(day5),
+	}, nil
+}
+
+// Render implements Report.
+func (r *Fig5cResult) Render() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 5c: hotspot on Machine 2 — day 3 vs day 5 distributions\n\n")
+	fmt.Fprintf(&b, "- day 3: %d modes, mean %.4f s\n", r.ModesDay3, r.MeanDay3)
+	fmt.Fprintf(&b, "- day 5: %d modes, mean %.4f s\n", r.ModesDay5, r.MeanDay5)
+	fmt.Fprintf(&b, "- NAMD = %.3f (says: same), KS = %.3f (says: different)\n\n", r.NAMD, r.KS)
+	fmt.Fprintf(&b, "Day 3:\n\n```\n%s```\n\n", textplot.HistogramData(r.Day3, 44))
+	fmt.Fprintf(&b, "Day 5:\n\n```\n%s```\n", textplot.HistogramData(r.Day5, 44))
+	return b.String()
+}

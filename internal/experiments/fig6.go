@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sharp/internal/backend"
+	"sharp/internal/faas"
+	"sharp/internal/machine"
+	"sharp/internal/rodinia"
+	"sharp/internal/similarity"
+	"sharp/internal/stopping"
+	"sharp/internal/textplot"
+)
+
+// TruthRuns is the ground-truth budget: §V-C establishes that 1000 runs are
+// adequate to reproduce the performance distributions.
+const TruthRuns = 1000
+
+// RuleOutcome is one (benchmark, stopping rule) cell of Fig. 6.
+type RuleOutcome struct {
+	Benchmark string
+	Rule      string
+	// Runs used before the rule stopped.
+	Runs int
+	// NAMD and KS divergence of the partial sample to the 1000-run truth.
+	NAMD, KS float64
+}
+
+// Fig6Result holds the stopping-rule comparison of §V-C: the GPU Rodinia
+// benchmarks executed on the simulated FaaS platform (requests split across
+// Machines 1 and 3), measured under four stopping rules (Table IV) against
+// the 1000-run ground truth.
+type Fig6Result struct {
+	Outcomes []RuleOutcome
+	// RuleNames in presentation order.
+	RuleNames []string
+	// Savings per rule: 1 - totalRuns/(benchmarks*TruthRuns).
+	Savings map[string]float64
+	// MeanKS per rule: average KS divergence to truth.
+	MeanKS map[string]float64
+	// MeanNAMD per rule.
+	MeanNAMD map[string]float64
+}
+
+// fig6Rules builds the Table IV rule set.
+func fig6Rules() (names []string, make map[string]func() stopping.Rule) {
+	names = []string{"fixed-100", "ci-0.05", "ci-0.01", "ks-0.1"}
+	bounds := stopping.Bounds{MaxSamples: TruthRuns}
+	make = map[string]func() stopping.Rule{
+		"fixed-100": func() stopping.Rule { return stopping.NewFixed(100) },
+		"ci-0.05":   func() stopping.Rule { return stopping.NewCI(0.95, 0.05, bounds) },
+		"ci-0.01":   func() stopping.Rule { return stopping.NewCI(0.95, 0.01, bounds) },
+		"ks-0.1":    func() stopping.Rule { return stopping.NewKS(0.1, bounds) },
+	}
+	return names, make
+}
+
+// faasStream returns a function producing successive warm execution times of
+// the benchmark on a fresh platform seeded identically (so every rule sees
+// the same deterministic request stream the truth saw).
+func faasStream(bench string, seed uint64) func() float64 {
+	p := faas.NewPlatform(machine.GPUMachines(), seed)
+	ctx := context.Background()
+	// Warm both workers so cold starts don't contaminate measurements.
+	for i := 0; i < 2; i++ {
+		p.Do(ctx, faas.InvokeRequest{Workload: bench, Day: 1, Run: -i})
+	}
+	run := 0
+	return func() float64 {
+		run++
+		resp := p.Do(ctx, faas.InvokeRequest{Workload: bench, Day: 1, Run: run})
+		return resp.Metrics[backend.MetricExecTime]
+	}
+}
+
+// Fig6 regenerates the stopping-rule comparison.
+func Fig6(seed uint64) (*Fig6Result, error) {
+	names, makeRule := fig6Rules()
+	res := &Fig6Result{
+		RuleNames: names,
+		Savings:   map[string]float64{},
+		MeanKS:    map[string]float64{},
+		MeanNAMD:  map[string]float64{},
+	}
+	totalRuns := map[string]int{}
+	benchCount := 0
+	for _, bench := range rodinia.CUDA() {
+		benchCount++
+		// Ground truth: 1000 warm runs.
+		next := faasStream(bench.Name, seed)
+		truth := make([]float64, TruthRuns)
+		for i := range truth {
+			truth[i] = next()
+		}
+		for _, rn := range names {
+			rule := makeRule[rn]()
+			partial := stopping.Drive(faasStream(bench.Name, seed), rule)
+			namd, err := similarity.NAMDTrimmed(partial, truth)
+			if err != nil {
+				return nil, err
+			}
+			out := RuleOutcome{
+				Benchmark: bench.Name,
+				Rule:      rn,
+				Runs:      len(partial),
+				NAMD:      namd,
+				KS:        similarity.KS(partial, truth),
+			}
+			res.Outcomes = append(res.Outcomes, out)
+			totalRuns[rn] += out.Runs
+			res.MeanKS[rn] += out.KS
+			res.MeanNAMD[rn] += out.NAMD
+		}
+	}
+	for _, rn := range names {
+		res.Savings[rn] = 1 - float64(totalRuns[rn])/float64(benchCount*TruthRuns)
+		res.MeanKS[rn] /= float64(benchCount)
+		res.MeanNAMD[rn] /= float64(benchCount)
+	}
+	return res, nil
+}
+
+// Render implements Report.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 6: comparison of stopping rules (GPU benchmarks via FaaS, Machines 1+3)\n\n")
+	var rows [][]string
+	for _, o := range r.Outcomes {
+		rows = append(rows, []string{
+			o.Benchmark, o.Rule, fmt.Sprintf("%d", o.Runs),
+			fmt.Sprintf("%.4f", o.NAMD), fmt.Sprintf("%.4f", o.KS),
+		})
+	}
+	b.WriteString(textplot.Table(
+		[]string{"benchmark", "rule", "runs used", "NAMD to truth", "KS to truth"}, rows))
+	b.WriteString("\nAggregate (vs fixed 1000-run ground truth):\n\n")
+	var agg [][]string
+	for _, rn := range r.RuleNames {
+		agg = append(agg, []string{
+			rn,
+			fmt.Sprintf("%.1f%%", 100*r.Savings[rn]),
+			fmt.Sprintf("%.4f", r.MeanNAMD[rn]),
+			fmt.Sprintf("%.4f", r.MeanKS[rn]),
+		})
+	}
+	b.WriteString(textplot.Table([]string{"rule", "computation saved", "mean NAMD", "mean KS"}, agg))
+	fmt.Fprintf(&b, "\nPaper: KS rule saves 89.8%% with KS divergence ~0.104. Measured: %.1f%% / %.4f.\n",
+		100*r.Savings["ks-0.1"], r.MeanKS["ks-0.1"])
+	return b.String()
+}
+
+// Fig1bResult is the headline savings view (Fig. 1b) derived from Fig. 6.
+type Fig1bResult struct {
+	// SavingsKS is the fraction of computation saved by the KS rule.
+	SavingsKS float64
+	// KSDivergence is the mean KS to truth at stop.
+	KSDivergence float64
+	// RunsPerBenchmark lists runs used by the KS rule per benchmark.
+	RunsPerBenchmark map[string]int
+}
+
+// Fig1b regenerates the auto-stopping headline of Fig. 1b.
+func Fig1b(seed uint64) (*Fig1bResult, error) {
+	f6, err := Fig6(seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1bResult{
+		SavingsKS:        f6.Savings["ks-0.1"],
+		KSDivergence:     f6.MeanKS["ks-0.1"],
+		RunsPerBenchmark: map[string]int{},
+	}
+	for _, o := range f6.Outcomes {
+		if o.Rule == "ks-0.1" {
+			res.RunsPerBenchmark[o.Benchmark] = o.Runs
+		}
+	}
+	return res, nil
+}
+
+// Render implements Report.
+func (r *Fig1bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("# Fig. 1b: auto-stopping with SHARP\n\n")
+	fmt.Fprintf(&b, "KS-rule auto-stopping saves %.1f%% of computation vs fixed 1000 runs\n", 100*r.SavingsKS)
+	fmt.Fprintf(&b, "while keeping KS divergence to the true distribution at %.3f.\n", r.KSDivergence)
+	b.WriteString("(Paper: ~89.8% savings, divergence 0.104.)\n\nRuns used per benchmark:\n\n")
+	var rows [][]string
+	for _, bench := range rodinia.CUDA() {
+		rows = append(rows, []string{bench.Name, fmt.Sprintf("%d / %d", r.RunsPerBenchmark[bench.Name], TruthRuns)})
+	}
+	b.WriteString(textplot.Table([]string{"benchmark", "runs (KS rule / truth)"}, rows))
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sharp/internal/machine"
+	"sharp/internal/rodinia"
+	"sharp/internal/textplot"
+)
+
+// Table1 reprints the paper's Table I: key findings and limitations of the
+// motivating studies (§II). It is narrative data, included so the
+// experiment set covers every numbered table.
+func Table1() Report {
+	rows := [][]string{
+		{"Hunold and Carpen-Amarie (2016)", "MPI benchmarks lack reproducibility and statistical soundness.", "Reliance on simplistic point summaries."},
+		{"Scheuner (2022)", "Most Function as a Service (FaaS) studies ignore reproducibility principles.", "Poor adherence to reproducibility."},
+		{"Li et al. (2018)", "Evaluated a crowdsourcing framework with small sample sizes.", "Limited statistical measures used."},
+		{"Novo (2018)", "Measured IoT architecture performance using averages only.", "No uncertainty measures reported."},
+		{"Heidari et al. (2019)", "Introduced Harris Hawks Optimization with variance measures.", "Lack of detailed variability descriptions."},
+		{"Fowers et al. (2018)", "Compared AI processor performance on FPGA implementations.", "Reported only single summary numbers."},
+		{"Firestone et al. (2018)", "Reported median and percentile performance for SmartNICs on Azure.", "Omitted variance details in performance metrics."},
+	}
+	var b strings.Builder
+	b.WriteString("# Table I: key findings and limitations of cited studies\n\n")
+	b.WriteString(textplot.Table([]string{"Referenced Studies", "Key Findings", "Limitations Noted"}, rows))
+	return text(b.String())
+}
+
+// Table2 prints the benchmark classification and configuration (Table II)
+// from the live suite definition, so the table always matches the code.
+func Table2() Report {
+	var rows [][]string
+	for _, bench := range rodinia.Suite() {
+		kind := "CPU"
+		if bench.CUDA {
+			kind = "CUDA"
+		}
+		rows = append(rows, []string{bench.Name, kind, bench.Params})
+	}
+	var b strings.Builder
+	b.WriteString("# Table II: benchmark classification and configuration\n\n")
+	b.WriteString(textplot.Table([]string{"Benchmark", "Class", "Parameters"}, rows))
+	fmt.Fprintf(&b, "\n%d benchmarks: %d CPU, %d CUDA.\n",
+		len(rodinia.Suite()), len(rodinia.CPU()), len(rodinia.CUDA()))
+	return text(b.String())
+}
+
+// Table3 prints the hardware configurations (Table III) from the simulated
+// testbed models.
+func Table3() Report {
+	var rows [][]string
+	for _, m := range machine.Testbed() {
+		gpu := "-"
+		if m.GPU != nil {
+			gpu = m.GPU.Model
+		}
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%s (%d cores)", m.CPUModel, m.Cores),
+			fmt.Sprintf("%dGB", m.MemoryGB),
+			gpu,
+		})
+	}
+	var b strings.Builder
+	b.WriteString("# Table III: hardware configurations (simulated testbed)\n\n")
+	b.WriteString(textplot.Table([]string{"Server", "CPU (cores)", "RAM", "GPU"}, rows))
+	b.WriteString("\nNote: machines are calibrated performance models, not physical hosts;\n")
+	b.WriteString("see DESIGN.md for the substitution rationale.\n")
+	return text(b.String())
+}
+
+// Table4 prints the stopping-rule thresholds used in §V-C (Table IV).
+func Table4() Report {
+	rows := [][]string{
+		{"Fixed", "100 runs", "None"},
+		{"Confidence Interval", "CI < T", "T1 = 0.05"},
+		{"Confidence Interval", "CI < T", "T2 = 0.01"},
+		{"Kolmogorov-Smirnov Rule", "KS < T", "T = 0.1"},
+	}
+	var b strings.Builder
+	b.WriteString("# Table IV: thresholds for stopping rules\n\n")
+	b.WriteString(textplot.Table([]string{"Stopping Rule", "Stopping Condition", "Threshold"}, rows))
+	return text(b.String())
+}

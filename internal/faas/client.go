@@ -1,0 +1,126 @@
+package faas
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"sharp/internal/backend"
+)
+
+// Client is the FaaS execution backend: it sends /invoke requests to a
+// Platform (or any compatible endpoint) and fans parallel requests out to
+// the platform, which divides them across its workers — the experimental
+// setup of §V-C (two parallel requests split across the A100 and H100
+// nodes).
+type Client struct {
+	// BaseURL is the platform endpoint, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil uses a client with a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a FaaS client backend.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Name implements backend.Backend.
+func (c *Client) Name() string { return "faas" }
+
+// Invoke implements backend.Backend.
+func (c *Client) Invoke(ctx context.Context, req backend.Request) ([]backend.Invocation, error) {
+	conc := req.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	out := make([]backend.Invocation, conc)
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(inst int) {
+			defer wg.Done()
+			ictx := ctx
+			var cancel context.CancelFunc
+			if req.Timeout > 0 {
+				ictx, cancel = context.WithTimeout(ctx, req.Timeout)
+				defer cancel()
+			}
+			start := time.Now()
+			resp, err := c.post(ictx, InvokeRequest{
+				Workload: req.Workload,
+				Day:      req.Day,
+				Cold:     req.Cold,
+				Run:      req.Run,
+			})
+			inv := backend.Invocation{Instance: inst + 1, Start: start}
+			if err != nil {
+				inv.Err = err
+				inv.Metrics = map[string]float64{}
+			} else {
+				inv.Metrics = resp.Metrics
+				inv.Worker = resp.Worker
+			}
+			out[inst] = inv
+		}(i)
+	}
+	wg.Wait()
+	// A request-level error only when every instance failed identically.
+	allFailed := true
+	for _, inv := range out {
+		if inv.Err == nil {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed && conc > 0 {
+		return out, fmt.Errorf("faas: all %d instances failed: %w", conc, out[0].Err)
+	}
+	return out, nil
+}
+
+func (c *Client) post(ctx context.Context, body InvokeRequest) (*InvokeResponse, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/invoke", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	client := c.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	httpResp, err := client.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, httpResp.Body)
+		httpResp.Body.Close()
+	}()
+	var resp InvokeResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("faas: decoding response: %w", err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("faas: %s", resp.Error)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("faas: unexpected status %d", httpResp.StatusCode)
+	}
+	return &resp, nil
+}
+
+// Close implements backend.Backend.
+func (c *Client) Close() error { return nil }

@@ -1,0 +1,178 @@
+package faas
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sharp/internal/backend"
+	"sharp/internal/machine"
+)
+
+func newTestPlatform(t *testing.T) (*Platform, *httptest.Server) {
+	t.Helper()
+	p := NewPlatform(machine.GPUMachines(), 42)
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func TestPlatformWorkers(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	names := p.WorkerNames()
+	if len(names) != 2 || names[0] != "machine1" || names[1] != "machine3" {
+		t.Fatalf("workers = %v", names)
+	}
+}
+
+func TestInvokeRoundRobinAcrossWorkers(t *testing.T) {
+	_, srv := newTestPlatform(t)
+	c := NewClient(srv.URL)
+	workers := map[string]int{}
+	for run := 1; run <= 10; run++ {
+		invs, err := c.Invoke(context.Background(), backend.Request{
+			Workload: "bfs-CUDA", Run: run, Day: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[invs[0].Worker]++
+	}
+	// §V-C setup: requests divided between the A100 and H100 nodes.
+	if workers["machine1"] == 0 || workers["machine3"] == 0 {
+		t.Fatalf("requests not split across workers: %v", workers)
+	}
+}
+
+func TestParallelRequestsSplit(t *testing.T) {
+	_, srv := newTestPlatform(t)
+	c := NewClient(srv.URL)
+	invs, err := c.Invoke(context.Background(), backend.Request{
+		Workload: "srad-CUDA", Concurrency: 2, Run: 1, Day: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 2 {
+		t.Fatalf("instances = %d", len(invs))
+	}
+	if invs[0].Worker == invs[1].Worker {
+		t.Errorf("both instances on %s; want division across workers", invs[0].Worker)
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	p := NewPlatform(machine.GPUMachines()[:1], 7)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	first, err := c.Invoke(context.Background(), backend.Request{Workload: "bfs-CUDA", Run: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].Metrics["cold_start"] != 1 {
+		t.Error("first invocation not cold")
+	}
+	second, err := c.Invoke(context.Background(), backend.Request{Workload: "bfs-CUDA", Run: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].Metrics["cold_start"] != 0 {
+		t.Error("second invocation not warm")
+	}
+	// Explicit cold request.
+	cold, err := c.Invoke(context.Background(), backend.Request{Workload: "bfs-CUDA", Run: 3, Cold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold[0].Metrics["cold_start"] != 1 {
+		t.Error("explicit cold request served warm")
+	}
+}
+
+func TestIdleTimeoutCold(t *testing.T) {
+	p := NewPlatform(machine.GPUMachines()[:1], 7)
+	p.IdleTimeout = time.Nanosecond
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.Invoke(context.Background(), backend.Request{Workload: "bfs-CUDA", Run: 1})
+	time.Sleep(time.Millisecond)
+	again, err := c.Invoke(context.Background(), backend.Request{Workload: "bfs-CUDA", Run: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Metrics["cold_start"] != 1 {
+		t.Error("idle-expired function served warm")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	_, srv := newTestPlatform(t)
+	c := NewClient(srv.URL)
+	_, err := c.Invoke(context.Background(), backend.Request{Workload: "nonesuch", Run: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	_, srv := newTestPlatform(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/functions")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("functions: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	// Bad request body.
+	resp, err = http.Post(srv.URL+"/invoke", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/invoke", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing workload status = %d", resp.StatusCode)
+	}
+}
+
+func TestExecTimesReflectHardware(t *testing.T) {
+	// H100 runs bfs-CUDA ~2x faster than A100: collect per-worker means.
+	_, srv := newTestPlatform(t)
+	c := NewClient(srv.URL)
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for run := 1; run <= 300; run++ {
+		invs, err := c.Invoke(context.Background(), backend.Request{Workload: "bfs-CUDA", Run: run, Day: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv := invs[0]
+		if iv.Metrics["cold_start"] == 1 {
+			continue // exclude cold-start inflated samples
+		}
+		sums[iv.Worker] += iv.ExecTime()
+		counts[iv.Worker]++
+	}
+	a100 := sums["machine1"] / float64(counts["machine1"])
+	h100 := sums["machine3"] / float64(counts["machine3"])
+	speedup := a100 / h100
+	if speedup < 1.6 || speedup > 2.6 {
+		t.Errorf("bfs-CUDA H100 speedup via FaaS = %.2f, want ~2", speedup)
+	}
+}

@@ -1,0 +1,162 @@
+// Package faas simulates the serverless platform of the paper's stopping
+// rule experiment (§V-C): a Knative-like HTTP function platform with two
+// heterogeneous worker nodes (Machine 1 with an A100 and Machine 3 with an
+// H100), cold-start latency, and round-robin dispatch of parallel requests
+// across workers.
+//
+// The platform exposes a small REST API:
+//
+//	POST /invoke   {"workload": "...", "day": 1, "cold": false}
+//	GET  /functions
+//	GET  /healthz
+//
+// and is consumed by the Client type, which implements backend.Backend so
+// the SHARP launcher drives it exactly like any other backend.
+package faas
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharp/internal/backend"
+	"sharp/internal/machine"
+)
+
+// ColdStartSeconds is the simulated container cold-start latency added to
+// the first invocation of a function on a worker (and to explicit cold
+// requests). The value models a small container start, consistent with the
+// paper's observation that container overhead stays below 5%.
+const ColdStartSeconds = 0.35
+
+// InvokeRequest is the /invoke request body.
+type InvokeRequest struct {
+	Workload string `json:"workload"`
+	Day      int    `json:"day"`
+	Cold     bool   `json:"cold"`
+	Run      int    `json:"run"`
+}
+
+// InvokeResponse is the /invoke response body.
+type InvokeResponse struct {
+	Worker  string             `json:"worker"`
+	Cold    bool               `json:"cold"`
+	Metrics map[string]float64 `json:"metrics"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// worker is one platform node: a simulated machine plus warm-function
+// bookkeeping.
+type worker struct {
+	sim  *backend.Sim
+	mu   sync.Mutex
+	warm map[string]time.Time // workload -> last use
+}
+
+// Platform is the simulated FaaS control plane.
+type Platform struct {
+	workers []*worker
+	next    atomic.Uint64
+	// IdleTimeout is how long a function instance stays warm (0 = forever).
+	IdleTimeout time.Duration
+	now         func() time.Time
+}
+
+// NewPlatform builds a platform over the given machines (typically
+// machine.GPUMachines(): Machines 1 and 3).
+func NewPlatform(machines []*machine.Machine, seed uint64) *Platform {
+	p := &Platform{now: time.Now}
+	for i, m := range machines {
+		p.workers = append(p.workers, &worker{
+			sim:  backend.NewSim(m, seed+uint64(i)*7919),
+			warm: map[string]time.Time{},
+		})
+	}
+	return p
+}
+
+// WorkerNames lists the platform's worker machines.
+func (p *Platform) WorkerNames() []string {
+	out := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.sim.Machine.Name
+	}
+	return out
+}
+
+// Do dispatches one request round-robin across workers and returns the
+// response. It is the platform's core operation; the HTTP handler wraps it,
+// and in-process experiments call it directly.
+func (p *Platform) Do(ctx context.Context, req InvokeRequest) InvokeResponse {
+	if len(p.workers) == 0 {
+		return InvokeResponse{Error: "faas: no workers"}
+	}
+	w := p.workers[int(p.next.Add(1)-1)%len(p.workers)]
+
+	// Cold-start accounting.
+	w.mu.Lock()
+	last, warm := w.warm[req.Workload]
+	now := p.now()
+	isCold := req.Cold || !warm ||
+		(p.IdleTimeout > 0 && now.Sub(last) > p.IdleTimeout)
+	w.warm[req.Workload] = now
+	w.mu.Unlock()
+
+	invs, err := w.sim.Invoke(ctx, backend.Request{
+		Workload: req.Workload,
+		Day:      req.Day,
+		Run:      req.Run,
+	})
+	if err != nil {
+		return InvokeResponse{Worker: w.sim.Machine.Name, Error: err.Error()}
+	}
+	metrics := invs[0].Metrics
+	if isCold {
+		metrics["cold_start"] = 1
+		metrics[backend.MetricExecTime] += ColdStartSeconds
+	} else {
+		metrics["cold_start"] = 0
+	}
+	return InvokeResponse{
+		Worker:  w.sim.Machine.Name,
+		Cold:    isCold,
+		Metrics: metrics,
+	}
+}
+
+// Handler returns the platform's HTTP handler.
+func (p *Platform) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke", func(rw http.ResponseWriter, r *http.Request) {
+		var req InvokeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, fmt.Sprintf("faas: bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.Workload == "" {
+			http.Error(rw, "faas: missing workload", http.StatusBadRequest)
+			return
+		}
+		resp := p.Do(r.Context(), req)
+		rw.Header().Set("Content-Type", "application/json")
+		if resp.Error != "" {
+			rw.WriteHeader(http.StatusNotFound)
+		}
+		json.NewEncoder(rw).Encode(resp)
+	})
+	mux.HandleFunc("GET /functions", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(map[string]any{
+			"workers": p.WorkerNames(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,142 @@
+package gui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"SHARP", "hotspot-CUDA", "machine3", "Nvidia H100 80GB",
+		`action="/run"`, `action="/compare"`, "meta",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestRunExperimentPage(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/run?workload=hotspot&machine=machine1&rule=ks&threshold=0.1&max=500&seed=42")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	for _, want := range []string{"hotspot@machine1", "Distribution of exec_time", "<table>", "Histogram"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("run page missing %q", want)
+		}
+	}
+	if !strings.Contains(body, `<a href="/">back</a>`) {
+		t.Error("back link missing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	srv := newServer(t)
+	if code, _ := get(t, srv, "/run"); code != http.StatusBadRequest {
+		t.Errorf("missing workload status = %d", code)
+	}
+	if code, _ := get(t, srv, "/run?workload=ghost&machine=machine1"); code != http.StatusBadRequest {
+		t.Errorf("unknown workload status = %d", code)
+	}
+	if code, _ := get(t, srv, "/run?workload=bfs&machine=ghost"); code != http.StatusBadRequest {
+		t.Errorf("unknown machine status = %d", code)
+	}
+	if code, _ := get(t, srv, "/run?workload=bfs&machine=machine1&rule=ghost"); code != http.StatusBadRequest {
+		t.Errorf("unknown rule status = %d", code)
+	}
+}
+
+func TestMaxRunsCapped(t *testing.T) {
+	srv := httptest.NewServer(func() *Server {
+		s := New()
+		s.MaxRuns = 50
+		return s
+	}())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/run?workload=srad&machine=machine1&rule=fixed&threshold=100000&max=100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// The fixed rule would want 100000 runs; the server cap must hold it to 50.
+	if !strings.Contains(string(body), "runs: 50") {
+		t.Errorf("cap not applied:\n%s", truncateStr(string(body), 400))
+	}
+}
+
+func TestComparePage(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/compare?workload=bfs-CUDA&a=machine1&b=machine3&runs=300&seed=42")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, truncateStr(body, 300))
+	}
+	for _, want := range []string{"Comparison", "NAMD", "KS", "speedup"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("compare page missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsPages(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/experiments")
+	if code != http.StatusOK || !strings.Contains(body, "/experiments/fig5b") {
+		t.Fatalf("experiments list: %d", code)
+	}
+	code, body = get(t, srv, "/experiments/table5")
+	if code != http.StatusOK || !strings.Contains(body, "Table V") {
+		t.Fatalf("table5 page: %d\n%s", code, truncateStr(body, 300))
+	}
+	if code, _ := get(t, srv, "/experiments/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown experiment status = %d", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newServer(t)
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,66 @@
+package kernels
+
+import "testing"
+
+// Throughput benchmarks of the real Rodinia-style kernels: these measure
+// the actual Go implementations (not the perfmodel simulator), so
+// `go test -bench=Kernel -benchmem ./internal/kernels` characterizes the
+// substrate the kernel backend executes.
+
+func benchKernel(b *testing.B, mk func(seed uint64) Kernel) {
+	b.Helper()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		k := mk(uint64(i))
+		res, err := k.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.Ops
+	}
+	b.ReportMetric(float64(ops), "ops/run")
+}
+
+func BenchmarkKernelBFS(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewBFS(8192, 6, s) })
+}
+
+func BenchmarkKernelKMeans(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewKMeans(2048, 8, 4, 8, s) })
+}
+
+func BenchmarkKernelLUD(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewLUD(96, s) })
+}
+
+func BenchmarkKernelNeedle(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewNeedle(1024, 10, s) })
+}
+
+func BenchmarkKernelHotspot(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewHotspot(128, 16, s) })
+}
+
+func BenchmarkKernelSRAD(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewSRAD(96, 96, 6, 0.5, s) })
+}
+
+func BenchmarkKernelBackprop(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewBackprop(48, 12, 384, s) })
+}
+
+func BenchmarkKernelStreamCluster(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewStreamCluster(4096, 12, 40, s) })
+}
+
+func BenchmarkKernelLavaMD(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewLavaMD(3, 24, s) })
+}
+
+func BenchmarkKernelHeartwall(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewHeartwall(10, 16, 96, s) })
+}
+
+func BenchmarkKernelLeukocyte(b *testing.B) {
+	benchKernel(b, func(s uint64) Kernel { return NewLeukocyte(4, 4, 96, s) })
+}

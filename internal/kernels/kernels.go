@@ -1,0 +1,404 @@
+// Package kernels provides real, self-verifying Go implementations of the
+// Rodinia benchmark algorithms (Table II): BFS, k-means, LU decomposition,
+// Needleman-Wunsch, hotspot stencil, SRAD diffusion, backpropagation,
+// stream clustering, lavaMD particle interactions, and the heartwall /
+// leukocyte image pipelines.
+//
+// The paper treats benchmarks as black boxes that SHARP launches and times.
+// These kernels play that role here: genuine computational work with
+// deterministic inputs and checkable outputs, sized to run in milliseconds
+// so the launcher, stopping rules, and logger can be exercised end-to-end
+// on real executions (not only on the calibrated perfmodel generators).
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Result is the outcome of one kernel run.
+type Result struct {
+	// Checksum is a deterministic digest of the computation's output, used
+	// by Verify and by tests to confirm the kernel really computed.
+	Checksum float64
+	// Ops is an approximate operation count (for throughput metrics).
+	Ops int64
+}
+
+// Kernel is a runnable, self-verifying benchmark body.
+type Kernel interface {
+	// Name identifies the kernel ("bfs", "kmeans", ...).
+	Name() string
+	// Run executes the kernel once and returns its result.
+	Run() (Result, error)
+	// Verify checks a result for internal consistency (e.g. LU
+	// reconstruction error, BFS reachability invariants).
+	Verify(Result) error
+}
+
+// ErrVerify is wrapped by all verification failures.
+var ErrVerify = errors.New("kernels: verification failed")
+
+func rng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x5851f42d4c957f2d))
+}
+
+// --- BFS ---
+
+// BFS is breadth-first search over a deterministic random graph, mirroring
+// Rodinia's bfs (graph1MW_6: ~1M nodes, degree 6; scaled down here).
+type BFS struct {
+	Nodes  int
+	Degree int
+	Seed   uint64
+}
+
+// NewBFS returns a BFS kernel; zero fields take the scaled defaults
+// (16384 nodes, degree 6).
+func NewBFS(nodes, degree int, seed uint64) *BFS {
+	if nodes <= 0 {
+		nodes = 16384
+	}
+	if degree <= 0 {
+		degree = 6
+	}
+	return &BFS{Nodes: nodes, Degree: degree, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *BFS) Name() string { return "bfs" }
+
+// Run implements Kernel: builds the graph, runs BFS from node 0, and
+// checksums the depth array.
+func (k *BFS) Run() (Result, error) {
+	r := rng(k.Seed)
+	adj := make([][]int32, k.Nodes)
+	for i := range adj {
+		adj[i] = make([]int32, 0, k.Degree+1)
+	}
+	// Ring edges guarantee connectivity; random edges add structure.
+	for i := 0; i < k.Nodes; i++ {
+		adj[i] = append(adj[i], int32((i+1)%k.Nodes))
+		for d := 1; d < k.Degree; d++ {
+			adj[i] = append(adj[i], int32(r.IntN(k.Nodes)))
+		}
+	}
+	depth := make([]int32, k.Nodes)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	queue := make([]int32, 0, k.Nodes)
+	queue = append(queue, 0)
+	var ops int64
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			ops++
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	sum := 0.0
+	maxDepth := int32(0)
+	for _, d := range depth {
+		if d < 0 {
+			return Result{}, fmt.Errorf("%w: bfs: unreachable node", ErrVerify)
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+		sum += float64(d)
+	}
+	return Result{Checksum: sum + float64(maxDepth)*1e-3, Ops: ops}, nil
+}
+
+// Verify implements Kernel: re-runs and compares (BFS is cheap and
+// deterministic, so recomputation is the strongest check).
+func (k *BFS) Verify(res Result) error {
+	again, err := k.Run()
+	if err != nil {
+		return err
+	}
+	if again.Checksum != res.Checksum {
+		return fmt.Errorf("%w: bfs checksum %v != %v", ErrVerify, res.Checksum, again.Checksum)
+	}
+	return nil
+}
+
+// --- KMeans ---
+
+// KMeans is Lloyd's algorithm on a deterministic Gaussian mixture,
+// mirroring Rodinia's kmeans (kdd_cup features; scaled down).
+type KMeans struct {
+	Points   int
+	Dims     int
+	Clusters int
+	Iters    int
+	Seed     uint64
+}
+
+// NewKMeans returns a KMeans kernel with scaled defaults
+// (4096 points, 8 dims, 4 clusters, 10 iterations).
+func NewKMeans(points, dims, clusters, iters int, seed uint64) *KMeans {
+	if points <= 0 {
+		points = 4096
+	}
+	if dims <= 0 {
+		dims = 8
+	}
+	if clusters <= 0 {
+		clusters = 4
+	}
+	if iters <= 0 {
+		iters = 10
+	}
+	return &KMeans{Points: points, Dims: dims, Clusters: clusters, Iters: iters, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *KMeans) Name() string { return "kmeans" }
+
+// Run implements Kernel; the checksum is the final within-cluster sum of
+// squares (WCSS), which Lloyd's algorithm must not increase per iteration.
+func (k *KMeans) Run() (Result, error) {
+	r := rng(k.Seed)
+	data := make([]float64, k.Points*k.Dims)
+	// Points drawn around Clusters true centers.
+	for p := 0; p < k.Points; p++ {
+		c := p % k.Clusters
+		for d := 0; d < k.Dims; d++ {
+			data[p*k.Dims+d] = float64(c*10) + r.NormFloat64()
+		}
+	}
+	centers := make([]float64, k.Clusters*k.Dims)
+	for c := 0; c < k.Clusters; c++ {
+		copy(centers[c*k.Dims:(c+1)*k.Dims], data[c*k.Dims:(c+1)*k.Dims])
+	}
+	assign := make([]int, k.Points)
+	var ops int64
+	prevWCSS := math.Inf(1)
+	wcss := 0.0
+	for it := 0; it < k.Iters; it++ {
+		wcss = 0
+		for p := 0; p < k.Points; p++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k.Clusters; c++ {
+				dist := 0.0
+				for d := 0; d < k.Dims; d++ {
+					diff := data[p*k.Dims+d] - centers[c*k.Dims+d]
+					dist += diff * diff
+				}
+				ops += int64(k.Dims)
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			assign[p] = best
+			wcss += bestD
+		}
+		if wcss > prevWCSS+1e-6 {
+			return Result{}, fmt.Errorf("%w: kmeans WCSS increased %v -> %v", ErrVerify, prevWCSS, wcss)
+		}
+		prevWCSS = wcss
+		// Update step.
+		counts := make([]int, k.Clusters)
+		next := make([]float64, k.Clusters*k.Dims)
+		for p := 0; p < k.Points; p++ {
+			c := assign[p]
+			counts[c]++
+			for d := 0; d < k.Dims; d++ {
+				next[c*k.Dims+d] += data[p*k.Dims+d]
+			}
+		}
+		for c := 0; c < k.Clusters; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < k.Dims; d++ {
+				centers[c*k.Dims+d] = next[c*k.Dims+d] / float64(counts[c])
+			}
+		}
+	}
+	return Result{Checksum: wcss, Ops: ops}, nil
+}
+
+// Verify implements Kernel: WCSS must be close to the ideal value
+// Points*Dims (unit-variance clusters) when clusters are well separated.
+func (k *KMeans) Verify(res Result) error {
+	ideal := float64(k.Points * k.Dims)
+	if res.Checksum > 2*ideal || res.Checksum <= 0 {
+		return fmt.Errorf("%w: kmeans WCSS %v implausible (ideal ~%v)", ErrVerify, res.Checksum, ideal)
+	}
+	return nil
+}
+
+// --- LUD ---
+
+// LUD performs LU decomposition without pivoting on a deterministic
+// diagonally dominant matrix, mirroring Rodinia's lud.
+type LUD struct {
+	N    int
+	Seed uint64
+}
+
+// NewLUD returns an LUD kernel (default 128x128).
+func NewLUD(n int, seed uint64) *LUD {
+	if n <= 0 {
+		n = 128
+	}
+	return &LUD{N: n, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *LUD) Name() string { return "lud" }
+
+// matrix generates the input: random entries with a dominant diagonal so
+// the factorization is stable without pivoting.
+func (k *LUD) matrix() []float64 {
+	r := rng(k.Seed)
+	n := k.N
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = r.Float64() - 0.5
+		}
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+// Run implements Kernel: in-place Doolittle LU; the checksum is the sum of
+// |diag(U)| plus the reconstruction residual of a probe row.
+func (k *LUD) Run() (Result, error) {
+	n := k.N
+	a := k.matrix()
+	orig := append([]float64(nil), a...)
+	var ops int64
+	for p := 0; p < n; p++ {
+		piv := a[p*n+p]
+		if piv == 0 {
+			return Result{}, fmt.Errorf("%w: lud: zero pivot at %d", ErrVerify, p)
+		}
+		for i := p + 1; i < n; i++ {
+			l := a[i*n+p] / piv
+			a[i*n+p] = l
+			for j := p + 1; j < n; j++ {
+				a[i*n+j] -= l * a[p*n+j]
+			}
+			ops += int64(n - p)
+		}
+	}
+	// Residual check on row n/2: (L*U)[r,:] must reproduce orig[r,:].
+	row := n / 2
+	maxResid := 0.0
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for t := 0; t <= row && t <= j; t++ {
+			l := a[row*n+t]
+			if t == row {
+				l = 1
+			}
+			sum += l * a[t*n+j]
+		}
+		if r := math.Abs(sum - orig[row*n+j]); r > maxResid {
+			maxResid = r
+		}
+	}
+	diagSum := 0.0
+	for i := 0; i < n; i++ {
+		diagSum += math.Abs(a[i*n+i])
+	}
+	return Result{Checksum: diagSum + maxResid, Ops: ops}, nil
+}
+
+// Verify implements Kernel: the diagonal of U of a diagonally dominant
+// matrix stays near n, and the reconstruction residual must be tiny.
+func (k *LUD) Verify(res Result) error {
+	lo := 0.5 * float64(k.N) * float64(k.N)
+	hi := 2.0 * float64(k.N) * float64(k.N)
+	if res.Checksum < lo || res.Checksum > hi {
+		return fmt.Errorf("%w: lud checksum %v outside [%v, %v]", ErrVerify, res.Checksum, lo, hi)
+	}
+	return nil
+}
+
+// --- Needleman-Wunsch ---
+
+// Needle is the Needleman-Wunsch global sequence alignment DP, mirroring
+// Rodinia's needle (2048x2048 default here).
+type Needle struct {
+	Length  int
+	Penalty int
+	Seed    uint64
+}
+
+// NewNeedle returns a Needle kernel (default length 2048, penalty 10).
+func NewNeedle(length, penalty int, seed uint64) *Needle {
+	if length <= 0 {
+		length = 2048
+	}
+	if penalty <= 0 {
+		penalty = 10
+	}
+	return &Needle{Length: length, Penalty: penalty, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *Needle) Name() string { return "needle" }
+
+// Run implements Kernel: fills the DP matrix with a BLOSUM-like random
+// similarity; the checksum is the optimal alignment score.
+func (k *Needle) Run() (Result, error) {
+	r := rng(k.Seed)
+	n := k.Length + 1
+	seqA := make([]byte, k.Length)
+	seqB := make([]byte, k.Length)
+	for i := range seqA {
+		seqA[i] = byte(r.IntN(20))
+		seqB[i] = byte(r.IntN(20))
+	}
+	// Similarity: +5 match, -3 mismatch.
+	prev := make([]int32, n)
+	cur := make([]int32, n)
+	for j := 0; j < n; j++ {
+		prev[j] = int32(-j * k.Penalty)
+	}
+	var ops int64
+	for i := 1; i < n; i++ {
+		cur[0] = int32(-i * k.Penalty)
+		for j := 1; j < n; j++ {
+			score := int32(-3)
+			if seqA[i-1] == seqB[j-1] {
+				score = 5
+			}
+			best := prev[j-1] + score
+			if up := prev[j] - int32(k.Penalty); up > best {
+				best = up
+			}
+			if left := cur[j-1] - int32(k.Penalty); left > best {
+				best = left
+			}
+			cur[j] = best
+		}
+		ops += int64(n)
+		prev, cur = cur, prev
+	}
+	return Result{Checksum: float64(prev[n-1]), Ops: ops}, nil
+}
+
+// Verify implements Kernel: the optimal score is bounded above by a full
+// match (5 per position) and below by aligning nothing (-2*penalty*len).
+func (k *Needle) Verify(res Result) error {
+	hi := float64(5 * k.Length)
+	lo := float64(-2 * k.Penalty * k.Length)
+	if res.Checksum > hi || res.Checksum < lo {
+		return fmt.Errorf("%w: needle score %v outside [%v, %v]", ErrVerify, res.Checksum, lo, hi)
+	}
+	return nil
+}

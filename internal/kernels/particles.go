@@ -1,0 +1,410 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// --- lavaMD ---
+
+// LavaMD computes pairwise particle interactions within neighboring cells
+// of a 3D box, mirroring Rodinia's lavaMD (N-body with cutoff via cell
+// lists).
+type LavaMD struct {
+	// BoxesPerDim is the number of cells per dimension (Rodinia's "boxes").
+	BoxesPerDim int
+	// ParticlesPerBox is the particle count per cell.
+	ParticlesPerBox int
+	Seed            uint64
+}
+
+// NewLavaMD returns a LavaMD kernel (default 4^3 boxes x 32 particles).
+func NewLavaMD(boxes, perBox int, seed uint64) *LavaMD {
+	if boxes <= 0 {
+		boxes = 4
+	}
+	if perBox <= 0 {
+		perBox = 32
+	}
+	return &LavaMD{BoxesPerDim: boxes, ParticlesPerBox: perBox, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *LavaMD) Name() string { return "lavaMD" }
+
+type particle struct{ x, y, z, q float64 }
+
+// Run implements Kernel: for each particle, accumulate a screened-Coulomb
+// potential from particles in the same and adjacent cells. The checksum is
+// the total potential energy.
+func (k *LavaMD) Run() (Result, error) {
+	r := rng(k.Seed)
+	nb := k.BoxesPerDim
+	boxes := make([][]particle, nb*nb*nb)
+	for bz := 0; bz < nb; bz++ {
+		for by := 0; by < nb; by++ {
+			for bx := 0; bx < nb; bx++ {
+				idx := (bz*nb+by)*nb + bx
+				ps := make([]particle, k.ParticlesPerBox)
+				for i := range ps {
+					ps[i] = particle{
+						x: float64(bx) + r.Float64(),
+						y: float64(by) + r.Float64(),
+						z: float64(bz) + r.Float64(),
+						q: r.Float64(),
+					}
+				}
+				boxes[idx] = ps
+			}
+		}
+	}
+	const a2 = 0.5 // screening length^2
+	total := 0.0
+	var ops int64
+	for bz := 0; bz < nb; bz++ {
+		for by := 0; by < nb; by++ {
+			for bx := 0; bx < nb; bx++ {
+				home := boxes[(bz*nb+by)*nb+bx]
+				// Gather neighbor cells (including self).
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nz, ny, nx := bz+dz, by+dy, bx+dx
+							if nz < 0 || nz >= nb || ny < 0 || ny >= nb || nx < 0 || nx >= nb {
+								continue
+							}
+							nbr := boxes[(nz*nb+ny)*nb+nx]
+							for _, p := range home {
+								for _, q := range nbr {
+									ddx := p.x - q.x
+									ddy := p.y - q.y
+									ddz := p.z - q.z
+									r2 := ddx*ddx + ddy*ddy + ddz*ddz
+									total += p.q * q.q * math.Exp(-r2/a2)
+									ops += 8
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if math.IsNaN(total) || total <= 0 {
+		return Result{}, fmt.Errorf("%w: lavaMD energy %v", ErrVerify, total)
+	}
+	return Result{Checksum: total, Ops: ops}, nil
+}
+
+// Verify implements Kernel: the self-interaction terms alone contribute
+// sum(q_i^2) ~ N/3, bounding the energy from below; the exponential kernel
+// bounds each pair's contribution by 1 from above.
+func (k *LavaMD) Verify(res Result) error {
+	n := k.BoxesPerDim * k.BoxesPerDim * k.BoxesPerDim * k.ParticlesPerBox
+	lo := float64(n) * 0.2 // E[q^2] = 1/3, slack to 0.2
+	hi := float64(n) * float64(27*k.ParticlesPerBox)
+	if res.Checksum < lo || res.Checksum > hi {
+		return fmt.Errorf("%w: lavaMD energy %v outside [%v, %v]", ErrVerify, res.Checksum, lo, hi)
+	}
+	return nil
+}
+
+// --- Heartwall ---
+
+// Heartwall mirrors Rodinia's heartwall: tracking sample points along a
+// moving ring (the heart wall) through a sequence of synthetic ultrasound
+// frames using local template matching.
+type Heartwall struct {
+	Frames    int
+	Points    int
+	FrameSize int
+	Seed      uint64
+}
+
+// NewHeartwall returns a Heartwall kernel (default 20 frames, 20 points,
+// 128x128 frames).
+func NewHeartwall(frames, points, frameSize int, seed uint64) *Heartwall {
+	if frames <= 0 {
+		frames = 20
+	}
+	if points <= 0 {
+		points = 20
+	}
+	if frameSize <= 0 {
+		frameSize = 128
+	}
+	return &Heartwall{Frames: frames, Points: points, FrameSize: frameSize, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *Heartwall) Name() string { return "heartwall" }
+
+// Run implements Kernel: each frame draws a bright ring whose radius
+// oscillates (the beating wall); tracked points must follow it. The
+// checksum is the mean tracking error in pixels (must stay small).
+func (k *Heartwall) Run() (Result, error) {
+	r := rng(k.Seed)
+	n := k.FrameSize
+	cx, cy := float64(n)/2, float64(n)/2
+	baseR := float64(n) / 4
+	frame := make([]float64, n*n)
+	// Tracked point angles and current radius estimates.
+	radius := make([]float64, k.Points)
+	for i := range radius {
+		radius[i] = baseR
+	}
+	var ops int64
+	totalErr := 0.0
+	for f := 0; f < k.Frames; f++ {
+		trueR := baseR * (1 + 0.15*math.Sin(2*math.Pi*float64(f)/float64(k.Frames)))
+		// Render the frame: ring + speckle noise.
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				d := math.Hypot(float64(x)-cx, float64(y)-cy)
+				v := math.Exp(-(d - trueR) * (d - trueR) / 8)
+				frame[y*n+x] = v + 0.2*r.Float64()
+				ops += 4
+			}
+		}
+		// Track: each point searches radially around its last estimate for
+		// the brightest response along its angle.
+		for p := 0; p < k.Points; p++ {
+			angle := 2 * math.Pi * float64(p) / float64(k.Points)
+			best, bestV := radius[p], -1.0
+			for dr := -6.0; dr <= 6.0; dr += 0.5 {
+				rr := radius[p] + dr
+				x := int(cx + rr*math.Cos(angle))
+				y := int(cy + rr*math.Sin(angle))
+				if x < 0 || x >= n || y < 0 || y >= n {
+					continue
+				}
+				if v := frame[y*n+x]; v > bestV {
+					bestV = v
+					best = rr
+				}
+				ops += 3
+			}
+			radius[p] = best
+			totalErr += math.Abs(best - trueR)
+		}
+	}
+	meanErr := totalErr / float64(k.Frames*k.Points)
+	if meanErr > 3.0 {
+		return Result{}, fmt.Errorf("%w: heartwall lost track (mean error %.2f px)", ErrVerify, meanErr)
+	}
+	return Result{Checksum: meanErr, Ops: ops}, nil
+}
+
+// Verify implements Kernel.
+func (k *Heartwall) Verify(res Result) error {
+	if res.Checksum < 0 || res.Checksum > 3.0 {
+		return fmt.Errorf("%w: heartwall tracking error %v", ErrVerify, res.Checksum)
+	}
+	return nil
+}
+
+// --- Leukocyte ---
+
+// Leukocyte mirrors Rodinia's leukocyte: detect cells in a first frame via
+// a GICOV-like circular edge score, then track them through subsequent
+// frames with a local snake-style refinement. The two phases are timed
+// separately by SHARP's fine-grained metrics (Fig. 7).
+type Leukocyte struct {
+	Frames    int
+	Cells     int
+	FrameSize int
+	Seed      uint64
+}
+
+// NewLeukocyte returns a Leukocyte kernel (default 5 frames, 4 cells,
+// 96x96 frames).
+func NewLeukocyte(frames, cells, frameSize int, seed uint64) *Leukocyte {
+	if frames <= 0 {
+		frames = 5
+	}
+	if cells <= 0 {
+		cells = 4
+	}
+	if frameSize <= 0 {
+		frameSize = 96
+	}
+	return &Leukocyte{Frames: frames, Cells: cells, FrameSize: frameSize, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *Leukocyte) Name() string { return "leukocyte" }
+
+type cellPos struct{ x, y float64 }
+
+// render draws cells as bright discs with noise.
+func (k *Leukocyte) render(frame []float64, cells []cellPos, noise func() float64) {
+	n := k.FrameSize
+	for i := range frame {
+		frame[i] = 0.2 * noise()
+	}
+	for _, c := range cells {
+		x0, x1 := int(c.x)-8, int(c.x)+8
+		y0, y1 := int(c.y)-8, int(c.y)+8
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				if x < 0 || x >= n || y < 0 || y >= n {
+					continue
+				}
+				d := math.Hypot(float64(x)-c.x, float64(y)-c.y)
+				if d < 6 {
+					frame[y*n+x] += math.Exp(-d * d / 12)
+				}
+			}
+		}
+	}
+}
+
+// detect scans the frame with a circular edge template and returns the
+// Cells strongest, well-separated responses (the detection phase).
+func (k *Leukocyte) detect(frame []float64) ([]cellPos, int64) {
+	n := k.FrameSize
+	var ops int64
+	type scored struct {
+		p cellPos
+		v float64
+	}
+	var best []scored
+	for y := 8; y < n-8; y += 2 {
+		for x := 8; x < n-8; x += 2 {
+			// GICOV-like score: interior brightness minus rim brightness.
+			inner, outer := 0.0, 0.0
+			for a := 0; a < 8; a++ {
+				th := 2 * math.Pi * float64(a) / 8
+				ix := x + int(2*math.Cos(th))
+				iy := y + int(2*math.Sin(th))
+				ox := x + int(7*math.Cos(th))
+				oy := y + int(7*math.Sin(th))
+				inner += frame[iy*n+ix]
+				outer += frame[oy*n+ox]
+				ops += 6
+			}
+			v := inner - outer
+			best = append(best, scored{cellPos{float64(x), float64(y)}, v})
+		}
+	}
+	// Select top responses with an exclusion radius.
+	var cells []cellPos
+	for len(cells) < k.Cells {
+		bi, bv := -1, math.Inf(-1)
+		for i, s := range best {
+			if s.v > bv {
+				ok := true
+				for _, c := range cells {
+					if math.Hypot(s.p.x-c.x, s.p.y-c.y) < 12 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					bi, bv = i, s.v
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		cells = append(cells, best[bi].p)
+		best[bi].v = math.Inf(-1)
+	}
+	return cells, ops
+}
+
+// track refines each cell position against the current frame (the tracking
+// phase): gradient ascent on local brightness.
+func (k *Leukocyte) track(frame []float64, cells []cellPos) int64 {
+	n := k.FrameSize
+	var ops int64
+	for i := range cells {
+		for step := 0; step < 10; step++ {
+			bx, by := cells[i].x, cells[i].y
+			bestV := -math.Inf(1)
+			for dy := -1.0; dy <= 1.0; dy++ {
+				for dx := -1.0; dx <= 1.0; dx++ {
+					x, y := cells[i].x+dx, cells[i].y+dy
+					xi, yi := int(x), int(y)
+					if xi < 1 || xi >= n-1 || yi < 1 || yi >= n-1 {
+						continue
+					}
+					v := frame[yi*n+xi] + frame[yi*n+xi-1] + frame[yi*n+xi+1] +
+						frame[(yi-1)*n+xi] + frame[(yi+1)*n+xi]
+					ops += 6
+					if v > bestV {
+						bestV, bx, by = v, x, y
+					}
+				}
+			}
+			if bx == cells[i].x && by == cells[i].y {
+				break
+			}
+			cells[i].x, cells[i].y = bx, by
+		}
+	}
+	return ops
+}
+
+// Run implements Kernel: the checksum is the mean final tracking error in
+// pixels against the known synthetic cell trajectories.
+func (k *Leukocyte) Run() (Result, error) {
+	res, _, err := k.RunPhases()
+	return res, err
+}
+
+// RunPhases is Run with a per-phase operation breakdown: ops[0] is the
+// detection phase, ops[1] the tracking phase. The SHARP launcher logs these
+// as separate metrics for the fine-grained analysis of Fig. 7.
+func (k *Leukocyte) RunPhases() (Result, [2]int64, error) {
+	r := rng(k.Seed)
+	n := k.FrameSize
+	truth := make([]cellPos, k.Cells)
+	for i := range truth {
+		truth[i] = cellPos{
+			x: 16 + float64((i%2)*(n-32)) + 4*r.Float64(),
+			y: 16 + float64((i/2%2)*(n-32)) + 4*r.Float64(),
+		}
+	}
+	frame := make([]float64, n*n)
+	k.render(frame, truth, r.Float64)
+	detected, opsDetect := k.detect(frame)
+	if len(detected) < k.Cells {
+		return Result{}, [2]int64{}, fmt.Errorf("%w: leukocyte detected %d/%d cells", ErrVerify, len(detected), k.Cells)
+	}
+	var opsTrack int64
+	for f := 1; f < k.Frames; f++ {
+		// Cells drift slowly.
+		for i := range truth {
+			truth[i].x += r.NormFloat64() * 0.8
+			truth[i].y += r.NormFloat64() * 0.8
+		}
+		k.render(frame, truth, r.Float64)
+		opsTrack += k.track(frame, detected)
+	}
+	// Match each detection to its nearest truth cell.
+	totalErr := 0.0
+	for _, d := range detected {
+		best := math.Inf(1)
+		for _, tr := range truth {
+			if e := math.Hypot(d.x-tr.x, d.y-tr.y); e < best {
+				best = e
+			}
+		}
+		totalErr += best
+	}
+	meanErr := totalErr / float64(len(detected))
+	if meanErr > 5 {
+		return Result{}, [2]int64{}, fmt.Errorf("%w: leukocyte lost cells (mean error %.2f px)", ErrVerify, meanErr)
+	}
+	return Result{Checksum: meanErr, Ops: opsDetect + opsTrack}, [2]int64{opsDetect, opsTrack}, nil
+}
+
+// Verify implements Kernel.
+func (k *Leukocyte) Verify(res Result) error {
+	if res.Checksum < 0 || res.Checksum > 5 {
+		return fmt.Errorf("%w: leukocyte tracking error %v", ErrVerify, res.Checksum)
+	}
+	return nil
+}

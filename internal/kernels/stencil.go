@@ -1,0 +1,387 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// --- Hotspot ---
+
+// Hotspot is the Rodinia hotspot thermal simulation: an iterative 2D
+// stencil combining a power map and thermal diffusion.
+type Hotspot struct {
+	Size  int
+	Iters int
+	Seed  uint64
+}
+
+// NewHotspot returns a Hotspot kernel (default 256x256 grid, 20 iterations).
+func NewHotspot(size, iters int, seed uint64) *Hotspot {
+	if size <= 0 {
+		size = 256
+	}
+	if iters <= 0 {
+		iters = 20
+	}
+	return &Hotspot{Size: size, Iters: iters, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *Hotspot) Name() string { return "hotspot" }
+
+// Run implements Kernel: temperatures diffuse toward neighbors plus local
+// power input; the checksum is the final mean temperature.
+func (k *Hotspot) Run() (Result, error) {
+	r := rng(k.Seed)
+	n := k.Size
+	temp := make([]float64, n*n)
+	power := make([]float64, n*n)
+	for i := range temp {
+		temp[i] = 60 + 20*r.Float64() // ambient 60-80 C
+		power[i] = 0.1 * r.Float64()
+	}
+	next := make([]float64, n*n)
+	const alpha = 0.2 // diffusion coefficient (stable: 4*alpha < 1)
+	var ops int64
+	for it := 0; it < k.Iters; it++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				i := y*n + x
+				up, down, left, right := i, i, i, i
+				if y > 0 {
+					up = i - n
+				}
+				if y < n-1 {
+					down = i + n
+				}
+				if x > 0 {
+					left = i - 1
+				}
+				if x < n-1 {
+					right = i + 1
+				}
+				lap := temp[up] + temp[down] + temp[left] + temp[right] - 4*temp[i]
+				next[i] = temp[i] + alpha*lap + power[i]
+			}
+		}
+		temp, next = next, temp
+		ops += int64(n * n * 8)
+	}
+	sum := 0.0
+	for _, v := range temp {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Result{}, fmt.Errorf("%w: hotspot diverged", ErrVerify)
+		}
+		sum += v
+	}
+	return Result{Checksum: sum / float64(n*n), Ops: ops}, nil
+}
+
+// Verify implements Kernel: mean temperature must stay within the physical
+// envelope: at least ambient, at most ambient plus total injected power.
+func (k *Hotspot) Verify(res Result) error {
+	lo := 60.0
+	hi := 80.0 + 0.1*float64(k.Iters)
+	if res.Checksum < lo || res.Checksum > hi {
+		return fmt.Errorf("%w: hotspot mean temp %v outside [%v, %v]", ErrVerify, res.Checksum, lo, hi)
+	}
+	return nil
+}
+
+// --- SRAD ---
+
+// SRAD is the speckle-reducing anisotropic diffusion kernel on a synthetic
+// speckled image, mirroring Rodinia's srad.
+type SRAD struct {
+	Rows, Cols int
+	Iters      int
+	Lambda     float64
+	Seed       uint64
+}
+
+// NewSRAD returns an SRAD kernel (default 128x128, 8 iterations, lambda 0.5).
+func NewSRAD(rows, cols, iters int, lambda float64, seed uint64) *SRAD {
+	if rows <= 0 {
+		rows = 128
+	}
+	if cols <= 0 {
+		cols = 128
+	}
+	if iters <= 0 {
+		iters = 8
+	}
+	if lambda <= 0 {
+		lambda = 0.5
+	}
+	return &SRAD{Rows: rows, Cols: cols, Iters: iters, Lambda: lambda, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *SRAD) Name() string { return "srad" }
+
+// Run implements Kernel. SRAD must reduce the image's coefficient of
+// variation (that is what speckle reduction means); the checksum is the
+// final CV scaled by 1000 plus the mean.
+func (k *SRAD) Run() (Result, error) {
+	r := rng(k.Seed)
+	rows, cols := k.Rows, k.Cols
+	img := make([]float64, rows*cols)
+	for i := range img {
+		img[i] = math.Exp(0.3 * r.NormFloat64()) // speckle: multiplicative noise
+	}
+	cv0 := imageCV(img)
+	var ops int64
+	diff := make([]float64, rows*cols)
+	for it := 0; it < k.Iters; it++ {
+		// q0: global speckle scale from image statistics.
+		mean, sd := imageMeanSD(img)
+		q0 := sd / mean
+		q02 := q0 * q0
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				i := y*cols + x
+				c := img[i]
+				up, down, left, right := c, c, c, c
+				if y > 0 {
+					up = img[i-cols]
+				}
+				if y < rows-1 {
+					down = img[i+cols]
+				}
+				if x > 0 {
+					left = img[i-1]
+				}
+				if x < cols-1 {
+					right = img[i+1]
+				}
+				dN, dS, dW, dE := up-c, down-c, left-c, right-c
+				g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (c * c)
+				l := (dN + dS + dW + dE) / c
+				num := 0.5*g2 - (1.0/16.0)*l*l
+				den := (1 + 0.25*l) * (1 + 0.25*l)
+				q2 := num / den
+				cq := 1.0 / (1.0 + (q2-q02)/(q02*(1+q02)))
+				if cq < 0 {
+					cq = 0
+				}
+				if cq > 1 {
+					cq = 1
+				}
+				diff[i] = cq * (dN + dS + dW + dE)
+				ops += 20
+			}
+		}
+		for i := range img {
+			img[i] += k.Lambda / 4 * diff[i]
+		}
+	}
+	cv1 := imageCV(img)
+	if cv1 >= cv0 {
+		return Result{}, fmt.Errorf("%w: srad failed to reduce speckle (CV %v -> %v)", ErrVerify, cv0, cv1)
+	}
+	mean, _ := imageMeanSD(img)
+	return Result{Checksum: cv1*1000 + mean, Ops: ops}, nil
+}
+
+// Verify implements Kernel: final CV (encoded in the checksum) must be
+// positive and below the initial speckle CV (~0.31 for sigma=0.3).
+func (k *SRAD) Verify(res Result) error {
+	if res.Checksum <= 0 || res.Checksum > 1000 {
+		return fmt.Errorf("%w: srad checksum %v implausible", ErrVerify, res.Checksum)
+	}
+	return nil
+}
+
+func imageMeanSD(img []float64) (mean, sd float64) {
+	for _, v := range img {
+		mean += v
+	}
+	mean /= float64(len(img))
+	for _, v := range img {
+		d := v - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(img)))
+	return mean, sd
+}
+
+func imageCV(img []float64) float64 {
+	m, s := imageMeanSD(img)
+	return s / m
+}
+
+// --- Backprop ---
+
+// Backprop trains a one-hidden-layer MLP for one epoch on a synthetic
+// linearly separable task, mirroring Rodinia's backprop.
+type Backprop struct {
+	Inputs, Hidden int
+	Samples        int
+	Seed           uint64
+}
+
+// NewBackprop returns a Backprop kernel (default 64-16 network, 512 samples).
+func NewBackprop(inputs, hidden, samples int, seed uint64) *Backprop {
+	if inputs <= 0 {
+		inputs = 64
+	}
+	if hidden <= 0 {
+		hidden = 16
+	}
+	if samples <= 0 {
+		samples = 512
+	}
+	return &Backprop{Inputs: inputs, Hidden: hidden, Samples: samples, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *Backprop) Name() string { return "backprop" }
+
+// Run implements Kernel: the checksum is the final epoch's mean squared
+// error, which must fall relative to the first batch.
+func (k *Backprop) Run() (Result, error) {
+	r := rng(k.Seed)
+	w1 := make([]float64, k.Inputs*k.Hidden)
+	w2 := make([]float64, k.Hidden)
+	for i := range w1 {
+		w1[i] = 0.1 * r.NormFloat64()
+	}
+	for i := range w2 {
+		w2[i] = 0.1 * r.NormFloat64()
+	}
+	trueW := make([]float64, k.Inputs)
+	for i := range trueW {
+		trueW[i] = r.NormFloat64()
+	}
+	const lr = 0.05
+	hiddenOut := make([]float64, k.Hidden)
+	var ops int64
+	firstErr, lastErr := 0.0, 0.0
+	x := make([]float64, k.Inputs)
+	for s := 0; s < k.Samples; s++ {
+		dot := 0.0
+		for i := range x {
+			x[i] = r.NormFloat64()
+			dot += x[i] * trueW[i]
+		}
+		target := math.Tanh(dot / math.Sqrt(float64(k.Inputs)))
+		// Forward.
+		for h := 0; h < k.Hidden; h++ {
+			sum := 0.0
+			for i := 0; i < k.Inputs; i++ {
+				sum += x[i] * w1[i*k.Hidden+h]
+			}
+			hiddenOut[h] = math.Tanh(sum)
+		}
+		out := 0.0
+		for h := 0; h < k.Hidden; h++ {
+			out += hiddenOut[h] * w2[h]
+		}
+		errv := out - target
+		mse := errv * errv
+		if s < 32 {
+			firstErr += mse / 32
+		}
+		if s >= k.Samples-32 {
+			lastErr += mse / 32
+		}
+		// Backward.
+		for h := 0; h < k.Hidden; h++ {
+			gradW2 := errv * hiddenOut[h]
+			gradH := errv * w2[h] * (1 - hiddenOut[h]*hiddenOut[h])
+			w2[h] -= lr * gradW2
+			for i := 0; i < k.Inputs; i++ {
+				w1[i*k.Hidden+h] -= lr * gradH * x[i]
+			}
+		}
+		ops += int64(4 * k.Inputs * k.Hidden)
+	}
+	if lastErr > firstErr {
+		return Result{}, fmt.Errorf("%w: backprop diverged (MSE %v -> %v)", ErrVerify, firstErr, lastErr)
+	}
+	return Result{Checksum: lastErr, Ops: ops}, nil
+}
+
+// Verify implements Kernel: the final MSE must be small and finite.
+func (k *Backprop) Verify(res Result) error {
+	if math.IsNaN(res.Checksum) || res.Checksum < 0 || res.Checksum > 1 {
+		return fmt.Errorf("%w: backprop MSE %v implausible", ErrVerify, res.Checksum)
+	}
+	return nil
+}
+
+// --- Stream cluster ---
+
+// StreamCluster performs online facility-location clustering over a point
+// stream, mirroring Rodinia's sc: points arrive one by one and either join
+// the nearest center or open a new one when that is cheaper.
+type StreamCluster struct {
+	Points, Dims int
+	OpenCost     float64
+	Seed         uint64
+}
+
+// NewStreamCluster returns a StreamCluster kernel (default 8192 points,
+// 16 dims, open cost 40).
+func NewStreamCluster(points, dims int, openCost float64, seed uint64) *StreamCluster {
+	if points <= 0 {
+		points = 8192
+	}
+	if dims <= 0 {
+		dims = 16
+	}
+	if openCost <= 0 {
+		openCost = 40
+	}
+	return &StreamCluster{Points: points, Dims: dims, OpenCost: openCost, Seed: seed}
+}
+
+// Name implements Kernel.
+func (k *StreamCluster) Name() string { return "sc" }
+
+// Run implements Kernel: the checksum combines total assignment cost and
+// the number of opened centers.
+func (k *StreamCluster) Run() (Result, error) {
+	r := rng(k.Seed)
+	var centers [][]float64
+	cost := 0.0
+	var ops int64
+	pt := make([]float64, k.Dims)
+	for p := 0; p < k.Points; p++ {
+		base := float64(p%8) * 4
+		for d := range pt {
+			pt[d] = base + r.NormFloat64()
+		}
+		bestD := math.Inf(1)
+		for _, c := range centers {
+			dist := 0.0
+			for d := range pt {
+				diff := pt[d] - c[d]
+				dist += diff * diff
+			}
+			ops += int64(k.Dims)
+			if dist < bestD {
+				bestD = dist
+			}
+		}
+		if bestD > k.OpenCost {
+			centers = append(centers, append([]float64(nil), pt...))
+			cost += k.OpenCost
+		} else {
+			cost += bestD
+		}
+	}
+	if len(centers) == 0 || len(centers) > k.Points/4 {
+		return Result{}, fmt.Errorf("%w: sc opened %d centers", ErrVerify, len(centers))
+	}
+	return Result{Checksum: cost + float64(len(centers)), Ops: ops}, nil
+}
+
+// Verify implements Kernel: the per-point cost must be bounded by the open
+// cost (opening is always an option).
+func (k *StreamCluster) Verify(res Result) error {
+	if res.Checksum <= 0 || res.Checksum > k.OpenCost*float64(k.Points) {
+		return fmt.Errorf("%w: sc cost %v implausible", ErrVerify, res.Checksum)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTestbedMatchesTableIII(t *testing.T) {
+	tb := Testbed()
+	if len(tb) != 3 {
+		t.Fatalf("testbed size = %d", len(tb))
+	}
+	m1, m2, m3 := tb[0], tb[1], tb[2]
+	if m1.CPUModel != "AMD EPYC 7443" || m1.Cores != 48 || m1.MemoryGB != 256 {
+		t.Errorf("machine1 = %+v", m1)
+	}
+	if m1.GPU == nil || m1.GPU.Model != "Nvidia A100X 80GB" {
+		t.Errorf("machine1 GPU = %+v", m1.GPU)
+	}
+	if m2.GPU != nil || m2.MemoryGB != 230 {
+		t.Errorf("machine2 = %+v", m2)
+	}
+	if !strings.Contains(m3.CPUModel, "8468V") || m3.Cores != 96 || m3.MemoryGB != 1024 {
+		t.Errorf("machine3 = %+v", m3)
+	}
+	if m3.GPU == nil || !strings.Contains(m3.GPU.Model, "H100") {
+		t.Errorf("machine3 GPU = %+v", m3.GPU)
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("machine2")
+	if err != nil || m.Name != "machine2" {
+		t.Fatalf("ByName: %v, %v", m, err)
+	}
+	if _, err := ByName("machine9"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestGPUMachines(t *testing.T) {
+	gms := GPUMachines()
+	if len(gms) != 2 || gms[0].Name != "machine1" || gms[1].Name != "machine3" {
+		t.Fatalf("GPU machines = %v", gms)
+	}
+	for _, m := range gms {
+		if !m.HasGPU() {
+			t.Errorf("%s reports no GPU", m.Name)
+		}
+	}
+}
+
+func TestSUTSynthesis(t *testing.T) {
+	m, _ := ByName("machine3")
+	sut := m.SUT()
+	if !sut.Simulated {
+		t.Error("simulated machine SUT not marked simulated")
+	}
+	if sut.Hostname != "machine3" || sut.CPUCores != 96 || sut.MemoryMB != 1024*1024 {
+		t.Errorf("SUT = %+v", sut)
+	}
+	if sut.GPUModel != "Nvidia H100 80GB" {
+		t.Errorf("GPU = %q", sut.GPUModel)
+	}
+	m2, _ := ByName("machine2")
+	if m2.SUT().GPUModel != "" {
+		t.Error("GPU-less machine has a GPU in SUT")
+	}
+}
+
+func TestString(t *testing.T) {
+	m, _ := ByName("machine1")
+	s := m.String()
+	for _, want := range []string{"machine1", "EPYC", "48 cores", "A100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

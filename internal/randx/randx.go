@@ -1,0 +1,544 @@
+// Package randx provides deterministic random number generation and the
+// synthetic distribution library used throughout SHARP.
+//
+// The paper (§IV-c) tunes its stopping-rule detection heuristics on ten
+// synthetic distributions: normal, log-normal, uniform, log-uniform,
+// logistic, bi-modal, multi-modal, autocorrelated sinusoidal, Cauchy, and
+// constant. This package implements samplers for all of them, together with
+// closed-form CDFs and quantile functions where they exist, so tests and the
+// classifier can be validated against ground truth.
+//
+// All samplers are deterministic given a seed: experiments are reproducible
+// bit-for-bit across runs, which is itself one of SHARP's design goals.
+package randx
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is the random source used by every sampler in SHARP. It wraps a
+// PCG-seeded *rand.Rand so that a (seed1, seed2) pair fully determines every
+// downstream sample.
+type RNG struct {
+	*rand.Rand
+}
+
+// New returns a deterministic RNG seeded from a single uint64 seed. The
+// second PCG word is derived by SplitMix64 so that nearby seeds produce
+// uncorrelated streams.
+func New(seed uint64) *RNG {
+	return &RNG{rand.New(rand.NewPCG(seed, splitmix64(seed)))}
+}
+
+// splitmix64 is the SplitMix64 output function, used only for seed expansion.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fork derives an independent child RNG. The child stream is a deterministic
+// function of the parent's state, so forking preserves reproducibility while
+// decoupling consumers (e.g. one stream per benchmark per day).
+func (r *RNG) Fork() *RNG {
+	return New(r.Uint64())
+}
+
+// Sampler produces a stream of float64 observations. Samplers may be
+// stateful (e.g. the autocorrelated sinusoidal distribution), so one Sampler
+// must not be shared between goroutines.
+type Sampler interface {
+	// Name identifies the distribution family, e.g. "normal" or "bimodal".
+	Name() string
+	// Next draws the next observation.
+	Next() float64
+}
+
+// Dist describes a distribution with a closed-form CDF. Samplers that also
+// implement Dist can be verified exactly (e.g. by Kolmogorov-Smirnov tests
+// against their own CDF).
+type Dist interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-th quantile, p in (0, 1).
+	Quantile(p float64) float64
+}
+
+// SampleN draws n observations from s into a fresh slice.
+func SampleN(s Sampler, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// --- Normal ---
+
+// Normal is the Gaussian distribution N(Mu, Sigma^2).
+type Normal struct {
+	Mu, Sigma float64
+	rng       *RNG
+}
+
+// NewNormal returns a Normal sampler.
+func NewNormal(rng *RNG, mu, sigma float64) *Normal {
+	return &Normal{Mu: mu, Sigma: sigma, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *Normal) Name() string { return "normal" }
+
+// Next implements Sampler.
+func (d *Normal) Next() float64 { return d.Mu + d.Sigma*d.rng.NormFloat64() }
+
+// CDF implements Dist.
+func (d *Normal) CDF(x float64) float64 { return NormalCDF(x, d.Mu, d.Sigma) }
+
+// Quantile implements Dist.
+func (d *Normal) Quantile(p float64) float64 { return d.Mu + d.Sigma*NormalQuantile(p) }
+
+// NormalCDF returns the CDF of N(mu, sigma^2) at x.
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalQuantile returns the quantile function of the standard normal
+// distribution, using Acklam's rational approximation refined by one
+// Halley step. Absolute error is below 1e-9 over (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step against the true CDF.
+	e := NormalCDF(x, 0, 1) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// --- LogNormal ---
+
+// LogNormal is the distribution of exp(N(Mu, Sigma^2)).
+type LogNormal struct {
+	Mu, Sigma float64
+	rng       *RNG
+}
+
+// NewLogNormal returns a LogNormal sampler.
+func NewLogNormal(rng *RNG, mu, sigma float64) *LogNormal {
+	return &LogNormal{Mu: mu, Sigma: sigma, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *LogNormal) Name() string { return "lognormal" }
+
+// Next implements Sampler.
+func (d *LogNormal) Next() float64 { return math.Exp(d.Mu + d.Sigma*d.rng.NormFloat64()) }
+
+// CDF implements Dist.
+func (d *LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF(math.Log(x), d.Mu, d.Sigma)
+}
+
+// Quantile implements Dist.
+func (d *LogNormal) Quantile(p float64) float64 {
+	return math.Exp(d.Mu + d.Sigma*NormalQuantile(p))
+}
+
+// --- Uniform ---
+
+// Uniform is the continuous uniform distribution on [A, B).
+type Uniform struct {
+	A, B float64
+	rng  *RNG
+}
+
+// NewUniform returns a Uniform sampler.
+func NewUniform(rng *RNG, a, b float64) *Uniform {
+	return &Uniform{A: a, B: b, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *Uniform) Name() string { return "uniform" }
+
+// Next implements Sampler.
+func (d *Uniform) Next() float64 { return d.A + (d.B-d.A)*d.rng.Float64() }
+
+// CDF implements Dist.
+func (d *Uniform) CDF(x float64) float64 {
+	switch {
+	case x < d.A:
+		return 0
+	case x >= d.B:
+		return 1
+	default:
+		return (x - d.A) / (d.B - d.A)
+	}
+}
+
+// Quantile implements Dist.
+func (d *Uniform) Quantile(p float64) float64 { return d.A + p*(d.B-d.A) }
+
+// --- LogUniform ---
+
+// LogUniform is the distribution of exp(U(ln A, ln B)); A and B must be > 0.
+type LogUniform struct {
+	A, B float64
+	rng  *RNG
+}
+
+// NewLogUniform returns a LogUniform sampler.
+func NewLogUniform(rng *RNG, a, b float64) *LogUniform {
+	return &LogUniform{A: a, B: b, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *LogUniform) Name() string { return "loguniform" }
+
+// Next implements Sampler.
+func (d *LogUniform) Next() float64 {
+	la, lb := math.Log(d.A), math.Log(d.B)
+	return math.Exp(la + (lb-la)*d.rng.Float64())
+}
+
+// CDF implements Dist.
+func (d *LogUniform) CDF(x float64) float64 {
+	switch {
+	case x < d.A:
+		return 0
+	case x >= d.B:
+		return 1
+	default:
+		return (math.Log(x) - math.Log(d.A)) / (math.Log(d.B) - math.Log(d.A))
+	}
+}
+
+// Quantile implements Dist.
+func (d *LogUniform) Quantile(p float64) float64 {
+	la, lb := math.Log(d.A), math.Log(d.B)
+	return math.Exp(la + p*(lb-la))
+}
+
+// --- Logistic ---
+
+// Logistic is the logistic distribution with location Mu and scale S.
+type Logistic struct {
+	Mu, S float64
+	rng   *RNG
+}
+
+// NewLogistic returns a Logistic sampler.
+func NewLogistic(rng *RNG, mu, s float64) *Logistic {
+	return &Logistic{Mu: mu, S: s, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *Logistic) Name() string { return "logistic" }
+
+// Next implements Sampler.
+func (d *Logistic) Next() float64 {
+	u := d.rng.Float64()
+	for u == 0 || u == 1 {
+		u = d.rng.Float64()
+	}
+	return d.Mu + d.S*math.Log(u/(1-u))
+}
+
+// CDF implements Dist.
+func (d *Logistic) CDF(x float64) float64 {
+	return 1 / (1 + math.Exp(-(x-d.Mu)/d.S))
+}
+
+// Quantile implements Dist.
+func (d *Logistic) Quantile(p float64) float64 {
+	return d.Mu + d.S*math.Log(p/(1-p))
+}
+
+// --- Cauchy ---
+
+// Cauchy is the Cauchy distribution with location X0 and scale Gamma. Its
+// mean and variance are undefined, which is exactly why the paper includes
+// it in the tuning set: it stresses stopping rules that assume convergence
+// of the sample mean.
+type Cauchy struct {
+	X0, Gamma float64
+	rng       *RNG
+}
+
+// NewCauchy returns a Cauchy sampler.
+func NewCauchy(rng *RNG, x0, gamma float64) *Cauchy {
+	return &Cauchy{X0: x0, Gamma: gamma, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *Cauchy) Name() string { return "cauchy" }
+
+// Next implements Sampler.
+func (d *Cauchy) Next() float64 {
+	u := d.rng.Float64()
+	for u == 0 || u == 1 {
+		u = d.rng.Float64()
+	}
+	return d.X0 + d.Gamma*math.Tan(math.Pi*(u-0.5))
+}
+
+// CDF implements Dist.
+func (d *Cauchy) CDF(x float64) float64 {
+	return 0.5 + math.Atan((x-d.X0)/d.Gamma)/math.Pi
+}
+
+// Quantile implements Dist.
+func (d *Cauchy) Quantile(p float64) float64 {
+	return d.X0 + d.Gamma*math.Tan(math.Pi*(p-0.5))
+}
+
+// --- Constant ---
+
+// Constant is the degenerate distribution that always returns C. A constant
+// stream should trip every stopping rule immediately.
+type Constant struct {
+	C float64
+}
+
+// NewConstant returns a Constant sampler.
+func NewConstant(c float64) *Constant { return &Constant{C: c} }
+
+// Name implements Sampler.
+func (d *Constant) Name() string { return "constant" }
+
+// Next implements Sampler.
+func (d *Constant) Next() float64 { return d.C }
+
+// CDF implements Dist.
+func (d *Constant) CDF(x float64) float64 {
+	if x < d.C {
+		return 0
+	}
+	return 1
+}
+
+// Quantile implements Dist.
+func (d *Constant) Quantile(float64) float64 { return d.C }
+
+// --- Mixture (bimodal / multimodal) ---
+
+// Component is one weighted component of a Mixture.
+type Component struct {
+	Weight float64 // relative, need not sum to 1
+	Dist   interface {
+		Sampler
+		Dist
+	}
+}
+
+// Mixture is a finite mixture distribution; with two Gaussian components it
+// is the "bi-modal" tuning distribution, with more it is "multi-modal".
+type Mixture struct {
+	name       string
+	components []Component
+	cum        []float64 // normalized cumulative weights
+	rng        *RNG
+}
+
+// NewMixture builds a mixture from the given components. The name reported
+// by Name is "bimodal" for two components and "multimodal" otherwise.
+func NewMixture(rng *RNG, components ...Component) *Mixture {
+	name := "multimodal"
+	if len(components) == 2 {
+		name = "bimodal"
+	}
+	total := 0.0
+	for _, c := range components {
+		total += c.Weight
+	}
+	cum := make([]float64, len(components))
+	acc := 0.0
+	for i, c := range components {
+		acc += c.Weight / total
+		cum[i] = acc
+	}
+	return &Mixture{name: name, components: components, cum: cum, rng: rng}
+}
+
+// NewBimodalNormal is a convenience constructor for the classic two-Gaussian
+// mixture used in the paper's tuning set.
+func NewBimodalNormal(rng *RNG, mu1, sigma1, mu2, sigma2, w1 float64) *Mixture {
+	return NewMixture(rng,
+		Component{Weight: w1, Dist: NewNormal(rng, mu1, sigma1)},
+		Component{Weight: 1 - w1, Dist: NewNormal(rng, mu2, sigma2)},
+	)
+}
+
+// NewMultimodalNormal builds an equally weighted mixture of Gaussians at the
+// given means, all with the given sigma.
+func NewMultimodalNormal(rng *RNG, sigma float64, mus ...float64) *Mixture {
+	comps := make([]Component, len(mus))
+	for i, mu := range mus {
+		comps[i] = Component{Weight: 1, Dist: NewNormal(rng, mu, sigma)}
+	}
+	return NewMixture(rng, comps...)
+}
+
+// Name implements Sampler.
+func (m *Mixture) Name() string { return m.name }
+
+// Next implements Sampler.
+func (m *Mixture) Next() float64 {
+	u := m.rng.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.components[i].Dist.Next()
+		}
+	}
+	return m.components[len(m.components)-1].Dist.Next()
+}
+
+// CDF implements Dist as the weighted sum of the component CDFs.
+func (m *Mixture) CDF(x float64) float64 {
+	prev := 0.0
+	total := 0.0
+	for i, c := range m.components {
+		w := m.cum[i] - prev
+		prev = m.cum[i]
+		total += w * c.Dist.CDF(x)
+	}
+	return total
+}
+
+// Quantile implements Dist by bisecting the mixture CDF.
+func (m *Mixture) Quantile(p float64) float64 {
+	// Bracket using component quantiles.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.components {
+		lo = math.Min(lo, c.Dist.Quantile(1e-9))
+		hi = math.Max(hi, c.Dist.Quantile(1-1e-9))
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if m.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// --- Autocorrelated sinusoidal ---
+
+// Sinusoidal generates an autocorrelated series: a sine wave of the given
+// amplitude and period with additive Gaussian noise. It models periodic
+// system interference (e.g. cron-like background activity) and exercises
+// stopping rules that assume i.i.d. samples.
+type Sinusoidal struct {
+	Base, Amplitude, NoiseSigma float64
+	Period                      float64 // in samples
+	t                           int
+	rng                         *RNG
+}
+
+// NewSinusoidal returns a Sinusoidal sampler starting at phase zero.
+func NewSinusoidal(rng *RNG, base, amplitude, period, noiseSigma float64) *Sinusoidal {
+	return &Sinusoidal{Base: base, Amplitude: amplitude, Period: period,
+		NoiseSigma: noiseSigma, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *Sinusoidal) Name() string { return "sinusoidal" }
+
+// Next implements Sampler.
+func (d *Sinusoidal) Next() float64 {
+	v := d.Base + d.Amplitude*math.Sin(2*math.Pi*float64(d.t)/d.Period) +
+		d.NoiseSigma*d.rng.NormFloat64()
+	d.t++
+	return v
+}
+
+// --- AR(1) ---
+
+// AR1 is a first-order autoregressive process x_t = Phi*x_{t-1} + eps. It is
+// used in tests and ablations as a second autocorrelated workload shape.
+type AR1 struct {
+	Mu, Phi, Sigma float64
+	prev           float64
+	started        bool
+	rng            *RNG
+}
+
+// NewAR1 returns an AR(1) sampler with stationary start.
+func NewAR1(rng *RNG, mu, phi, sigma float64) *AR1 {
+	return &AR1{Mu: mu, Phi: phi, Sigma: sigma, rng: rng}
+}
+
+// Name implements Sampler.
+func (d *AR1) Name() string { return "ar1" }
+
+// Next implements Sampler.
+func (d *AR1) Next() float64 {
+	if !d.started {
+		// Draw from the stationary distribution.
+		sd := d.Sigma / math.Sqrt(1-d.Phi*d.Phi)
+		d.prev = d.Mu + sd*d.rng.NormFloat64()
+		d.started = true
+		return d.prev
+	}
+	d.prev = d.Mu + d.Phi*(d.prev-d.Mu) + d.Sigma*d.rng.NormFloat64()
+	return d.prev
+}
+
+// TuningSet returns the ten synthetic distributions of §IV-c, freshly seeded
+// from rng, in the order listed in the paper. These are the distributions on
+// which SHARP's detection and stopping heuristics are tuned.
+func TuningSet(rng *RNG) []Sampler {
+	return []Sampler{
+		NewNormal(rng.Fork(), 10, 1),
+		NewLogNormal(rng.Fork(), 2, 0.5),
+		NewUniform(rng.Fork(), 5, 15),
+		NewLogUniform(rng.Fork(), 1, 100),
+		NewLogistic(rng.Fork(), 10, 1),
+		NewBimodalNormal(rng.Fork(), 8, 0.5, 12, 0.5, 0.5),
+		NewMultimodalNormal(rng.Fork(), 0.4, 6, 10, 14, 18),
+		NewSinusoidal(rng.Fork(), 10, 2, 50, 0.3),
+		NewCauchy(rng.Fork(), 10, 1),
+		NewConstant(10),
+	}
+}

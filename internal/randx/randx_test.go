@@ -1,0 +1,202 @@
+package randx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := SampleN(NewNormal(New(7), 0, 1), 100)
+	b := SampleN(NewNormal(New(7), 0, 1), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(1)
+	a := SampleN(NewNormal(r.Fork(), 0, 1), 50)
+	b := SampleN(NewNormal(r.Fork(), 0, 1), 50)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("forked streams look identical: %d/50 equal", same)
+	}
+}
+
+// ksAgainstCDF computes the one-sample KS statistic of data against cdf.
+func ksAgainstCDF(data []float64, cdf func(float64) float64) float64 {
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	d := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		lo := f - float64(i)/n
+		hi := float64(i+1)/n - f
+		d = math.Max(d, math.Max(lo, hi))
+	}
+	return d
+}
+
+func TestSamplersMatchTheirCDF(t *testing.T) {
+	rng := New(42)
+	dists := []interface {
+		Sampler
+		Dist
+	}{
+		NewNormal(rng.Fork(), 3, 2),
+		NewLogNormal(rng.Fork(), 1, 0.4),
+		NewUniform(rng.Fork(), -2, 5),
+		NewLogUniform(rng.Fork(), 0.5, 50),
+		NewLogistic(rng.Fork(), 4, 1.5),
+		NewCauchy(rng.Fork(), 0, 2),
+		NewBimodalNormal(rng.Fork(), 0, 1, 6, 1, 0.4),
+		NewMultimodalNormal(rng.Fork(), 0.5, 0, 5, 10),
+	}
+	const n = 4000
+	// Critical value for alpha=0.001 is ~1.95/sqrt(n); use a loose bound.
+	crit := 2.2 / math.Sqrt(n)
+	for _, d := range dists {
+		data := SampleN(d, n)
+		ks := ksAgainstCDF(data, d.CDF)
+		if ks > crit {
+			t.Errorf("%s: KS=%.4f exceeds %.4f", d.Name(), ks, crit)
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	rng := New(3)
+	dists := []interface {
+		Sampler
+		Dist
+	}{
+		NewNormal(rng.Fork(), 3, 2),
+		NewLogNormal(rng.Fork(), 1, 0.4),
+		NewUniform(rng.Fork(), -2, 5),
+		NewLogUniform(rng.Fork(), 0.5, 50),
+		NewLogistic(rng.Fork(), 4, 1.5),
+		NewCauchy(rng.Fork(), 0, 2),
+		NewBimodalNormal(rng.Fork(), 0, 1, 6, 1, 0.4),
+	}
+	for _, d := range dists {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x := d.Quantile(p)
+			got := d.CDF(x)
+			if math.Abs(got-p) > 1e-6 {
+				t.Errorf("%s: CDF(Quantile(%v))=%v", d.Name(), p, got)
+			}
+		}
+	}
+}
+
+func TestNormalQuantileProperty(t *testing.T) {
+	// Property: NormalQuantile is the inverse of the standard normal CDF
+	// and is antisymmetric around p=0.5.
+	f := func(u uint32) bool {
+		p := (float64(u) + 1) / (float64(math.MaxUint32) + 2)
+		x := NormalQuantile(p)
+		if math.Abs(NormalCDF(x, 0, 1)-p) > 1e-8 {
+			return false
+		}
+		return math.Abs(NormalQuantile(1-p)+x) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixtureCDFMonotoneProperty(t *testing.T) {
+	m := NewBimodalNormal(New(9), 0, 1, 8, 2, 0.3)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return m.CDF(a) <= m.CDF(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := NewConstant(4.2)
+	for i := 0; i < 10; i++ {
+		if c.Next() != 4.2 {
+			t.Fatal("constant sampler drifted")
+		}
+	}
+	if c.CDF(4.1) != 0 || c.CDF(4.2) != 1 {
+		t.Fatal("constant CDF is not a step at C")
+	}
+}
+
+func TestSinusoidalAutocorrelation(t *testing.T) {
+	s := NewSinusoidal(New(5), 10, 3, 40, 0.1)
+	data := SampleN(s, 400)
+	// Lag-1 autocorrelation of a slow sine wave must be strongly positive.
+	mean := 0.0
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	var num, den float64
+	for i := 0; i < len(data)-1; i++ {
+		num += (data[i] - mean) * (data[i+1] - mean)
+	}
+	for _, v := range data {
+		den += (v - mean) * (v - mean)
+	}
+	if r := num / den; r < 0.8 {
+		t.Fatalf("lag-1 autocorr = %.3f, want > 0.8", r)
+	}
+}
+
+func TestAR1Stationary(t *testing.T) {
+	d := NewAR1(New(11), 5, 0.9, 1)
+	data := SampleN(d, 20000)
+	mean := 0.0
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	if math.Abs(mean-5) > 0.5 {
+		t.Fatalf("AR1 mean %.3f far from 5", mean)
+	}
+}
+
+func TestTuningSetComplete(t *testing.T) {
+	set := TuningSet(New(1))
+	if len(set) != 10 {
+		t.Fatalf("tuning set has %d distributions, want 10", len(set))
+	}
+	want := map[string]bool{"normal": true, "lognormal": true, "uniform": true,
+		"loguniform": true, "logistic": true, "bimodal": true, "multimodal": true,
+		"sinusoidal": true, "cauchy": true, "constant": true}
+	for _, s := range set {
+		if !want[s.Name()] {
+			t.Errorf("unexpected distribution %q", s.Name())
+		}
+		delete(want, s.Name())
+		// Each must produce finite... Cauchy can be large but finite.
+		v := s.Next()
+		if math.IsNaN(v) {
+			t.Errorf("%s produced NaN", s.Name())
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing distributions: %v", want)
+	}
+}

@@ -1,0 +1,269 @@
+// Package record implements SHARP's Logger module (§IV-d): tidy-data CSV
+// logging of every metric of every run, plus a human- and machine-readable
+// Markdown metadata file that fully describes the experiment and the System
+// Under Test. SHARP can parse its own metadata file to recreate the
+// experiment — the round-trip that makes records executable documentation.
+package record
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Row is one tidy-data observation: exactly one metric value for one
+// concurrent instance of one run. Wide results (several metrics per run)
+// become several rows, which keeps downstream statistical processing
+// uniform (the "tidy data" convention the paper adopts).
+type Row struct {
+	// Timestamp is the observation completion time (UTC).
+	Timestamp time.Time
+	// Experiment names the experiment (e.g. "fig6").
+	Experiment string
+	// Workload names the benchmark or function (e.g. "hotspot").
+	Workload string
+	// Backend names the execution backend ("local", "faas", "sim", ...).
+	Backend string
+	// Machine names the (possibly simulated) machine.
+	Machine string
+	// Day is the measurement day index (1-based; 0 when not applicable).
+	Day int
+	// Run is the repetition index within the experiment (1-based).
+	Run int
+	// Instance is the concurrent-instance index within the run (1-based);
+	// each concurrent instance gets its own row.
+	Instance int
+	// Metric is the metric name ("exec_time", "detection_time", ...).
+	Metric string
+	// Value is the measured value.
+	Value float64
+	// Unit is the measurement unit ("seconds", "bytes", ...).
+	Unit string
+}
+
+// Header is the CSV column order; it doubles as the field list documented
+// in the metadata file.
+var Header = []string{
+	"timestamp", "experiment", "workload", "backend", "machine",
+	"day", "run", "instance", "metric", "value", "unit",
+}
+
+// FieldDocs maps each CSV column to its documentation line, written to the
+// metadata file so every field of the raw data is described (§IV-d).
+var FieldDocs = map[string]string{
+	"timestamp":  "observation completion time, RFC 3339, UTC",
+	"experiment": "experiment identifier",
+	"workload":   "benchmark or function name",
+	"backend":    "execution backend (local, process, faas, sim)",
+	"machine":    "machine (possibly simulated) that executed the run",
+	"day":        "measurement day index, 1-based; 0 if not applicable",
+	"run":        "repetition index within the experiment, 1-based",
+	"instance":   "concurrent instance index within the run, 1-based",
+	"metric":     "metric name (e.g. exec_time)",
+	"value":      "measured value (float)",
+	"unit":       "unit of the value",
+}
+
+// strings converts a Row to CSV fields in Header order.
+func (r Row) strings() []string {
+	return []string{
+		r.Timestamp.UTC().Format(time.RFC3339Nano),
+		r.Experiment, r.Workload, r.Backend, r.Machine,
+		strconv.Itoa(r.Day), strconv.Itoa(r.Run), strconv.Itoa(r.Instance),
+		r.Metric, strconv.FormatFloat(r.Value, 'g', -1, 64), r.Unit,
+	}
+}
+
+// parseRow converts CSV fields back to a Row.
+func parseRow(fields []string) (Row, error) {
+	if len(fields) != len(Header) {
+		return Row{}, fmt.Errorf("record: row has %d fields, want %d", len(fields), len(Header))
+	}
+	ts, err := time.Parse(time.RFC3339Nano, fields[0])
+	if err != nil {
+		return Row{}, fmt.Errorf("record: bad timestamp %q: %w", fields[0], err)
+	}
+	day, err := strconv.Atoi(fields[5])
+	if err != nil {
+		return Row{}, fmt.Errorf("record: bad day %q", fields[5])
+	}
+	run, err := strconv.Atoi(fields[6])
+	if err != nil {
+		return Row{}, fmt.Errorf("record: bad run %q", fields[6])
+	}
+	inst, err := strconv.Atoi(fields[7])
+	if err != nil {
+		return Row{}, fmt.Errorf("record: bad instance %q", fields[7])
+	}
+	val, err := strconv.ParseFloat(fields[9], 64)
+	if err != nil {
+		return Row{}, fmt.Errorf("record: bad value %q", fields[9])
+	}
+	return Row{
+		Timestamp: ts, Experiment: fields[1], Workload: fields[2],
+		Backend: fields[3], Machine: fields[4],
+		Day: day, Run: run, Instance: inst,
+		Metric: fields[8], Value: val, Unit: fields[10],
+	}, nil
+}
+
+// Writer streams tidy rows to CSV.
+type Writer struct {
+	w           *csv.Writer
+	c           io.Closer
+	wroteHeader bool
+	rows        int
+}
+
+// NewWriter wraps an io.Writer; the CSV header is emitted with the first
+// row.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: csv.NewWriter(w)} }
+
+// Create opens path for writing (truncating) and returns a Writer that
+// closes the file on Close.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{w: csv.NewWriter(f), c: f}, nil
+}
+
+// Write appends one row.
+func (w *Writer) Write(r Row) error {
+	if !w.wroteHeader {
+		if err := w.w.Write(Header); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	w.rows++
+	return w.w.Write(r.strings())
+}
+
+// WriteAll appends all rows.
+func (w *Writer) WriteAll(rows []Row) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns the number of data rows written.
+func (w *Writer) Rows() int { return w.rows }
+
+// Close flushes and closes the underlying file if any.
+func (w *Writer) Close() error {
+	if !w.wroteHeader { // ensure even empty logs have a header
+		if err := w.w.Write(Header); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	w.w.Flush()
+	if err := w.w.Error(); err != nil {
+		return err
+	}
+	if w.c != nil {
+		return w.c.Close()
+	}
+	return nil
+}
+
+// Read parses tidy rows from r; the first record must be the Header.
+func Read(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("record: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("record: missing header")
+	}
+	for i, col := range Header {
+		if i >= len(records[0]) || records[0][i] != col {
+			return nil, fmt.Errorf("record: unexpected header %v", records[0])
+		}
+	}
+	rows := make([]Row, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		row, err := parseRow(rec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ReadFile parses a CSV log file.
+func ReadFile(path string) ([]Row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Filter returns the rows matching all non-zero criteria of the selector.
+type Filter struct {
+	Experiment, Workload, Backend, Machine, Metric string
+	Day                                            int
+}
+
+// Select filters rows.
+func Select(rows []Row, f Filter) []Row {
+	var out []Row
+	for _, r := range rows {
+		if f.Experiment != "" && r.Experiment != f.Experiment {
+			continue
+		}
+		if f.Workload != "" && r.Workload != f.Workload {
+			continue
+		}
+		if f.Backend != "" && r.Backend != f.Backend {
+			continue
+		}
+		if f.Machine != "" && r.Machine != f.Machine {
+			continue
+		}
+		if f.Metric != "" && r.Metric != f.Metric {
+			continue
+		}
+		if f.Day != 0 && r.Day != f.Day {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Values extracts the Value column of rows, in order.
+func Values(rows []Row) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r.Value
+	}
+	return out
+}
+
+// GroupBy partitions rows by a key function, returning keys sorted.
+func GroupBy(rows []Row, key func(Row) string) (keys []string, groups map[string][]Row) {
+	groups = map[string][]Row{}
+	for _, r := range rows {
+		k := key(r)
+		groups[k] = append(groups[k], r)
+	}
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, groups
+}

@@ -1,0 +1,82 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseMetadata checks the metadata Markdown parser never panics and
+// that parse(render(parse(x))) is stable for accepted inputs.
+func FuzzParseMetadata(f *testing.F) {
+	var buf bytes.Buffer
+	m := NewMetadata("seedexp", mockSUT())
+	m.Set("seed", 42).Set("rule", "ks-0.1")
+	m.Notes = "some notes\nwith two lines"
+	m.WriteTo(&buf)
+	f.Add(buf.String())
+	f.Add("# SHARP experiment record: x\n\n## Parameters\n\n- `a`: 1\n")
+	f.Add("# SHARP experiment record: \n")
+	f.Add("random text\n- `key`: value\n")
+	f.Add("# SHARP experiment record: y\n## System Under Test\n- `cpu_cores`: NaN\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		m1, err := ParseMetadata(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Round trip: re-render and re-parse; structured fields must agree.
+		var out bytes.Buffer
+		if _, err := m1.WriteTo(&out); err != nil {
+			t.Fatalf("render failed on accepted input: %v", err)
+		}
+		m2, err := ParseMetadata(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if m2.Experiment != m1.Experiment {
+			t.Fatalf("experiment drifted: %q -> %q", m1.Experiment, m2.Experiment)
+		}
+		for k, v := range m1.Params {
+			if m2.Params[k] != v {
+				t.Fatalf("param %q drifted: %q -> %q", k, v, m2.Params[k])
+			}
+		}
+		if m2.SUT != m1.SUT {
+			t.Fatalf("SUT drifted: %+v -> %+v", m1.SUT, m2.SUT)
+		}
+	})
+}
+
+// FuzzCSVRows checks the tidy-row parser is total over arbitrary CSV bodies.
+func FuzzCSVRows(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteAll(sampleRows(3))
+	w.Close()
+	f.Add(buf.String())
+	f.Add("timestamp,experiment,workload,backend,machine,day,run,instance,metric,value,unit\n")
+	f.Add("not,a,header\n1,2,3\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		rows, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Accepted rows must re-serialize and re-parse identically.
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		if err := w.WriteAll(rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip parse: %v", err)
+		}
+		if len(again) != len(rows) {
+			t.Fatalf("row count drifted: %d -> %d", len(rows), len(again))
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package regress
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sharp/internal/randx"
+	"sharp/internal/record"
+)
+
+func norm(seed uint64, n int, mu, sigma float64) []float64 {
+	return randx.SampleN(randx.NewNormal(randx.New(seed), mu, sigma), n)
+}
+
+func TestPassOnSameDistribution(t *testing.T) {
+	out, err := Check(norm(1, 300, 10, 0.5), norm(2, 300, 10, 0.5), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Pass {
+		t.Fatalf("verdict = %s (%s)", out.Verdict, out.Explanation)
+	}
+}
+
+func TestRegressionDetected(t *testing.T) {
+	out, err := Check(norm(3, 300, 10, 0.5), norm(4, 300, 11, 0.5), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Regression {
+		t.Fatalf("verdict = %s (%s)", out.Verdict, out.Explanation)
+	}
+	if !out.Failed() {
+		t.Error("regression must fail the gate")
+	}
+	if out.MedianChangePct < 5 {
+		t.Errorf("median change = %.2f%%", out.MedianChangePct)
+	}
+}
+
+func TestImprovementDetected(t *testing.T) {
+	out, err := Check(norm(5, 300, 10, 0.5), norm(6, 300, 9, 0.5), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Improvement {
+		t.Fatalf("verdict = %s (%s)", out.Verdict, out.Explanation)
+	}
+	if out.Failed() {
+		t.Error("improvement must not fail the gate")
+	}
+}
+
+func TestShapeChangeDetected(t *testing.T) {
+	// Same median, new mode structure: a mean gate would pass this; the
+	// distribution gate must flag it.
+	baseline := norm(7, 1000, 10, 0.02)
+	current := append(norm(8, 500, 9.9, 0.02), norm(9, 500, 10.1, 0.02)...)
+	out, err := Check(baseline, current, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != ShapeChange {
+		t.Fatalf("verdict = %s (%s)", out.Verdict, out.Explanation)
+	}
+	if out.ModesCurrent <= out.ModesBaseline {
+		t.Errorf("modes %d -> %d", out.ModesBaseline, out.ModesCurrent)
+	}
+}
+
+func TestToleranceSuppressesTinyShifts(t *testing.T) {
+	// 0.5% shift: significant with big n but inside the 2% tolerance.
+	out, err := Check(norm(10, 5000, 10, 0.1), norm(11, 5000, 10.05, 0.1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == Regression {
+		t.Fatalf("tiny shift flagged as regression (%s)", out.Explanation)
+	}
+}
+
+func TestInconclusiveOnTinySamples(t *testing.T) {
+	out, err := Check(norm(12, 5, 10, 1), norm(13, 5, 20, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Inconclusive {
+		t.Fatalf("verdict = %s", out.Verdict)
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	if _, err := Check(nil, []float64{1}, Config{}); err == nil {
+		t.Error("empty baseline accepted")
+	}
+}
+
+func TestCheckFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, values []float64) string {
+		path := filepath.Join(dir, name)
+		w, err := record.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range values {
+			w.Write(record.Row{
+				Timestamp: time.Now().UTC(), Experiment: "e", Workload: "w",
+				Backend: "sim", Machine: "m", Run: i + 1, Instance: 1,
+				Metric: "exec_time", Value: v, Unit: "seconds",
+			})
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.csv", norm(14, 100, 10, 0.5))
+	curr := write("curr.csv", norm(15, 100, 12, 0.5))
+	out, err := CheckFiles(base, curr, "exec_time", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Regression {
+		t.Fatalf("verdict = %s", out.Verdict)
+	}
+	if _, err := CheckFiles(base, curr, "nope", Config{}); err == nil {
+		t.Error("missing metric accepted")
+	}
+	rendered := out.Render()
+	for _, want := range []string{"verdict: regression", "Mann-Whitney", "modes:"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestNegligibleEffectNeverFails(t *testing.T) {
+	// Huge n makes a 0.1% shift statistically significant, but Cliff's
+	// delta stays negligible: the gate must not fail.
+	base := norm(20, 20000, 10, 0.5)
+	curr := norm(21, 20000, 10.01, 0.5)
+	out, err := Check(base, curr, Config{TolerancePct: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict == Regression {
+		t.Fatalf("negligible effect failed the gate: %s (d=%.3f)", out.Explanation, out.CliffsDelta)
+	}
+	if out.CliffsDelta >= 0.147 {
+		t.Fatalf("delta = %.3f, expected negligible", out.CliffsDelta)
+	}
+}
+
+func TestCliffsDeltaReported(t *testing.T) {
+	out, err := Check(norm(22, 300, 10, 0.5), norm(23, 300, 11, 0.5), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CliffsDelta < 0.5 {
+		t.Errorf("large shift delta = %.3f", out.CliffsDelta)
+	}
+	if !strings.Contains(out.Render(), "Cliff's d=") {
+		t.Error("render missing effect size")
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import "math"
+
+// Autocorrelation returns the sample autocorrelation of xs at the given lag
+// (biased estimator, the standard ACF). Lag 0 returns 1 by definition; lags
+// outside [0, n) return NaN.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n || n < 2 {
+		return math.NaN()
+	}
+	if lag == 0 {
+		return 1
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ACF returns autocorrelations for lags 1..maxLag.
+func ACF(xs []float64, maxLag int) []float64 {
+	if maxLag >= len(xs) {
+		maxLag = len(xs) - 1
+	}
+	if maxLag < 1 {
+		return nil
+	}
+	out := make([]float64, maxLag)
+	for k := 1; k <= maxLag; k++ {
+		out[k-1] = Autocorrelation(xs, k)
+	}
+	return out
+}
+
+// EffectiveSampleSize estimates the number of independent observations in an
+// autocorrelated series, n / (1 + 2*sum(rho_k)) truncated at the first
+// non-positive autocorrelation (Geyer's initial positive sequence, simplified).
+// Stopping rules use it so that correlated samples do not masquerade as
+// abundant evidence.
+func EffectiveSampleSize(xs []float64) float64 {
+	n := len(xs)
+	if n < 4 {
+		return float64(n)
+	}
+	maxLag := n / 4
+	if maxLag > 200 {
+		maxLag = 200
+	}
+	sum := 0.0
+	for k := 1; k <= maxLag; k++ {
+		r := Autocorrelation(xs, k)
+		if math.IsNaN(r) || r <= 0.05 {
+			break
+		}
+		sum += r
+	}
+	ess := float64(n) / (1 + 2*sum)
+	if ess < 1 {
+		ess = 1
+	}
+	if ess > float64(n) {
+		ess = float64(n)
+	}
+	return ess
+}
+
+// LjungBox performs the Ljung-Box portmanteau test for autocorrelation up to
+// maxLag. Small p-values indicate the series is autocorrelated; the
+// classifier uses it to detect the "autocorrelated sinusoidal" shape.
+func LjungBox(xs []float64, maxLag int) TestResult {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if n < 4 || maxLag < 1 {
+		return TestResult{Statistic: math.NaN(), PValue: math.NaN()}
+	}
+	q := 0.0
+	for k := 1; k <= maxLag; k++ {
+		r := Autocorrelation(xs, k)
+		q += r * r / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+	p := 1 - ChiSquareCDF(q, float64(maxLag))
+	return TestResult{Statistic: q, PValue: clamp01(p), DF: float64(maxLag)}
+}
+
+// DominantPeriod estimates the dominant cycle length of xs by locating the
+// first strong local maximum of the ACF beyond lag 1. It returns 0 when no
+// periodicity is evident (peak autocorrelation below minR).
+func DominantPeriod(xs []float64, minR float64) int {
+	acf := ACF(xs, len(xs)/2)
+	if len(acf) < 3 {
+		return 0
+	}
+	best, bestLag := 0.0, 0
+	for k := 2; k < len(acf)-1; k++ {
+		if acf[k] > acf[k-1] && acf[k] >= acf[k+1] && acf[k] > best {
+			best = acf[k]
+			bestLag = k + 1 // acf[0] is lag 1
+		}
+	}
+	if best < minR {
+		return 0
+	}
+	return bestLag
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Micro-benchmarks of the statistics substrate on stopping-rule-sized
+// samples: these operations run on every convergence check, so their cost
+// bounds the launcher's orchestration overhead.
+
+func benchData(n int) []float64 {
+	r := rand.New(rand.NewPCG(1, 2))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 + r.NormFloat64()
+	}
+	return out
+}
+
+func BenchmarkKSStatistic1k(b *testing.B) {
+	x, y := benchData(1000), benchData(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KSStatistic(x, y)
+	}
+}
+
+func BenchmarkCountModes1k(b *testing.B) {
+	x := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		CountModes(x)
+	}
+}
+
+func BenchmarkQuantile1k(b *testing.B) {
+	x := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		Quantile(x, 0.95)
+	}
+}
+
+func BenchmarkDescribe1k(b *testing.B) {
+	x := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		if _, err := Describe(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeanCI1k(b *testing.B) {
+	x := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		MeanCI(x, 0.95)
+	}
+}
+
+func BenchmarkEffectiveSampleSize1k(b *testing.B) {
+	x := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		EffectiveSampleSize(x)
+	}
+}
+
+func BenchmarkJarqueBera1k(b *testing.B) {
+	x := benchData(1000)
+	for i := 0; i < b.N; i++ {
+		JarqueBera(x)
+	}
+}
+
+func BenchmarkBootstrapCI(b *testing.B) {
+	x := benchData(300)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < b.N; i++ {
+		BootstrapCI(rng, x, 200, 0.95, Mean)
+	}
+}

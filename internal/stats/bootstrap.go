@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// Bootstrap draws resamples of xs and evaluates stat on each, returning the
+// sorted resample statistics. The rand source makes results reproducible.
+func Bootstrap(rng *rand.Rand, xs []float64, resamples int, stat func([]float64) float64) []float64 {
+	n := len(xs)
+	out := make([]float64, resamples)
+	buf := make([]float64, n)
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.IntN(n)]
+		}
+		out[r] = stat(buf)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// BootstrapCI returns the percentile bootstrap confidence interval for stat
+// at the given level. It is distribution-free, which matters for the
+// multimodal and heavy-tailed performance data SHARP targets.
+func BootstrapCI(rng *rand.Rand, xs []float64, resamples int, level float64, stat func([]float64) float64) Interval {
+	if len(xs) == 0 {
+		return Interval{Level: level}
+	}
+	boots := Bootstrap(rng, xs, resamples, stat)
+	alpha := 1 - level
+	return Interval{
+		Low:   QuantileSorted(boots, alpha/2),
+		High:  QuantileSorted(boots, 1-alpha/2),
+		Level: level,
+	}
+}
+
+// SplitHalves splits xs into its first and second half (the comparison the
+// paper's KS stopping rule performs on the run prefix, §V-C).
+func SplitHalves(xs []float64) (first, second []float64) {
+	mid := len(xs) / 2
+	return xs[:mid], xs[mid:]
+}
+
+// RandomSplit partitions xs into two halves uniformly at random — the
+// alternative split policy evaluated in the ablation benches.
+func RandomSplit(rng *rand.Rand, xs []float64) (a, b []float64) {
+	idx := rng.Perm(len(xs))
+	mid := len(xs) / 2
+	a = make([]float64, 0, mid)
+	b = make([]float64, 0, len(xs)-mid)
+	for i, j := range idx {
+		if i < mid {
+			a = append(a, xs[j])
+		} else {
+			b = append(b, xs[j])
+		}
+	}
+	return a, b
+}

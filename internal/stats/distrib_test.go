@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func normData(seed uint64, n int, mu, sigma float64) []float64 {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e37))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*r.NormFloat64()
+	}
+	return out
+}
+
+func bimodalData(seed uint64, n int, mu1, mu2, sigma float64) []float64 {
+	r := rand.New(rand.NewPCG(seed, seed^0xabcd))
+	out := make([]float64, n)
+	for i := range out {
+		mu := mu1
+		if r.Float64() < 0.5 {
+			mu = mu2
+		}
+		out[i] = mu + sigma*r.NormFloat64()
+	}
+	return out
+}
+
+func TestHistogramCountsSumToN(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		for _, rule := range []BinRule{BinSturges, BinFreedmanDiaconis, BinMinWidth, BinScott} {
+			h := NewHistogram(xs, rule)
+			total := 0
+			for _, c := range h.Counts {
+				total += c
+			}
+			if total != len(xs) {
+				return false
+			}
+			if len(h.Edges) != len(h.Counts)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinWidthMinRule(t *testing.T) {
+	xs := normData(1, 1000, 10, 2)
+	ws := BinWidth(xs, BinSturges)
+	wf := BinWidth(xs, BinFreedmanDiaconis)
+	wm := BinWidth(xs, BinMinWidth)
+	if wm != math.Min(ws, wf) {
+		t.Errorf("min rule: sturges=%v fd=%v min=%v", ws, wf, wm)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, BinMinWidth)
+	if h.Bins() != 1 || h.Counts[0] != 3 {
+		t.Errorf("constant data histogram: %+v", h)
+	}
+	h = NewHistogram(nil, BinSturges)
+	if h.N != 0 || h.Bins() != 1 {
+		t.Errorf("empty histogram: %+v", h)
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	xs := normData(2, 5000, 0, 1)
+	h := NewHistogram(xs, BinFreedmanDiaconis)
+	integral := 0.0
+	for i := range h.Counts {
+		integral += h.Density(i) * (h.Edges[i+1] - h.Edges[i])
+	}
+	if !almostEq(integral, 1, 1e-9) {
+		t.Errorf("density integral = %v", integral)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {4, 1},
+	}
+	for _, c := range cases {
+		if got := e.Eval(c.x); got != c.want {
+			t.Errorf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	e := NewECDF(normData(3, 200, 0, 1))
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return e.Eval(a) <= e.Eval(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSStatisticIdentity(t *testing.T) {
+	xs := normData(4, 500, 0, 1)
+	if d := KSStatistic(xs, xs); d != 0 {
+		t.Errorf("KS(x,x) = %v, want 0", d)
+	}
+}
+
+func TestKSStatisticDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStatistic(a, b); d != 1 {
+		t.Errorf("KS disjoint = %v, want 1", d)
+	}
+}
+
+func TestKSSymmetryProperty(t *testing.T) {
+	f := func(seedA, seedB uint16) bool {
+		a := normData(uint64(seedA)+1, 80, 0, 1)
+		b := normData(uint64(seedB)+9999, 120, 0.5, 2)
+		return almostEq(KSStatistic(a, b), KSStatistic(b, a), 1e-15)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSAgainstKnownValue(t *testing.T) {
+	// Hand-computed: a={1,2,3,4}, b={3,4,5,6}: max |Fa-Fb| = 0.5 at x in [2,4).
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	if d := KSStatistic(a, b); !almostEq(d, 0.5, 1e-15) {
+		t.Errorf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKDEModesUnimodalVsBimodal(t *testing.T) {
+	uni := normData(5, 3000, 10, 1)
+	if m := CountModes(uni); m != 1 {
+		t.Errorf("unimodal data: %d modes", m)
+	}
+	bi := bimodalData(6, 3000, 5, 15, 1)
+	if m := CountModes(bi); m != 2 {
+		t.Errorf("bimodal data: %d modes", m)
+	}
+	tri := append(bimodalData(7, 2000, 0, 10, 0.8), normData(8, 1000, 20, 0.8)...)
+	if m := CountModes(tri); m != 3 {
+		t.Errorf("trimodal data: %d modes", m)
+	}
+}
+
+func TestKDEConstantData(t *testing.T) {
+	if m := CountModes([]float64{3, 3, 3, 3}); m != 1 {
+		t.Errorf("constant data: %d modes", m)
+	}
+	if m := CountModes(nil); m != 0 {
+		t.Errorf("empty data: %d modes", m)
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	k := NewKDE(normData(9, 500, 0, 1))
+	xs, ys := k.Grid(2000)
+	integral := 0.0
+	for i := 1; i < len(xs); i++ {
+		integral += (ys[i] + ys[i-1]) / 2 * (xs[i] - xs[i-1])
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("KDE integral = %v", integral)
+	}
+}
+
+func TestHistogramPeaks(t *testing.T) {
+	bi := bimodalData(10, 5000, 0, 10, 1)
+	h := NewHistogram(bi, BinMinWidth)
+	if p := h.Peaks(0.2); p != 2 {
+		t.Errorf("bimodal histogram peaks = %d", p)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := normData(110, 400, 50, 5)
+	ci := MeanCI(xs, 0.95)
+	if !ci.Contains(Mean(xs)) {
+		t.Error("CI must contain the sample mean")
+	}
+	if !ci.Contains(50) {
+		t.Errorf("95%% CI %v should contain true mean 50 for this seed", ci)
+	}
+	wide := MeanCI(xs, 0.99)
+	if wide.Width() <= ci.Width() {
+		t.Error("99% CI must be wider than 95% CI")
+	}
+}
+
+func TestRelativeCIHalfWidthShrinks(t *testing.T) {
+	xs := normData(12, 2000, 100, 10)
+	small := RelativeCIHalfWidth(xs[:20], 0.95)
+	big := RelativeCIHalfWidth(xs, 0.95)
+	if big >= small {
+		t.Errorf("rel CI width did not shrink: n=20 %v vs n=2000 %v", small, big)
+	}
+	if math.IsInf(RelativeCIHalfWidth(xs[:1], 0.95), 1) == false {
+		t.Error("n=1 should give +Inf")
+	}
+}
+
+func TestQuantileCI(t *testing.T) {
+	xs := normData(13, 1000, 0, 1)
+	ci := QuantileCI(xs, 0.5, 0.95)
+	med := Median(xs)
+	if !ci.Contains(med) {
+		t.Errorf("median CI %v excludes median %v", ci, med)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := normData(14, 300, 10, 2)
+	ci := BootstrapCI(rng, xs, 500, 0.95, Mean)
+	if !ci.Contains(10) {
+		t.Errorf("bootstrap CI %v excludes true mean", ci)
+	}
+	if ci.Width() <= 0 {
+		t.Error("bootstrap CI has non-positive width")
+	}
+}
+
+func TestSplitHalves(t *testing.T) {
+	a, b := SplitHalves([]float64{1, 2, 3, 4, 5})
+	if len(a) != 2 || len(b) != 3 {
+		t.Errorf("split = %v | %v", a, b)
+	}
+}
+
+func TestRandomSplitPreservesAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := normData(15, 101, 0, 1)
+	a, b := RandomSplit(rng, xs)
+	if len(a)+len(b) != len(xs) {
+		t.Errorf("split sizes %d+%d != %d", len(a), len(b), len(xs))
+	}
+	sumAll := Sum(xs)
+	if !almostEq(Sum(a)+Sum(b), sumAll, 1e-9) {
+		t.Error("random split lost observations")
+	}
+}

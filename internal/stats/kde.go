@@ -1,0 +1,191 @@
+package stats
+
+import "math"
+
+// KDE is a Gaussian kernel density estimator. SHARP uses it to detect the
+// number of performance modes (§VI-A, Fig. 4's multimodality findings):
+// local maxima of the estimated density are reported as modes.
+type KDE struct {
+	data      []float64
+	Bandwidth float64
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth
+// 0.9 * min(s, IQR/1.34) * n^(-1/5), robust to mild non-normality.
+func SilvermanBandwidth(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 1
+	}
+	s := StdDev(xs)
+	iqr := IQR(xs)
+	a := s
+	if iqr > 0 && iqr/1.34 < a {
+		a = iqr / 1.34
+	}
+	if a == 0 {
+		return 1e-9 // degenerate (constant) data
+	}
+	return 0.9 * a * math.Pow(n, -0.2)
+}
+
+// NewKDE builds a KDE with Silverman's bandwidth.
+func NewKDE(xs []float64) *KDE {
+	return NewKDEBandwidth(xs, SilvermanBandwidth(xs))
+}
+
+// NewKDEBandwidth builds a KDE with an explicit bandwidth (must be > 0).
+func NewKDEBandwidth(xs []float64, bw float64) *KDE {
+	if bw <= 0 {
+		bw = 1e-9
+	}
+	return &KDE{data: SortedCopy(xs), Bandwidth: bw}
+}
+
+// Eval returns the estimated density at x.
+func (k *KDE) Eval(x float64) float64 {
+	if len(k.data) == 0 {
+		return 0
+	}
+	const norm = 0.3989422804014327 // 1/sqrt(2*pi)
+	sum := 0.0
+	inv := 1 / k.Bandwidth
+	for _, xi := range k.data {
+		u := (x - xi) * inv
+		if u > 8 || u < -8 {
+			continue
+		}
+		sum += math.Exp(-0.5 * u * u)
+	}
+	return sum * norm * inv / float64(len(k.data))
+}
+
+// Grid evaluates the density on m evenly spaced points spanning the data
+// plus 3 bandwidths of margin. It returns the x grid and densities.
+func (k *KDE) Grid(m int) (xs, ys []float64) {
+	if m < 2 {
+		m = 2
+	}
+	xs = make([]float64, m)
+	ys = make([]float64, m)
+	if len(k.data) == 0 {
+		return xs, ys
+	}
+	lo := k.data[0] - 3*k.Bandwidth
+	hi := k.data[len(k.data)-1] + 3*k.Bandwidth
+	step := (hi - lo) / float64(m-1)
+	for i := range xs {
+		xs[i] = lo + float64(i)*step
+		ys[i] = k.Eval(xs[i])
+	}
+	return xs, ys
+}
+
+// Mode describes one detected density peak.
+type Mode struct {
+	// Location is the x position of the peak.
+	Location float64
+	// Height is the density at the peak.
+	Height float64
+	// Prominence is Height relative to the global density maximum (0..1].
+	Prominence float64
+}
+
+// Modes finds local maxima of the density evaluated on gridSize points,
+// keeping peaks whose height is at least minProm of the tallest peak and
+// whose valley on both sides drops below (1 - minDip) of the peak height.
+// The defaults used across SHARP are gridSize=256, minProm=0.15, minDip=0.25:
+// a 25% valley requirement rejects the sampling wiggles a KDE shows on flat
+// (uniform-like) densities while keeping genuinely separated performance
+// modes, whose valleys are near zero.
+func (k *KDE) Modes(gridSize int, minProm, minDip float64) []Mode {
+	xs, ys := k.Grid(gridSize)
+	return findPeaks(xs, ys, minProm, minDip)
+}
+
+// CountModes is a convenience wrapper around Modes with SHARP's default
+// detection parameters.
+func CountModes(data []float64) int {
+	if len(data) == 0 {
+		return 0
+	}
+	if Min(data) == Max(data) {
+		return 1
+	}
+	return len(NewKDE(data).Modes(256, 0.15, 0.25))
+}
+
+// findPeaks locates prominent local maxima in a sampled curve. A candidate
+// peak must (a) be a local max, (b) reach minProm of the global max, and
+// (c) be separated from higher neighbors by a valley at least minDip deep
+// relative to the lower peak.
+func findPeaks(xs, ys []float64, minProm, minDip float64) []Mode {
+	n := len(ys)
+	if n == 0 {
+		return nil
+	}
+	global := 0.0
+	for _, y := range ys {
+		if y > global {
+			global = y
+		}
+	}
+	if global == 0 {
+		return nil
+	}
+	// Collect strict local maxima (plateau-aware).
+	type cand struct {
+		idx int
+		y   float64
+	}
+	var cands []cand
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && ys[j+1] == ys[i] {
+			j++
+		}
+		leftUp := i == 0 || ys[i-1] < ys[i]
+		rightDown := j == n-1 || ys[j+1] < ys[i]
+		if leftUp && rightDown && ys[i] > 0 {
+			mid := (i + j) / 2
+			cands = append(cands, cand{mid, ys[mid]})
+		}
+		i = j + 1
+	}
+	// Filter by prominence threshold.
+	var strong []cand
+	for _, c := range cands {
+		if c.y >= minProm*global {
+			strong = append(strong, c)
+		}
+	}
+	// Merge peaks not separated by a sufficiently deep valley: walk in x
+	// order and keep a peak only if the minimum between it and the previous
+	// kept peak dips below (1-minDip)*min(peak heights).
+	var kept []cand
+	for _, c := range strong {
+		if len(kept) == 0 {
+			kept = append(kept, c)
+			continue
+		}
+		prev := kept[len(kept)-1]
+		valley := c.y
+		for k := prev.idx; k <= c.idx; k++ {
+			if ys[k] < valley {
+				valley = ys[k]
+			}
+		}
+		lower := math.Min(prev.y, c.y)
+		if valley <= (1-minDip)*lower {
+			kept = append(kept, c)
+		} else if c.y > prev.y {
+			kept[len(kept)-1] = c // same mode, keep the taller summit
+		}
+	}
+	modes := make([]Mode, len(kept))
+	for i, c := range kept {
+		modes[i] = Mode{Location: xs[c.idx], Height: c.y, Prominence: c.y / global}
+	}
+	return modes
+}

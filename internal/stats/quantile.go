@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the p-th sample quantile of xs (0 <= p <= 1) using linear
+// interpolation between order statistics (Hyndman-Fan type 7, the R and
+// NumPy default). The input need not be sorted.
+func Quantile(xs []float64, p float64) float64 {
+	return QuantileSorted(SortedCopy(xs), p)
+}
+
+// QuantileSorted is Quantile for already ascending-sorted input; it avoids
+// the O(n log n) copy on hot paths such as stopping-rule evaluation.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	i := int(math.Floor(h))
+	frac := h - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	// Convex combination form: robust to overflow when the two order
+	// statistics are near opposite extremes of the float64 range.
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Median returns the sample median of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// IQR returns the interquartile range Q3 - Q1.
+func IQR(xs []float64) float64 {
+	s := SortedCopy(xs)
+	return QuantileSorted(s, 0.75) - QuantileSorted(s, 0.25)
+}
+
+// Percentiles evaluates multiple quantiles with a single sort.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	s := SortedCopy(xs)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = QuantileSorted(s, p)
+	}
+	return out
+}
+
+// Rank assigns average ranks (1-based) to xs, resolving ties by midrank.
+// This is the ranking used by the Mann-Whitney U test.
+func Rank(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Outliers returns the values of xs outside the Tukey fences
+// [Q1 - k*IQR, Q3 + k*IQR]; k = 1.5 matches the boxplot whisker convention
+// used in the paper's Fig. 4.
+func Outliers(xs []float64, k float64) []float64 {
+	s := SortedCopy(xs)
+	q1 := QuantileSorted(s, 0.25)
+	q3 := QuantileSorted(s, 0.75)
+	lo := q1 - k*(q3-q1)
+	hi := q3 + k*(q3-q1)
+	var out []float64
+	for _, x := range s {
+		if x < lo || x > hi {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TrimmedMean returns the mean after discarding the proportion trim from
+// each tail (e.g. trim=0.05 removes the lowest and highest 5%).
+func TrimmedMean(xs []float64, trim float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if trim <= 0 {
+		return Mean(xs)
+	}
+	s := SortedCopy(xs)
+	k := int(trim * float64(len(s)))
+	if 2*k >= len(s) {
+		return Median(s)
+	}
+	return Mean(s[k : len(s)-k])
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// QuantRegResult is a fitted linear quantile regression y = Intercept +
+// Slope*x for one quantile tau.
+type QuantRegResult struct {
+	Tau       float64
+	Intercept float64
+	Slope     float64
+	// PinballLoss is the mean check-function loss at the optimum.
+	PinballLoss float64
+	// Iterations used by the IRLS solver.
+	Iterations int
+}
+
+// Predict evaluates the fitted line at x.
+func (r QuantRegResult) Predict(x float64) float64 { return r.Intercept + r.Slope*x }
+
+// QuantileRegression fits the linear tau-th quantile of y given x by
+// iteratively reweighted least squares on a smoothed check function.
+//
+// The paper's related work (De Oliveira et al., §VII) argues quantile
+// regression is more reliable than ANOVA for comparing performance
+// distributions under a varying factor; SHARP ships it so recorded CSV
+// factors (e.g. concurrency) can be regressed against any response
+// quantile, not just the mean.
+func QuantileRegression(x, y []float64, tau float64) (QuantRegResult, error) {
+	n := len(x)
+	if n != len(y) {
+		return QuantRegResult{}, errors.New("stats: quantile regression needs equal-length x and y")
+	}
+	if n < 3 {
+		return QuantRegResult{}, errors.New("stats: quantile regression needs >= 3 points")
+	}
+	if tau <= 0 || tau >= 1 {
+		return QuantRegResult{}, errors.New("stats: tau must be in (0, 1)")
+	}
+	// Initialize from ordinary least squares.
+	a, b := olsFit(x, y)
+	// Smoothing parameter for |r| ~ sqrt(r^2 + eps): scale-aware.
+	scale := MAD(y)
+	if scale == 0 {
+		scale = 1
+	}
+	eps := 1e-6 * scale * scale
+	res := QuantRegResult{Tau: tau, Intercept: a, Slope: b}
+	const maxIter = 200
+	prevLoss := math.Inf(1)
+	for it := 0; it < maxIter; it++ {
+		// IRLS weights: w_i = rho_tau'(r_i)/r_i approximated with the
+		// smoothed absolute value, asymmetric in the residual sign.
+		var swx, swy, swxx, swxy, sw float64
+		for i := 0; i < n; i++ {
+			r := y[i] - (res.Intercept + res.Slope*x[i])
+			t := tau
+			if r < 0 {
+				t = 1 - tau
+			}
+			w := t / math.Sqrt(r*r+eps)
+			sw += w
+			swx += w * x[i]
+			swy += w * y[i]
+			swxx += w * x[i] * x[i]
+			swxy += w * x[i] * y[i]
+		}
+		den := sw*swxx - swx*swx
+		if den == 0 {
+			break
+		}
+		res.Slope = (sw*swxy - swx*swy) / den
+		res.Intercept = (swy - res.Slope*swx) / sw
+		res.Iterations = it + 1
+		loss := pinballLoss(x, y, res.Intercept, res.Slope, tau)
+		if math.Abs(prevLoss-loss) < 1e-12*(1+math.Abs(loss)) {
+			break
+		}
+		prevLoss = loss
+	}
+	res.PinballLoss = pinballLoss(x, y, res.Intercept, res.Slope, tau)
+	return res, nil
+}
+
+// pinballLoss is the mean check-function loss of the line (a, b) at tau.
+func pinballLoss(x, y []float64, a, b, tau float64) float64 {
+	sum := 0.0
+	for i := range x {
+		r := y[i] - (a + b*x[i])
+		if r >= 0 {
+			sum += tau * r
+		} else {
+			sum += (tau - 1) * r
+		}
+	}
+	return sum / float64(len(x))
+}
+
+// olsFit returns the least-squares intercept and slope.
+func olsFit(x, y []float64) (a, b float64) {
+	n := float64(len(x))
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx float64
+	for i := range x {
+		sxy += (x[i] - mx) * (y[i] - my)
+		sxx += (x[i] - mx) * (x[i] - mx)
+	}
+	if sxx == 0 {
+		return my, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	_ = n
+	return a, b
+}
+
+// LinearFit exposes the ordinary least-squares line for comparison against
+// quantile fits in reports.
+func LinearFit(x, y []float64) (intercept, slope float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, errors.New("stats: linear fit needs >= 2 equal-length points")
+	}
+	a, b := olsFit(x, y)
+	return a, b, nil
+}

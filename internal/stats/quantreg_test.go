@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQuantileRegressionMedianOnCleanLine(t *testing.T) {
+	// y = 2 + 3x exactly: every quantile line is the line itself.
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2 + 3*x[i]
+	}
+	for _, tau := range []float64{0.25, 0.5, 0.9} {
+		r, err := QuantileRegression(x, y, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(r.Intercept, 2, 0.05) || !almostEq(r.Slope, 3, 0.01) {
+			t.Errorf("tau=%v: fit = %.3f + %.3fx", tau, r.Intercept, r.Slope)
+		}
+	}
+}
+
+func TestQuantileRegressionSeparatesQuantiles(t *testing.T) {
+	// Heteroscedastic data: spread grows with x, so the 0.9-quantile slope
+	// must exceed the 0.1-quantile slope.
+	r := rand.New(rand.NewPCG(5, 9))
+	n := 4000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() * 10
+		y[i] = 1 + 2*x[i] + (0.2+0.5*x[i])*r.NormFloat64()
+	}
+	lo, err := QuantileRegression(x, y, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := QuantileRegression(x, y, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Slope <= lo.Slope+0.5 {
+		t.Errorf("slopes: q10=%.3f q90=%.3f, want clear separation", lo.Slope, hi.Slope)
+	}
+	// The true quantile lines are 2 +/- 1.2816*0.5 per unit x.
+	wantHi := 2 + 1.2816*0.5
+	wantLo := 2 - 1.2816*0.5
+	if math.Abs(hi.Slope-wantHi) > 0.15 {
+		t.Errorf("q90 slope = %.3f, want ~%.3f", hi.Slope, wantHi)
+	}
+	if math.Abs(lo.Slope-wantLo) > 0.15 {
+		t.Errorf("q10 slope = %.3f, want ~%.3f", lo.Slope, wantLo)
+	}
+}
+
+func TestQuantileRegressionMedianRobustToOutliers(t *testing.T) {
+	// OLS is dragged by outliers; the median regression should not be.
+	r := rand.New(rand.NewPCG(6, 2))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / 50
+		y[i] = 5 + 1*x[i] + 0.1*r.NormFloat64()
+		if i%25 == 0 {
+			y[i] += 100 // gross outliers, 4% of the data
+		}
+	}
+	med, err := QuantileRegression(x, y, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, olsSlope, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med.Slope-1) > 0.1 {
+		t.Errorf("median slope = %.3f, want ~1", med.Slope)
+	}
+	if math.Abs(olsSlope-1) < math.Abs(med.Slope-1) {
+		t.Errorf("OLS (%.3f) beat median regression (%.3f) on outliers?", olsSlope, med.Slope)
+	}
+}
+
+func TestQuantileRegressionValidation(t *testing.T) {
+	if _, err := QuantileRegression([]float64{1, 2}, []float64{1}, 0.5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := QuantileRegression([]float64{1, 2}, []float64{1, 2}, 0.5); err == nil {
+		t.Error("n<3 accepted")
+	}
+	if _, err := QuantileRegression([]float64{1, 2, 3}, []float64{1, 2, 3}, 1.5); err == nil {
+		t.Error("tau out of range accepted")
+	}
+}
+
+func TestQuantileRegressionPinballOptimality(t *testing.T) {
+	// The fitted line's pinball loss must be no worse than nearby lines.
+	r := rand.New(rand.NewPCG(7, 3))
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() * 5
+		y[i] = 3 + 0.7*x[i] + r.NormFloat64()
+	}
+	fit, err := QuantileRegression(x, y, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, da := range []float64{-0.2, 0.2} {
+		for _, db := range []float64{-0.1, 0.1} {
+			loss := pinballLoss(x, y, fit.Intercept+da, fit.Slope+db, 0.7)
+			if loss < fit.PinballLoss-1e-6 {
+				t.Errorf("perturbed line beats fit: %.6f < %.6f (da=%v db=%v)",
+					loss, fit.PinballLoss, da, db)
+			}
+		}
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	a, b, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 || a != 2 {
+		t.Errorf("constant-x fit = %v + %vx", a, b)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import "math"
+
+// WilcoxonSignedRank performs the two-sided Wilcoxon signed-rank test on
+// paired observations (x_i, y_i): H0 says the differences are symmetric
+// around zero. Zero differences are dropped (the standard Wilcoxon
+// treatment); ties among |differences| get midranks with the matching
+// variance correction; the p-value uses the normal approximation with
+// continuity correction, adequate for n >= ~10.
+//
+// SHARP uses it for paired designs — most prominently duet benchmarking,
+// where artifacts run in interleaved pairs so interference cancels and the
+// paired test has far more power than its unpaired counterpart.
+func WilcoxonSignedRank(x, y []float64) TestResult {
+	if len(x) != len(y) || len(x) == 0 {
+		return TestResult{Statistic: math.NaN(), PValue: math.NaN()}
+	}
+	// Differences, dropping zeros.
+	diffs := make([]float64, 0, len(x))
+	for i := range x {
+		if d := x[i] - y[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n == 0 {
+		return TestResult{Statistic: 0, PValue: 1}
+	}
+	abs := make([]float64, n)
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	ranks := Rank(abs)
+	var wPlus float64
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += ranks[i]
+		}
+	}
+	nf := float64(n)
+	mean := nf * (nf + 1) / 4
+	variance := nf * (nf + 1) * (2*nf + 1) / 24
+	// Tie correction: subtract sum(t^3 - t)/48 over tie groups of |d|.
+	sorted := SortedCopy(abs)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			variance -= (t*t*t - t) / 48
+		}
+		i = j + 1
+	}
+	if variance <= 0 {
+		return TestResult{Statistic: wPlus, PValue: 1}
+	}
+	z := wPlus - mean
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	p := math.Erfc(math.Abs(z) / math.Sqrt2)
+	return TestResult{Statistic: wPlus, PValue: clamp01(p)}
+}

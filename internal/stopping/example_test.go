@@ -1,0 +1,41 @@
+package stopping_test
+
+import (
+	"fmt"
+
+	"sharp/internal/randx"
+	"sharp/internal/stopping"
+)
+
+// Drive a KS stopping rule over a deterministic bimodal workload: the rule
+// stops once the first and second half of the observations look alike,
+// long before a fixed 1000-run budget would.
+func ExampleKS() {
+	workload := randx.NewBimodalNormal(randx.New(4), 8, 0.3, 12, 0.3, 0.5)
+	rule := stopping.NewKS(0.1, stopping.Bounds{MaxSamples: 1000})
+	samples := stopping.Drive(workload.Next, rule)
+
+	fmt.Printf("stopped after %d runs (saved %.0f%%)\n",
+		len(samples), 100*(1-float64(len(samples))/1000))
+	// Output: stopped after 100 runs (saved 90%)
+}
+
+// The meta-heuristic classifies the stream online and applies the
+// family-appropriate criterion.
+func ExampleMeta() {
+	workload := randx.NewNormal(randx.New(14), 100, 2)
+	rule := stopping.NewMeta(stopping.MetaConfig{}, stopping.Bounds{MaxSamples: 1000})
+	stopping.Drive(workload.Next, rule)
+
+	fmt.Println(rule.Explain())
+	// Output: [normal] relative CI 0.0048 < 0.0500 (n=50)
+}
+
+func ExampleNewNamed() {
+	rule, err := stopping.NewNamed("ci", 0.05, stopping.Bounds{MaxSamples: 500})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rule.Name())
+	// Output: ci-0.05
+}

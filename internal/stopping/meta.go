@@ -1,0 +1,285 @@
+package stopping
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sharp/internal/classify"
+	"sharp/internal/stats"
+)
+
+// SelfSimilarity is the paper's generic, distribution-free rule: it stops
+// when the distribution of the observed prefix has become self-similar,
+// measured as the average KS statistic over several random half-splits of
+// the sample (a bootstrap-stabilized generalization of the half-vs-half KS
+// rule). It requires no prior knowledge of the distribution.
+type SelfSimilarity struct {
+	base
+	Threshold float64
+	Splits    int
+	rng       *rand.Rand
+	current   float64
+}
+
+// NewSelfSimilarity returns a self-similarity rule; splits <= 0 defaults to
+// 5. The seed makes the random splits reproducible.
+func NewSelfSimilarity(threshold float64, splits int, seed uint64, b Bounds) *SelfSimilarity {
+	if splits <= 0 {
+		splits = 5
+	}
+	return &SelfSimilarity{
+		base:      newBase(b),
+		Threshold: threshold,
+		Splits:    splits,
+		rng:       rand.New(rand.NewPCG(seed, seed^0xd1b54a32d192ed03)),
+		current:   1,
+	}
+}
+
+// Name implements Rule.
+func (r *SelfSimilarity) Name() string { return fmt.Sprintf("self-similarity-%g", r.Threshold) }
+
+// Add implements Rule.
+func (r *SelfSimilarity) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	sum := 0.0
+	for i := 0; i < r.Splits; i++ {
+		a, b := stats.RandomSplit(r.rng, r.samples)
+		sum += stats.KSStatistic(a, b)
+	}
+	r.current = sum / float64(r.Splits)
+	if r.current < r.Threshold {
+		r.done = true
+		r.reason = fmt.Sprintf("mean split KS %.4f < %.4f over %d splits (n=%d)",
+			r.current, r.Threshold, r.Splits, len(r.samples))
+	}
+}
+
+// MetaConfig tunes the meta-heuristic. Zero values take the documented
+// defaults, which were fitted on the synthetic tuning set.
+type MetaConfig struct {
+	// ClassifyEvery is how many samples between re-classifications
+	// (default 50).
+	ClassifyEvery int
+	// Classifier options; zero value uses classify.Defaults.
+	Classifier classify.Options
+	// CILevel / CIThreshold configure the delegated CI rule
+	// (defaults 0.95 / 0.05, the paper's T1).
+	CILevel, CIThreshold float64
+	// KSThreshold configures the delegated KS rule (default 0.1).
+	KSThreshold float64
+	// MedianThreshold configures the delegated median-stability rule
+	// (default 0.02).
+	MedianThreshold float64
+	// ESSTarget configures the delegated ESS rule (default 100).
+	ESSTarget float64
+	// SelfThreshold configures the fallback self-similarity rule
+	// (default 0.08).
+	SelfThreshold float64
+	// Seed drives the self-similarity splits.
+	Seed uint64
+}
+
+func (c MetaConfig) withDefaults() MetaConfig {
+	if c.ClassifyEvery <= 0 {
+		c.ClassifyEvery = 50
+	}
+	if c.Classifier.MinSamples == 0 {
+		c.Classifier = classify.Defaults()
+	}
+	if c.CILevel == 0 {
+		c.CILevel = 0.95
+	}
+	if c.CIThreshold == 0 {
+		c.CIThreshold = 0.05
+	}
+	if c.KSThreshold == 0 {
+		c.KSThreshold = 0.1
+	}
+	if c.MedianThreshold == 0 {
+		c.MedianThreshold = 0.02
+	}
+	if c.ESSTarget == 0 {
+		c.ESSTarget = 100
+	}
+	if c.SelfThreshold == 0 {
+		c.SelfThreshold = 0.08
+	}
+	return c
+}
+
+// Meta is the paper's novel meta-heuristic: it characterizes the observed
+// distribution in real time (package classify) and applies the stopping
+// criterion most appropriate for the detected family:
+//
+//	constant        -> stop immediately
+//	normal/uniform/
+//	logistic        -> CI rule (means converge fast, CI is tight and cheap)
+//	lognormal/
+//	loguniform      -> CI rule on log-transformed samples
+//	multimodal      -> KS rule (captures mode structure, not just the mean)
+//	heavy-tailed    -> median stability (the mean may not exist)
+//	autocorrelated  -> effective-sample-size rule
+//	unknown         -> generic self-similarity rule
+type Meta struct {
+	base
+	cfg     MetaConfig
+	profile classify.Profile
+	// decision state recomputed at each classification point
+	lastClass classify.Class
+}
+
+// NewMeta returns the meta-heuristic rule.
+func NewMeta(cfg MetaConfig, b Bounds) *Meta {
+	return &Meta{base: newBase(b), cfg: cfg.withDefaults()}
+}
+
+// Name implements Rule.
+func (r *Meta) Name() string { return "meta" }
+
+// Profile returns the most recent distribution characterization.
+func (r *Meta) Profile() classify.Profile { return r.profile }
+
+// Add implements Rule.
+func (r *Meta) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	n := len(r.samples)
+	if n%r.cfg.ClassifyEvery == 0 || r.lastClass == "" {
+		r.profile = classify.ClassifyOpts(r.samples, r.cfg.Classifier)
+		r.lastClass = r.profile.Class
+	}
+	stop, why := r.evaluate()
+	if stop {
+		r.done = true
+		r.reason = fmt.Sprintf("[%s] %s (n=%d)", r.lastClass, why, n)
+	}
+}
+
+// evaluate applies the family-appropriate criterion to the current samples.
+func (r *Meta) evaluate() (bool, string) {
+	s := r.samples
+	switch r.lastClass {
+	case classify.Constant:
+		return true, "constant distribution"
+	case classify.Normal, classify.Uniform, classify.Logistic:
+		w := stats.RelativeCIHalfWidth(s, r.cfg.CILevel)
+		if w < r.cfg.CIThreshold {
+			return true, fmt.Sprintf("relative CI %.4f < %.4f", w, r.cfg.CIThreshold)
+		}
+	case classify.LogNormal, classify.LogUniform:
+		if stats.Min(s) > 0 {
+			logs := make([]float64, len(s))
+			for i, v := range s {
+				logs[i] = math.Log(v)
+			}
+			w := stats.RelativeCIHalfWidth(logs, r.cfg.CILevel)
+			// The log-mean is O(log units); use an absolute half-width bound
+			// scaled by the log-spread instead of the mean-relative form.
+			ci := stats.MeanCIRightTailed(logs, r.cfg.CILevel)
+			half := ci.High - stats.Mean(logs)
+			sd := stats.StdDev(logs)
+			if sd > 0 && half/sd < r.cfg.CIThreshold*3 {
+				return true, fmt.Sprintf("log-CI half-width %.4f sd", half/sd)
+			}
+			_ = w
+		}
+	case classify.Multimodal:
+		first, second := stats.SplitHalves(s)
+		ks := stats.KSStatistic(first, second)
+		if ks < r.cfg.KSThreshold {
+			return true, fmt.Sprintf("half-vs-half KS %.4f < %.4f", ks, r.cfg.KSThreshold)
+		}
+	case classify.HeavyTailed:
+		n := len(s)
+		window := 30
+		if n < window+r.bounds.MinSamples {
+			return false, ""
+		}
+		all := stats.Median(s)
+		tail := stats.Median(s[n-window:])
+		scale := math.Max(math.Abs(all), stats.MAD(s))
+		if scale > 0 && math.Abs(tail-all)/scale < r.cfg.MedianThreshold {
+			return true, fmt.Sprintf("median drift %.4f", math.Abs(tail-all)/scale)
+		}
+	case classify.Autocorrelated:
+		ess := stats.EffectiveSampleSize(s)
+		if ess >= r.cfg.ESSTarget {
+			return true, fmt.Sprintf("ESS %.1f >= %g", ess, r.cfg.ESSTarget)
+		}
+	default: // Unknown or not yet classified
+		first, second := stats.SplitHalves(s)
+		ks := stats.KSStatistic(first, second)
+		if ks < r.cfg.SelfThreshold {
+			return true, fmt.Sprintf("self-similarity KS %.4f < %.4f", ks, r.cfg.SelfThreshold)
+		}
+	}
+	return false, ""
+}
+
+// NewNamed builds a rule from its configuration name, used by the CLI and
+// config files. Recognized names: fixed, ci, ks, cv, mean, median, modality,
+// ess, self, meta. The threshold parameter is interpreted per rule (ignored
+// where not applicable).
+func NewNamed(name string, threshold float64, b Bounds) (Rule, error) {
+	switch name {
+	case "fixed":
+		n := int(threshold)
+		if n <= 0 {
+			n = 100
+		}
+		if b.MaxSamples > 0 && n > b.MaxSamples {
+			n = b.MaxSamples
+		}
+		return NewFixed(n), nil
+	case "ci":
+		if threshold <= 0 {
+			threshold = 0.05
+		}
+		return NewCI(0.95, threshold, b), nil
+	case "ks":
+		if threshold <= 0 {
+			threshold = 0.1
+		}
+		return NewKS(threshold, b), nil
+	case "cv":
+		if threshold <= 0 {
+			threshold = 0.1
+		}
+		return NewCV(threshold, b), nil
+	case "mean":
+		if threshold <= 0 {
+			threshold = 0.02
+		}
+		return NewMeanStability(threshold, 0, b), nil
+	case "median":
+		if threshold <= 0 {
+			threshold = 0.02
+		}
+		return NewMedianStability(threshold, 0, b), nil
+	case "tail":
+		return NewTailStability(0.95, threshold, b), nil
+	case "modality":
+		return NewModalityStability(int(threshold), b), nil
+	case "ess":
+		return NewESS(threshold, b), nil
+	case "self":
+		if threshold <= 0 {
+			threshold = 0.08
+		}
+		return NewSelfSimilarity(threshold, 0, 1, b), nil
+	case "meta":
+		return NewMeta(MetaConfig{}, b), nil
+	default:
+		return nil, fmt.Errorf("stopping: unknown rule %q", name)
+	}
+}
+
+// Names lists the configuration names accepted by NewNamed.
+func Names() []string {
+	return []string{"fixed", "ci", "ks", "cv", "mean", "median", "tail", "modality", "ess", "self", "meta"}
+}

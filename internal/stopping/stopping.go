@@ -1,0 +1,432 @@
+// Package stopping implements SHARP's dynamic stopping rules (§IV-c, §V-C).
+//
+// Choosing the number of benchmark repetitions is the central efficiency /
+// reliability trade-off in performance evaluation: too few samples give
+// unreliable estimates, too many waste compute. SHARP ships eight dynamic
+// rules tailored to specific distribution types (confidence interval,
+// Kolmogorov-Smirnov, CV convergence, mean / median / tail-quantile /
+// modality stability, effective sample size), the traditional fixed-count
+// policy for comparison, a generic self-similarity rule that needs no prior
+// knowledge of the distribution, and a meta-heuristic that classifies the
+// observed distribution on the fly and delegates to the most appropriate
+// rule.
+//
+// A Rule is a stateful accumulator: feed it observations with Add and poll
+// Done after each one. Rules never request more than their MaxSamples cap
+// and never stop before their MinSamples floor.
+package stopping
+
+import (
+	"fmt"
+	"math"
+
+	"sharp/internal/stats"
+)
+
+// Rule decides when a measurement experiment has collected enough samples.
+type Rule interface {
+	// Name identifies the rule for logs and reports.
+	Name() string
+	// Add feeds the next observation.
+	Add(x float64)
+	// Done reports whether the experiment should stop now.
+	Done() bool
+	// N returns the number of observations seen so far.
+	N() int
+	// Explain describes the current decision state for the report.
+	Explain() string
+}
+
+// Bounds are the sample-count guard rails shared by every rule.
+type Bounds struct {
+	// MinSamples is the floor before any rule may stop (default 10).
+	MinSamples int
+	// MaxSamples is the hard cap; Done becomes true at the cap regardless
+	// of convergence (default 1000, the paper's ground-truth budget).
+	MaxSamples int
+	// CheckEvery controls how often the (possibly O(n log n)) convergence
+	// statistic is recomputed (default 10).
+	CheckEvery int
+}
+
+// withDefaults fills zero fields.
+func (b Bounds) withDefaults() Bounds {
+	if b.MinSamples <= 0 {
+		b.MinSamples = 10
+	}
+	if b.MaxSamples <= 0 {
+		b.MaxSamples = 1000
+	}
+	if b.CheckEvery <= 0 {
+		b.CheckEvery = 10
+	}
+	if b.MaxSamples < b.MinSamples {
+		b.MaxSamples = b.MinSamples
+	}
+	return b
+}
+
+// base carries the sample buffer and guard-rail logic shared by rules.
+type base struct {
+	bounds  Bounds
+	samples []float64
+	done    bool
+	reason  string
+}
+
+func newBase(b Bounds) base { return base{bounds: b.withDefaults()} }
+
+// N implements Rule.
+func (b *base) N() int { return len(b.samples) }
+
+// Done implements Rule.
+func (b *base) Done() bool { return b.done }
+
+// Explain implements Rule.
+func (b *base) Explain() string {
+	if b.reason == "" {
+		return fmt.Sprintf("collecting (n=%d)", len(b.samples))
+	}
+	return b.reason
+}
+
+// add appends x and returns true when the rule should evaluate convergence
+// on this step; it also enforces the floor and cap.
+func (b *base) add(x float64) (check bool) {
+	if b.done {
+		return false
+	}
+	b.samples = append(b.samples, x)
+	n := len(b.samples)
+	if n >= b.bounds.MaxSamples {
+		b.done = true
+		b.reason = fmt.Sprintf("max samples reached (n=%d)", n)
+		return false
+	}
+	if n < b.bounds.MinSamples {
+		return false
+	}
+	return n%b.bounds.CheckEvery == 0
+}
+
+// Samples returns the observations collected so far (shared slice).
+func (b *base) Samples() []float64 { return b.samples }
+
+// --- 1. Fixed ---
+
+// Fixed stops after exactly N0 runs — the traditional policy the paper
+// compares against (SeBS uses 100 runs).
+type Fixed struct {
+	base
+	N0 int
+}
+
+// NewFixed returns a Fixed rule; n0 <= 0 defaults to 100.
+func NewFixed(n0 int) *Fixed {
+	if n0 <= 0 {
+		n0 = 100
+	}
+	return &Fixed{base: newBase(Bounds{MinSamples: 1, MaxSamples: n0, CheckEvery: 1}), N0: n0}
+}
+
+// Name implements Rule.
+func (r *Fixed) Name() string { return fmt.Sprintf("fixed-%d", r.N0) }
+
+// Add implements Rule.
+func (r *Fixed) Add(x float64) {
+	r.add(x)
+	if len(r.samples) >= r.N0 {
+		r.done = true
+		r.reason = fmt.Sprintf("fixed budget of %d runs exhausted", r.N0)
+	}
+}
+
+// --- 2. Confidence interval ---
+
+// CI stops when the right-tailed confidence half-width of the mean, as a
+// proportion of the mean, drops below Threshold (§V-C: level 0.95 with
+// thresholds T1=0.05 and T2=0.01 in Table IV).
+type CI struct {
+	base
+	Level     float64
+	Threshold float64
+	current   float64
+}
+
+// NewCI returns a CI rule with the given confidence level and relative
+// threshold.
+func NewCI(level, threshold float64, b Bounds) *CI {
+	return &CI{base: newBase(b), Level: level, Threshold: threshold, current: math.Inf(1)}
+}
+
+// Name implements Rule.
+func (r *CI) Name() string { return fmt.Sprintf("ci-%g", r.Threshold) }
+
+// Add implements Rule.
+func (r *CI) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	r.current = stats.RelativeCIHalfWidth(r.samples, r.Level)
+	if r.current < r.Threshold {
+		r.done = true
+		r.reason = fmt.Sprintf("relative CI %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
+	}
+}
+
+// --- 3. Kolmogorov-Smirnov ---
+
+// KS stops when the KS statistic between the first and second half of the
+// observations drops below Threshold (§V-C: T=0.1 in Table IV). The idea:
+// when additional runs stop providing new information, the two halves look
+// like draws from the same distribution.
+type KS struct {
+	base
+	Threshold float64
+	current   float64
+}
+
+// NewKS returns a KS rule with the given threshold.
+func NewKS(threshold float64, b Bounds) *KS {
+	return &KS{base: newBase(b), Threshold: threshold, current: 1}
+}
+
+// Name implements Rule.
+func (r *KS) Name() string { return fmt.Sprintf("ks-%g", r.Threshold) }
+
+// Add implements Rule.
+func (r *KS) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	first, second := stats.SplitHalves(r.samples)
+	r.current = stats.KSStatistic(first, second)
+	if r.current < r.Threshold {
+		r.done = true
+		r.reason = fmt.Sprintf("half-vs-half KS %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
+	}
+}
+
+// --- 4. Coefficient of variation convergence ---
+
+// CV stops when the coefficient of variation estimate has stabilized: the
+// relative change between the CV of the first half and of the full sample is
+// below Threshold. It suits unimodal distributions whose spread, not just
+// mean, must be pinned down.
+type CV struct {
+	base
+	Threshold float64
+	current   float64
+}
+
+// NewCV returns a CV-convergence rule.
+func NewCV(threshold float64, b Bounds) *CV {
+	return &CV{base: newBase(b), Threshold: threshold, current: math.Inf(1)}
+}
+
+// Name implements Rule.
+func (r *CV) Name() string { return fmt.Sprintf("cv-%g", r.Threshold) }
+
+// Add implements Rule.
+func (r *CV) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	half, _ := stats.SplitHalves(r.samples)
+	cvHalf := stats.CV(half)
+	cvAll := stats.CV(r.samples)
+	if math.IsInf(cvHalf, 0) || math.IsInf(cvAll, 0) {
+		return
+	}
+	denom := math.Max(cvAll, 1e-12)
+	r.current = math.Abs(cvAll-cvHalf) / denom
+	if cvAll == 0 || r.current < r.Threshold {
+		r.done = true
+		r.reason = fmt.Sprintf("CV drift %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
+	}
+}
+
+// --- 5. Mean stability ---
+
+// MeanStability stops when the running mean over the trailing Window
+// observations differs from the overall mean by less than Threshold
+// (relative). Suited to light-tailed unimodal data.
+type MeanStability struct {
+	base
+	Threshold float64
+	Window    int
+	current   float64
+}
+
+// NewMeanStability returns a mean-stability rule; window <= 0 defaults to 30.
+func NewMeanStability(threshold float64, window int, b Bounds) *MeanStability {
+	if window <= 0 {
+		window = 30
+	}
+	return &MeanStability{base: newBase(b), Threshold: threshold, Window: window, current: math.Inf(1)}
+}
+
+// Name implements Rule.
+func (r *MeanStability) Name() string { return fmt.Sprintf("mean-stability-%g", r.Threshold) }
+
+// Add implements Rule.
+func (r *MeanStability) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	n := len(r.samples)
+	if n < r.Window+r.bounds.MinSamples {
+		return
+	}
+	all := stats.Mean(r.samples)
+	tail := stats.Mean(r.samples[n-r.Window:])
+	if all == 0 {
+		return
+	}
+	r.current = math.Abs(tail-all) / math.Abs(all)
+	if r.current < r.Threshold {
+		r.done = true
+		r.reason = fmt.Sprintf("trailing mean drift %.4f < %.4f after %d runs", r.current, r.Threshold, n)
+	}
+}
+
+// --- 6. Median stability ---
+
+// MedianStability is the robust analogue of MeanStability, comparing the
+// trailing-window median to the overall median. It is the rule of choice
+// for heavy-tailed (Cauchy-like) data where the mean never converges.
+type MedianStability struct {
+	base
+	Threshold float64
+	Window    int
+	current   float64
+}
+
+// NewMedianStability returns a median-stability rule; window <= 0 defaults
+// to 30.
+func NewMedianStability(threshold float64, window int, b Bounds) *MedianStability {
+	if window <= 0 {
+		window = 30
+	}
+	return &MedianStability{base: newBase(b), Threshold: threshold, Window: window, current: math.Inf(1)}
+}
+
+// Name implements Rule.
+func (r *MedianStability) Name() string { return fmt.Sprintf("median-stability-%g", r.Threshold) }
+
+// Add implements Rule.
+func (r *MedianStability) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	n := len(r.samples)
+	if n < r.Window+r.bounds.MinSamples {
+		return
+	}
+	all := stats.Median(r.samples)
+	tail := stats.Median(r.samples[n-r.Window:])
+	scale := math.Max(math.Abs(all), stats.MAD(r.samples))
+	if scale == 0 {
+		r.done = true
+		r.reason = "degenerate (zero spread) sample"
+		return
+	}
+	r.current = math.Abs(tail-all) / scale
+	if r.current < r.Threshold {
+		r.done = true
+		r.reason = fmt.Sprintf("trailing median drift %.4f < %.4f after %d runs", r.current, r.Threshold, n)
+	}
+}
+
+// --- 7. Modality stability ---
+
+// ModalityStability stops when the detected number of KDE modes has remained
+// unchanged for StableChecks consecutive checks. It targets multimodal
+// performance distributions, where the interesting structure is the mode
+// set rather than any single summary.
+type ModalityStability struct {
+	base
+	StableChecks int
+	lastModes    int
+	streak       int
+}
+
+// NewModalityStability returns a modality-stability rule; stableChecks <= 0
+// defaults to 3.
+func NewModalityStability(stableChecks int, b Bounds) *ModalityStability {
+	if stableChecks <= 0 {
+		stableChecks = 3
+	}
+	return &ModalityStability{base: newBase(b), StableChecks: stableChecks}
+}
+
+// Name implements Rule.
+func (r *ModalityStability) Name() string {
+	return fmt.Sprintf("modality-stability-%d", r.StableChecks)
+}
+
+// Add implements Rule.
+func (r *ModalityStability) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	modes := stats.CountModes(r.samples)
+	if modes == r.lastModes && modes > 0 {
+		r.streak++
+	} else {
+		r.streak = 0
+		r.lastModes = modes
+	}
+	if r.streak >= r.StableChecks {
+		r.done = true
+		r.reason = fmt.Sprintf("mode count stable at %d for %d checks (n=%d)", r.lastModes, r.streak, len(r.samples))
+	}
+}
+
+// --- 8. Effective sample size ---
+
+// ESS stops once the autocorrelation-adjusted effective sample size reaches
+// Target. For serially dependent measurements (the sinusoidal tuning
+// distribution, warm-up drift) raw n overstates the evidence; ESS corrects
+// for that.
+type ESS struct {
+	base
+	Target  float64
+	current float64
+}
+
+// NewESS returns an effective-sample-size rule; target <= 0 defaults to 100.
+func NewESS(target float64, b Bounds) *ESS {
+	if target <= 0 {
+		target = 100
+	}
+	return &ESS{base: newBase(b), Target: target}
+}
+
+// Name implements Rule.
+func (r *ESS) Name() string { return fmt.Sprintf("ess-%g", r.Target) }
+
+// Add implements Rule.
+func (r *ESS) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	r.current = stats.EffectiveSampleSize(r.samples)
+	if r.current >= r.Target {
+		r.done = true
+		r.reason = fmt.Sprintf("effective sample size %.1f >= %g after %d runs", r.current, r.Target, len(r.samples))
+	}
+}
+
+// Drive feeds observations from next into rule until it reports Done, and
+// returns the collected samples. It is the harness used by tests, benches
+// and the launcher's synchronous path.
+func Drive(next func() float64, rule Rule) []float64 {
+	for !rule.Done() {
+		rule.Add(next())
+	}
+	if s, ok := rule.(interface{ Samples() []float64 }); ok {
+		return s.Samples()
+	}
+	return nil
+}

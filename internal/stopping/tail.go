@@ -1,0 +1,71 @@
+package stopping
+
+import (
+	"fmt"
+	"math"
+
+	"sharp/internal/stats"
+)
+
+// TailStability is the eighth tailored dynamic rule: it stops when a high
+// quantile (by default p95) has stabilized, comparing the tail quantile of
+// the first half of the observations against that of the full sample.
+//
+// Mean- and median-based rules converge long before the tail is pinned
+// down; for latency-style workloads where p95/p99 is the contract (the
+// SmartNIC study of §II reports p50/p99/p99.9), this rule keeps sampling
+// until the tail itself is reproducible.
+type TailStability struct {
+	base
+	// Quantile is the monitored tail quantile (default 0.95).
+	Quantile float64
+	// Threshold is the tolerated relative drift (default 0.02).
+	Threshold float64
+	current   float64
+}
+
+// NewTailStability returns a tail-stability rule; quantile <= 0 defaults to
+// 0.95 and threshold <= 0 to 0.02.
+func NewTailStability(quantile, threshold float64, b Bounds) *TailStability {
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.95
+	}
+	if threshold <= 0 {
+		threshold = 0.02
+	}
+	return &TailStability{
+		base:      newBase(b),
+		Quantile:  quantile,
+		Threshold: threshold,
+		current:   math.Inf(1),
+	}
+}
+
+// Name implements Rule.
+func (r *TailStability) Name() string {
+	return fmt.Sprintf("tail-stability-%g", r.Threshold)
+}
+
+// Add implements Rule.
+func (r *TailStability) Add(x float64) {
+	if !r.add(x) {
+		return
+	}
+	n := len(r.samples)
+	// The tail needs enough mass to estimate: require at least 10
+	// observations beyond the quantile in the half sample.
+	need := int(math.Ceil(10/(1-r.Quantile))) * 2
+	if n < need {
+		return
+	}
+	half, _ := stats.SplitHalves(r.samples)
+	qHalf := stats.Quantile(half, r.Quantile)
+	qAll := stats.Quantile(r.samples, r.Quantile)
+	scale := math.Max(math.Abs(qAll), 1e-12)
+	r.current = math.Abs(qAll-qHalf) / scale
+	if r.current < r.Threshold {
+		r.done = true
+		r.reason = fmt.Sprintf("p%d drift %.4f < %.4f after %d runs",
+			int(r.Quantile*100), r.current, r.Threshold, n)
+	}
+}

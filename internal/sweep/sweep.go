@@ -1,0 +1,276 @@
+// Package sweep orchestrates factorial experiment designs over SHARP: a
+// grid of factors (workload, machine, day, concurrency) is expanded into
+// experiments, each measured with its own stopping rule, and the combined
+// tidy-data results are analyzed factor by factor — including quantile
+// regression of the response against numeric factors, the technique the
+// paper's related work recommends over ANOVA (§VII, De Oliveira et al.).
+//
+// This is the "experiment design" activity of the paper's GUI roadmap,
+// available programmatically and from workflows.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"sharp/internal/backend"
+	"sharp/internal/core"
+	"sharp/internal/machine"
+	"sharp/internal/record"
+	"sharp/internal/stats"
+	"sharp/internal/stopping"
+	"sharp/internal/textplot"
+)
+
+// Design is a full-factorial experiment plan.
+type Design struct {
+	// Name labels the sweep in logs.
+	Name string
+	// Workloads to measure (required, >= 1).
+	Workloads []string
+	// Machines to measure on (required, >= 1; simulated backends are
+	// created per machine).
+	Machines []string
+	// Days to measure (default: just day 1).
+	Days []int
+	// Concurrencies per run (default: just 1).
+	Concurrencies []int
+	// RuleName and Threshold pick the stopping rule per cell (default ks 0.1).
+	RuleName  string
+	Threshold float64
+	// MaxRuns caps each cell (default 300).
+	MaxRuns int
+	// Seed drives all cells deterministically.
+	Seed uint64
+}
+
+func (d Design) withDefaults() (Design, error) {
+	if len(d.Workloads) == 0 {
+		return d, errors.New("sweep: no workloads")
+	}
+	if len(d.Machines) == 0 {
+		return d, errors.New("sweep: no machines")
+	}
+	if len(d.Days) == 0 {
+		d.Days = []int{1}
+	}
+	if len(d.Concurrencies) == 0 {
+		d.Concurrencies = []int{1}
+	}
+	if d.RuleName == "" {
+		d.RuleName = "ks"
+		d.Threshold = 0.1
+	}
+	if d.MaxRuns <= 0 {
+		d.MaxRuns = 300
+	}
+	if d.Name == "" {
+		d.Name = "sweep"
+	}
+	return d, nil
+}
+
+// Cell is one factor combination and its measured result.
+type Cell struct {
+	Workload    string
+	Machine     string
+	Day         int
+	Concurrency int
+	Result      *core.Result
+}
+
+// Key renders the cell coordinates.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s|%s|d%d|c%d", c.Workload, c.Machine, c.Day, c.Concurrency)
+}
+
+// Outcome is the executed sweep.
+type Outcome struct {
+	Design Design
+	Cells  []Cell
+}
+
+// Run executes the design cell by cell (deterministically ordered).
+func Run(ctx context.Context, d Design) (*Outcome, error) {
+	d, err := d.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	launcher := core.NewLauncher()
+	out := &Outcome{Design: d}
+	for _, wl := range d.Workloads {
+		for _, machName := range d.Machines {
+			m, err := machine.ByName(machName)
+			if err != nil {
+				return nil, err
+			}
+			for _, day := range d.Days {
+				for _, conc := range d.Concurrencies {
+					rule, err := stopping.NewNamed(d.RuleName, d.Threshold,
+						stopping.Bounds{MaxSamples: d.MaxRuns})
+					if err != nil {
+						return nil, err
+					}
+					res, err := launcher.Run(ctx, core.Experiment{
+						Name:        fmt.Sprintf("%s/%s@%s", d.Name, wl, machName),
+						Workload:    wl,
+						Backend:     backend.NewSim(m, d.Seed),
+						Rule:        rule,
+						Concurrency: conc,
+						Day:         day,
+						Seed:        d.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("sweep: cell %s@%s day %d c%d: %w",
+							wl, machName, day, conc, err)
+					}
+					out.Cells = append(out.Cells, Cell{
+						Workload: wl, Machine: machName,
+						Day: day, Concurrency: conc, Result: res,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Rows flattens every cell's tidy-data log into one slice.
+func (o *Outcome) Rows() []record.Row {
+	var rows []record.Row
+	for _, c := range o.Cells {
+		rows = append(rows, c.Result.Rows...)
+	}
+	return rows
+}
+
+// SaveCSV writes the combined tidy log.
+func (o *Outcome) SaveCSV(path string) error {
+	w, err := record.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteAll(o.Rows()); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// FactorEffect summarizes the response per level of one factor, pooling
+// over all other factors.
+type FactorEffect struct {
+	Factor string
+	Levels []LevelSummary
+}
+
+// LevelSummary is the response distribution at one factor level.
+type LevelSummary struct {
+	Level  string
+	N      int
+	Mean   float64
+	Median float64
+	P95    float64
+	Modes  int
+}
+
+// EffectOf computes the per-level response summaries for a factor
+// ("workload", "machine", "day", "concurrency").
+func (o *Outcome) EffectOf(factor string) (FactorEffect, error) {
+	groups := map[string][]float64{}
+	var order []string
+	add := func(level string, samples []float64) {
+		if _, seen := groups[level]; !seen {
+			order = append(order, level)
+		}
+		groups[level] = append(groups[level], samples...)
+	}
+	for _, c := range o.Cells {
+		var level string
+		switch factor {
+		case "workload":
+			level = c.Workload
+		case "machine":
+			level = c.Machine
+		case "day":
+			level = fmt.Sprintf("%d", c.Day)
+		case "concurrency":
+			level = fmt.Sprintf("%d", c.Concurrency)
+		default:
+			return FactorEffect{}, fmt.Errorf("sweep: unknown factor %q", factor)
+		}
+		add(level, c.Result.Samples)
+	}
+	eff := FactorEffect{Factor: factor}
+	for _, level := range order {
+		s := groups[level]
+		sum, err := stats.Describe(s)
+		if err != nil {
+			continue
+		}
+		eff.Levels = append(eff.Levels, LevelSummary{
+			Level: level, N: sum.N, Mean: sum.Mean, Median: sum.Median,
+			P95: sum.P95, Modes: stats.CountModes(s),
+		})
+	}
+	return eff, nil
+}
+
+// QuantileTrend fits linear quantile regressions of the response against a
+// numeric factor ("day" or "concurrency") at the given taus.
+func (o *Outcome) QuantileTrend(factor string, taus ...float64) ([]stats.QuantRegResult, error) {
+	if len(taus) == 0 {
+		taus = []float64{0.1, 0.5, 0.9}
+	}
+	var xs, ys []float64
+	for _, c := range o.Cells {
+		var x float64
+		switch factor {
+		case "day":
+			x = float64(c.Day)
+		case "concurrency":
+			x = float64(c.Concurrency)
+		default:
+			return nil, fmt.Errorf("sweep: factor %q is not numeric", factor)
+		}
+		for _, v := range c.Result.Samples {
+			xs = append(xs, x)
+			ys = append(ys, v)
+		}
+	}
+	out := make([]stats.QuantRegResult, 0, len(taus))
+	for _, tau := range taus {
+		fit, err := stats.QuantileRegression(xs, ys, tau)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fit)
+	}
+	return out, nil
+}
+
+// Render summarizes the sweep as Markdown.
+func (o *Outcome) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Sweep: %s\n\n", o.Design.Name)
+	fmt.Fprintf(&b, "%d cells (%d workloads x %d machines x %d days x %d concurrencies)\n\n",
+		len(o.Cells), len(o.Design.Workloads), len(o.Design.Machines),
+		len(o.Design.Days), len(o.Design.Concurrencies))
+	var rows [][]string
+	for _, c := range o.Cells {
+		sum, err := c.Result.Summary()
+		if err != nil {
+			continue
+		}
+		rows = append(rows, []string{
+			c.Workload, c.Machine, fmt.Sprintf("%d", c.Day), fmt.Sprintf("%d", c.Concurrency),
+			fmt.Sprintf("%d", sum.N), fmt.Sprintf("%.4g", sum.Mean),
+			fmt.Sprintf("%.4g", sum.Median), fmt.Sprintf("%d", c.Result.Modes()),
+		})
+	}
+	b.WriteString(textplot.Table(
+		[]string{"workload", "machine", "day", "conc", "runs", "mean", "median", "modes"}, rows))
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharp/internal/record"
+)
+
+func smallDesign() Design {
+	return Design{
+		Name:      "test-sweep",
+		Workloads: []string{"bfs", "srad"},
+		Machines:  []string{"machine1", "machine3"},
+		Days:      []int{1, 2},
+		RuleName:  "fixed",
+		Threshold: 40,
+		Seed:      5,
+	}
+}
+
+func TestRunFullFactorial(t *testing.T) {
+	out, err := Run(context.Background(), smallDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) != 2*2*2 {
+		t.Fatalf("cells = %d, want 8", len(out.Cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range out.Cells {
+		if seen[c.Key()] {
+			t.Errorf("duplicate cell %s", c.Key())
+		}
+		seen[c.Key()] = true
+		if c.Result.Runs != 40 {
+			t.Errorf("%s: runs = %d", c.Key(), c.Result.Runs)
+		}
+	}
+}
+
+func TestEffectOfMachine(t *testing.T) {
+	out, err := Run(context.Background(), smallDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := out.EffectOf("machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Levels) != 2 {
+		t.Fatalf("levels = %v", eff.Levels)
+	}
+	// Machine 3 (faster CPU) must show lower means for CPU benchmarks.
+	var m1, m3 float64
+	for _, l := range eff.Levels {
+		switch l.Level {
+		case "machine1":
+			m1 = l.Mean
+		case "machine3":
+			m3 = l.Mean
+		}
+	}
+	if m3 >= m1 {
+		t.Errorf("machine3 mean %.3f not faster than machine1 %.3f", m3, m1)
+	}
+	if _, err := out.EffectOf("bogus"); err == nil {
+		t.Error("unknown factor accepted")
+	}
+}
+
+func TestQuantileTrendOverConcurrency(t *testing.T) {
+	// sc-like workloads don't support concurrency in the sim backend's
+	// response model directly, but response vs day should be ~flat for a
+	// mean-stable workload; use concurrency as the numeric factor over a
+	// design where it varies.
+	d := smallDesign()
+	d.Workloads = []string{"bfs"}
+	d.Machines = []string{"machine1"}
+	d.Days = []int{1}
+	d.Concurrencies = []int{1, 2, 4}
+	out, err := Run(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := out.QuantileTrend("concurrency", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 1 || fits[0].Tau != 0.5 {
+		t.Fatalf("fits = %+v", fits)
+	}
+	if _, err := out.QuantileTrend("workload"); err == nil {
+		t.Error("non-numeric factor accepted")
+	}
+	// Default taus path.
+	fits, err = out.QuantileTrend("concurrency")
+	if err != nil || len(fits) != 3 {
+		t.Fatalf("default taus: %v, %v", fits, err)
+	}
+}
+
+func TestSaveCSVAndRender(t *testing.T) {
+	d := smallDesign()
+	d.Workloads = []string{"bfs"}
+	d.Days = []int{1}
+	out, err := Run(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	if err := out.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := record.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(out.Rows()) {
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+	rendered := out.Render()
+	for _, want := range []string{"# Sweep: test-sweep", "machine3", "| workload |"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Design{Machines: []string{"machine1"}}); err == nil {
+		t.Error("no workloads accepted")
+	}
+	if _, err := Run(context.Background(), Design{Workloads: []string{"bfs"}}); err == nil {
+		t.Error("no machines accepted")
+	}
+	if _, err := Run(context.Background(), Design{
+		Workloads: []string{"bfs"}, Machines: []string{"ghost"},
+	}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := Run(context.Background(), Design{
+		Workloads: []string{"bfs"}, Machines: []string{"machine1"}, RuleName: "ghost",
+	}); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}

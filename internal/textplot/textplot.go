@@ -1,0 +1,310 @@
+// Package textplot renders the Reporter's visualizations as plain text:
+// histograms, boxplots, ECDF curves, heatmaps, and scatter plots. The
+// paper's Reporter produces RMarkdown graphics; the equivalent here is
+// terminal/Markdown-friendly ASCII, which keeps reports self-contained and
+// diffable.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sharp/internal/stats"
+)
+
+// barRunes are eighth-block characters for smooth horizontal bars.
+var barRunes = []rune(" ▏▎▍▌▋▊▉█")
+
+// bar renders a horizontal bar of the given fractional width (0..1) over
+// width cells.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	cells := frac * float64(width)
+	full := int(cells)
+	rem := cells - float64(full)
+	var b strings.Builder
+	for i := 0; i < full; i++ {
+		b.WriteRune('█')
+	}
+	if full < width {
+		idx := int(rem * 8)
+		if idx > 0 {
+			b.WriteRune(barRunes[idx])
+		}
+	}
+	return b.String()
+}
+
+// Histogram renders a histogram with counts, one bin per line:
+//
+//	[1.000, 1.062)  1234 ██████████
+//
+// width is the maximum bar width in cells.
+func Histogram(h *stats.Histogram, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := h.MaxCount()
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		closing := ")"
+		if i == len(h.Counts)-1 {
+			closing = "]"
+		}
+		fmt.Fprintf(&b, "[%9.4g, %9.4g%s %6d %s\n",
+			h.Edges[i], h.Edges[i+1], closing, c, bar(float64(c)/float64(max), width))
+	}
+	return b.String()
+}
+
+// HistogramData is a convenience wrapper: bins data with the paper's
+// min(Sturges, FD) rule and renders it.
+func HistogramData(data []float64, width int) string {
+	return Histogram(stats.NewHistogram(data, stats.BinMinWidth), width)
+}
+
+// Boxplot renders a one-line Tukey boxplot scaled to [lo, hi]:
+//
+//	|----[==|==]------|   (whiskers, quartile box, median)
+func Boxplot(data []float64, lo, hi float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(data) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	s := stats.SortedCopy(data)
+	q1 := stats.QuantileSorted(s, 0.25)
+	med := stats.QuantileSorted(s, 0.5)
+	q3 := stats.QuantileSorted(s, 0.75)
+	iqr := q3 - q1
+	loW, hiW := q1-1.5*iqr, q3+1.5*iqr
+	// Whiskers end at the most extreme data points inside the fences.
+	wLo, wHi := s[0], s[len(s)-1]
+	for _, v := range s {
+		if v >= loW {
+			wLo = v
+			break
+		}
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] <= hiW {
+			wHi = s[i]
+			break
+		}
+	}
+	if hi <= lo {
+		lo, hi = s[0], s[len(s)-1]
+		if hi == lo {
+			hi = lo + 1
+		}
+	}
+	pos := func(v float64) int {
+		p := int((v - lo) / (hi - lo) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	row := []rune(strings.Repeat(" ", width))
+	for i := pos(wLo); i <= pos(wHi); i++ {
+		row[i] = '-'
+	}
+	for i := pos(q1); i <= pos(q3); i++ {
+		row[i] = '='
+	}
+	row[pos(wLo)] = '|'
+	row[pos(wHi)] = '|'
+	row[pos(q1)] = '['
+	row[pos(q3)] = ']'
+	row[pos(med)] = '#'
+	// Outliers as dots.
+	for _, v := range s {
+		if v < loW || v > hiW {
+			p := pos(v)
+			if row[p] == ' ' {
+				row[p] = '.'
+			}
+		}
+	}
+	return string(row)
+}
+
+// ECDF renders the empirical CDF as a fixed-size character grid.
+func ECDF(data []float64, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 10
+	}
+	if len(data) == 0 {
+		return ""
+	}
+	e := stats.NewECDF(data)
+	lo, hi := stats.Min(data), stats.Max(data)
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", width))
+	}
+	for x := 0; x < width; x++ {
+		v := lo + (hi-lo)*float64(x)/float64(width-1)
+		f := e.Eval(v)
+		y := int((1 - f) * float64(height-1))
+		grid[y][x] = '█'
+	}
+	var b strings.Builder
+	for y, row := range grid {
+		label := "      "
+		if y == 0 {
+			label = "1.0 | "
+		} else if y == height-1 {
+			label = "0.0 | "
+		} else {
+			label = "    | "
+		}
+		b.WriteString(label)
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "      %-10.4g%s%10.4g\n", lo, strings.Repeat(" ", maxInt(0, width-20)), hi)
+	return b.String()
+}
+
+// Heatmap renders a labeled matrix of values, colored by density characters
+// (light -> dark: . : * # @). Cell values are printed to 2 decimals, the
+// presentation used for the paper's Fig. 5b similarity heatmaps.
+func Heatmap(rowLabels, colLabels []string, values [][]float64) string {
+	var b strings.Builder
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	shades := []byte{'.', ':', '*', '#', '@'}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%*s", labelW+1, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&b, " %8s", c)
+	}
+	b.WriteByte('\n')
+	for i, row := range values {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s", labelW+1, label)
+		for _, v := range row {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, " %8s", "-")
+				continue
+			}
+			shade := shades[int((v-lo)/(hi-lo)*float64(len(shades)-1)+0.5)]
+			fmt.Fprintf(&b, " %6.2f %c", v, shade)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Scatter renders points on a character grid with axis ranges, used for the
+// Fig. 5a NAMD-vs-KS comparison.
+func Scatter(xs, ys []float64, width, height int, xLabel, yLabel string) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return ""
+	}
+	xlo, xhi := stats.Min(xs), stats.Max(xs)
+	ylo, yhi := stats.Min(ys), stats.Max(ys)
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		x := int((xs[i] - xlo) / (xhi - xlo) * float64(width-1))
+		y := int((1 - (ys[i]-ylo)/(yhi-ylo)) * float64(height-1))
+		switch grid[y][x] {
+		case ' ':
+			grid[y][x] = '.'
+		case '.':
+			grid[y][x] = 'o'
+		case 'o':
+			grid[y][x] = 'O'
+		default:
+			grid[y][x] = '@'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", yLabel)
+	for y, row := range grid {
+		tick := "    "
+		if y == 0 {
+			tick = fmt.Sprintf("%4.2f", yhi)
+		} else if y == height-1 {
+			tick = fmt.Sprintf("%4.2f", ylo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", tick, string(row))
+	}
+	fmt.Fprintf(&b, "     %-8.3g%s%8.3g  (%s)\n", xlo, strings.Repeat(" ", maxInt(0, width-16)), xhi, xLabel)
+	return b.String()
+}
+
+// Table renders rows as a Markdown table.
+func Table(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

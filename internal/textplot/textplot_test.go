@@ -1,0 +1,128 @@
+package textplot
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"sharp/internal/stats"
+)
+
+func data(n int) []float64 {
+	r := rand.New(rand.NewPCG(5, 6))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 10 + r.NormFloat64()
+	}
+	return out
+}
+
+func TestHistogramRendering(t *testing.T) {
+	out := HistogramData(data(1000), 30)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("histogram too small:\n%s", out)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "[") || !strings.Contains(l, ",") {
+			t.Fatalf("malformed bin line %q", l)
+		}
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("no bars rendered")
+	}
+	// Last bin closes with "]".
+	if !strings.Contains(lines[len(lines)-1], "]") {
+		t.Error("final bin not right-closed")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := stats.NewHistogram(nil, stats.BinSturges)
+	out := Histogram(h, 20)
+	if out == "" {
+		t.Error("empty histogram should still render a line")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	d := data(500)
+	out := Boxplot(d, stats.Min(d), stats.Max(d), 50)
+	if len([]rune(out)) != 50 {
+		t.Fatalf("boxplot width = %d", len([]rune(out)))
+	}
+	for _, c := range []string{"[", "]", "#", "|"} {
+		if !strings.Contains(out, c) {
+			t.Errorf("boxplot missing %q: %q", c, out)
+		}
+	}
+}
+
+func TestBoxplotWithOutliers(t *testing.T) {
+	d := append(data(200), 30, 31)
+	out := Boxplot(d, 5, 32, 60)
+	if !strings.Contains(out, ".") {
+		t.Errorf("outliers not drawn: %q", out)
+	}
+}
+
+func TestBoxplotDegenerate(t *testing.T) {
+	if out := Boxplot(nil, 0, 1, 10); len(out) != 10 {
+		t.Error("empty boxplot wrong width")
+	}
+	out := Boxplot([]float64{5, 5, 5}, 0, 0, 20)
+	if !strings.Contains(out, "#") {
+		t.Error("constant data boxplot missing median")
+	}
+}
+
+func TestECDFShape(t *testing.T) {
+	out := ECDF(data(500), 40, 8)
+	if !strings.Contains(out, "1.0 |") || !strings.Contains(out, "0.0 |") {
+		t.Fatalf("ECDF missing axis labels:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("ECDF curve empty")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap(
+		[]string{"day1", "day2"},
+		[]string{"day1", "day2"},
+		[][]float64{{0, 0.21}, {0.21, 0}},
+	)
+	if !strings.Contains(out, "day1") || !strings.Contains(out, "0.21") {
+		t.Fatalf("heatmap:\n%s", out)
+	}
+	// NaN cells render as "-".
+	nan := Heatmap([]string{"r"}, []string{"c"}, [][]float64{{math.NaN()}})
+	if !strings.Contains(nan, "-") {
+		t.Error("NaN cell not rendered")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.3, 0.2, 0.2}
+	ys := []float64{0, 0.5, 0.3, 0.9, 0.3, 0.3}
+	out := Scatter(xs, ys, 30, 10, "NAMD", "KS")
+	if !strings.Contains(out, "NAMD") || !strings.Contains(out, "KS") {
+		t.Fatalf("scatter labels missing:\n%s", out)
+	}
+	// Overplotted points densify: the thrice-plotted point becomes 'O'.
+	if !strings.Contains(out, "O") {
+		t.Errorf("overplot densification missing:\n%s", out)
+	}
+	if Scatter(nil, nil, 10, 5, "x", "y") != "" {
+		t.Error("empty scatter should be empty string")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "| a | b |\n| --- | --- |\n| 1 | 2 |\n| 3 | 4 |\n"
+	if out != want {
+		t.Fatalf("table = %q", out)
+	}
+}

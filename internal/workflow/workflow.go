@@ -1,0 +1,337 @@
+// Package workflow executes multi-stage experiment workflows (§IV-b).
+//
+// Modern evaluations combine applications or stages with dependency
+// relationships. SHARP adopts the CNCF Serverless Workflow Specification as
+// the input format (a practical subset: operation and parallel states with
+// functionRef actions and transitions) and offers two execution paths,
+// mirroring the paper:
+//
+//   - a translator that emits a Makefile whose targets invoke the SHARP
+//     launcher, so workflows run under the time-tested 'make' tool, and
+//   - a native topological executor used by tests and offline runs.
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sharp/internal/config"
+)
+
+// Action is one function invocation within a workflow state.
+type Action struct {
+	// Function is the workload/function name to invoke.
+	Function string
+	// Args are invocation arguments (stringified from the spec).
+	Args []string
+}
+
+// Task is one workflow state and its dependencies.
+type Task struct {
+	// Name is the state name (unique within the workflow).
+	Name string
+	// Actions run when the task executes. Actions of a "parallel" state
+	// run concurrently; those of an "operation" state run in order.
+	Actions []Action
+	// Parallel marks states whose actions run concurrently.
+	Parallel bool
+	// DependsOn lists states that must complete first.
+	DependsOn []string
+}
+
+// Workflow is a parsed dependency graph of tasks.
+type Workflow struct {
+	// Name is the workflow identifier.
+	Name string
+	// Tasks is the state list in declaration order.
+	Tasks []Task
+}
+
+// ErrCycle is returned when the dependency graph has a cycle.
+var ErrCycle = errors.New("workflow: dependency cycle")
+
+// Parse interprets a Serverless Workflow document (already loaded via
+// package config). Recognized structure:
+//
+//	id / name:  workflow identifier
+//	start:      first state (optional; defaults to the first in the list)
+//	states:     - name, type (operation|parallel), actions, transition, end
+//
+// Actions reference functions by functionRef (a string or an object with
+// refName and arguments). Transitions define the dependency chain: a state
+// depends on every state that transitions to it. A "dependsOn" list on a
+// state adds explicit extra dependencies.
+func Parse(doc *config.Document) (*Workflow, error) {
+	w := &Workflow{Name: doc.String("id", doc.String("name", "workflow"))}
+	states := doc.List("states")
+	if len(states) == 0 {
+		return nil, errors.New("workflow: no states")
+	}
+	index := map[string]int{}
+	for i := range states {
+		st := config.NewDocument(states[i])
+		name := st.String("name", "")
+		if name == "" {
+			return nil, fmt.Errorf("workflow: state %d has no name", i)
+		}
+		if _, dup := index[name]; dup {
+			return nil, fmt.Errorf("workflow: duplicate state %q", name)
+		}
+		task := Task{
+			Name:     name,
+			Parallel: st.String("type", "operation") == "parallel",
+		}
+		for j := range st.List("actions") {
+			act, err := parseAction(st, fmt.Sprintf("actions.%d", j))
+			if err != nil {
+				return nil, fmt.Errorf("workflow: state %q: %w", name, err)
+			}
+			task.Actions = append(task.Actions, act)
+		}
+		// Parallel states may declare branches, each with actions.
+		for bi := range st.List("branches") {
+			br := config.NewDocument(st.Map(fmt.Sprintf("branches.%d", bi)))
+			for j := range br.List("actions") {
+				act, err := parseAction(br, fmt.Sprintf("actions.%d", j))
+				if err != nil {
+					return nil, fmt.Errorf("workflow: state %q branch %d: %w", name, bi, err)
+				}
+				task.Actions = append(task.Actions, act)
+			}
+			task.Parallel = true
+		}
+		task.DependsOn = append(task.DependsOn, st.Strings("dependsOn")...)
+		index[name] = len(w.Tasks)
+		w.Tasks = append(w.Tasks, task)
+	}
+	// Transitions: state S -> T means T depends on S.
+	for i := range states {
+		st := config.NewDocument(states[i])
+		from := st.String("name", "")
+		to := st.String("transition", st.String("transition.nextState", ""))
+		if to == "" {
+			continue
+		}
+		ti, ok := index[to]
+		if !ok {
+			return nil, fmt.Errorf("workflow: state %q transitions to unknown state %q", from, to)
+		}
+		w.Tasks[ti].DependsOn = append(w.Tasks[ti].DependsOn, from)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// parseAction reads one action node at the given path.
+func parseAction(doc *config.Document, path string) (Action, error) {
+	// functionRef as plain string.
+	if s := doc.String(path+".functionRef", ""); s != "" {
+		return Action{Function: s}, nil
+	}
+	// functionRef as object.
+	ref := doc.String(path+".functionRef.refName", "")
+	if ref == "" {
+		return Action{}, fmt.Errorf("action %s has no functionRef", path)
+	}
+	act := Action{Function: ref}
+	if args := doc.Map(path + ".functionRef.arguments"); args != nil {
+		keys := make([]string, 0, len(args))
+		for k := range args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			act.Args = append(act.Args, fmt.Sprintf("%s=%v", k, args[k]))
+		}
+	}
+	return act, nil
+}
+
+// ParseFile loads and parses a workflow file (JSON or YAML subset).
+func ParseFile(path string) (*Workflow, error) {
+	doc, err := config.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(doc)
+}
+
+// Validate checks that dependencies exist and the graph is acyclic.
+func (w *Workflow) Validate() error {
+	index := map[string]int{}
+	for i, t := range w.Tasks {
+		index[t.Name] = i
+	}
+	for _, t := range w.Tasks {
+		for _, d := range t.DependsOn {
+			if _, ok := index[d]; !ok {
+				return fmt.Errorf("workflow: task %q depends on unknown task %q", t.Name, d)
+			}
+		}
+	}
+	if _, err := w.Levels(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Levels returns the tasks grouped into dependency levels: every task in
+// level k depends only on tasks in levels < k. Tasks within a level can run
+// concurrently. It returns ErrCycle for cyclic graphs.
+func (w *Workflow) Levels() ([][]string, error) {
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, t := range w.Tasks {
+		indeg[t.Name] = len(dedup(t.DependsOn))
+		for _, d := range dedup(t.DependsOn) {
+			dependents[d] = append(dependents[d], t.Name)
+		}
+	}
+	var levels [][]string
+	remaining := len(w.Tasks)
+	// Ready set in declaration order for deterministic output.
+	for remaining > 0 {
+		var level []string
+		for _, t := range w.Tasks {
+			if indeg[t.Name] == 0 {
+				level = append(level, t.Name)
+			}
+		}
+		if len(level) == 0 {
+			return nil, ErrCycle
+		}
+		for _, name := range level {
+			indeg[name] = -1 // consumed
+			remaining--
+			for _, dep := range dependents[name] {
+				indeg[dep]--
+			}
+		}
+		levels = append(levels, level)
+	}
+	return levels, nil
+}
+
+// Task returns the task with the given name.
+func (w *Workflow) Task(name string) (Task, bool) {
+	for _, t := range w.Tasks {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+func dedup(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Runner executes a single action; implementations typically call the SHARP
+// launcher.
+type Runner func(ctx context.Context, task string, action Action) error
+
+// Execute runs the workflow with the given runner, respecting dependencies:
+// levels run sequentially, tasks within a level concurrently, and a
+// parallel task's actions concurrently. The first error aborts the
+// remaining levels.
+func (w *Workflow) Execute(ctx context.Context, run Runner) error {
+	levels, err := w.Levels()
+	if err != nil {
+		return err
+	}
+	for _, level := range levels {
+		var wg sync.WaitGroup
+		errs := make([]error, len(level))
+		for i, name := range level {
+			task, _ := w.Task(name)
+			wg.Add(1)
+			go func(i int, task Task) {
+				defer wg.Done()
+				errs[i] = w.runTask(ctx, task, run)
+			}(i, task)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Workflow) runTask(ctx context.Context, task Task, run Runner) error {
+	if task.Parallel {
+		var wg sync.WaitGroup
+		errs := make([]error, len(task.Actions))
+		for i, act := range task.Actions {
+			wg.Add(1)
+			go func(i int, act Action) {
+				defer wg.Done()
+				errs[i] = run(ctx, task.Name, act)
+			}(i, act)
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	}
+	for _, act := range task.Actions {
+		if err := run(ctx, task.Name, act); err != nil {
+			return fmt.Errorf("workflow: task %q action %q: %w", task.Name, act.Function, err)
+		}
+	}
+	return nil
+}
+
+// Makefile renders the workflow as a Makefile whose targets invoke the
+// given launcher command — the paper's translation path (§IV-b). Each state
+// becomes a phony target depending on its predecessors; 'make -j' then
+// provides parallel execution of independent states.
+func (w *Workflow) Makefile(launcher string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Makefile generated by SHARP from workflow %q.\n", w.Name)
+	fmt.Fprintf(&b, "# Run with: make -j all\n\n")
+	var phony []string
+	phony = append(phony, "all")
+	// Terminal tasks: those no one depends on.
+	depended := map[string]bool{}
+	for _, t := range w.Tasks {
+		for _, d := range t.DependsOn {
+			depended[d] = true
+		}
+	}
+	var terminals []string
+	for _, t := range w.Tasks {
+		if !depended[t.Name] {
+			terminals = append(terminals, t.Name)
+		}
+	}
+	fmt.Fprintf(&b, "all: %s\n\n", strings.Join(terminals, " "))
+	for _, t := range w.Tasks {
+		phony = append(phony, t.Name)
+		fmt.Fprintf(&b, "%s: %s\n", t.Name, strings.Join(dedup(t.DependsOn), " "))
+		for _, act := range t.Actions {
+			args := ""
+			if len(act.Args) > 0 {
+				args = " --args '" + strings.Join(act.Args, ",") + "'"
+			}
+			fmt.Fprintf(&b, "\t%s run --workload %s%s\n", launcher, act.Function, args)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, ".PHONY: %s\n", strings.Join(phony, " "))
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"sharp/internal/config"
+)
+
+const sampleYAML = `
+id: rodinia-pipeline
+start: prepare
+states:
+  - name: prepare
+    type: operation
+    actions:
+      - functionRef: setup
+    transition: measure
+  - name: measure
+    type: parallel
+    branches:
+      - actions:
+          - functionRef:
+              refName: bfs
+              arguments:
+                graph: graph1MW_6.txt
+      - actions:
+          - functionRef:
+              refName: hotspot
+    transition: report
+  - name: report
+    type: operation
+    actions:
+      - functionRef: reporter
+`
+
+func parseSample(t *testing.T) *Workflow {
+	t.Helper()
+	doc, err := config.Parse([]byte(sampleYAML), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestParseSample(t *testing.T) {
+	w := parseSample(t)
+	if w.Name != "rodinia-pipeline" {
+		t.Errorf("name = %q", w.Name)
+	}
+	if len(w.Tasks) != 3 {
+		t.Fatalf("tasks = %d", len(w.Tasks))
+	}
+	measure, ok := w.Task("measure")
+	if !ok || !measure.Parallel {
+		t.Fatalf("measure task: %+v", measure)
+	}
+	if len(measure.Actions) != 2 {
+		t.Fatalf("measure actions = %v", measure.Actions)
+	}
+	if measure.Actions[0].Function != "bfs" || len(measure.Actions[0].Args) != 1 ||
+		measure.Actions[0].Args[0] != "graph=graph1MW_6.txt" {
+		t.Errorf("bfs action = %+v", measure.Actions[0])
+	}
+	if deps := measure.DependsOn; len(deps) != 1 || deps[0] != "prepare" {
+		t.Errorf("measure deps = %v", deps)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	w := parseSample(t)
+	levels, err := w.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"prepare"}, {"measure"}, {"report"}}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := range want {
+		if strings.Join(levels[i], ",") != strings.Join(want[i], ",") {
+			t.Fatalf("level %d = %v, want %v", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	w := &Workflow{Tasks: []Task{
+		{Name: "a", DependsOn: []string{"b"}},
+		{Name: "b", DependsOn: []string{"a"}},
+	}}
+	if _, err := w.Levels(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateUnknownDep(t *testing.T) {
+	w := &Workflow{Tasks: []Task{{Name: "a", DependsOn: []string{"ghost"}}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+}
+
+func TestExecuteOrderAndParallelism(t *testing.T) {
+	w := parseSample(t)
+	var mu sync.Mutex
+	var order []string
+	err := w.Execute(context.Background(), func(ctx context.Context, task string, act Action) error {
+		mu.Lock()
+		order = append(order, task+"/"+act.Function)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("actions run = %v", order)
+	}
+	if order[0] != "prepare/setup" {
+		t.Errorf("first action = %q", order[0])
+	}
+	if order[3] != "report/reporter" {
+		t.Errorf("last action = %q", order[3])
+	}
+}
+
+func TestExecutePropagatesErrors(t *testing.T) {
+	w := parseSample(t)
+	boom := errors.New("boom")
+	ran := map[string]bool{}
+	var mu sync.Mutex
+	err := w.Execute(context.Background(), func(ctx context.Context, task string, act Action) error {
+		mu.Lock()
+		ran[task] = true
+		mu.Unlock()
+		if act.Function == "bfs" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran["report"] {
+		t.Error("report ran after failed dependency")
+	}
+}
+
+func TestMakefileOutput(t *testing.T) {
+	w := parseSample(t)
+	mk := w.Makefile("sharp")
+	for _, want := range []string{
+		"all: report",
+		"measure: prepare",
+		"report: measure",
+		"\tsharp run --workload bfs --args 'graph=graph1MW_6.txt'",
+		"\tsharp run --workload reporter",
+		".PHONY: all prepare measure report",
+	} {
+		if !strings.Contains(mk, want) {
+			t.Errorf("Makefile missing %q:\n%s", want, mk)
+		}
+	}
+}
+
+func TestParseJSONWorkflow(t *testing.T) {
+	js := `{
+	  "id": "wf",
+	  "states": [
+	    {"name": "a", "type": "operation",
+	     "actions": [{"functionRef": {"refName": "f1"}}], "transition": "b"},
+	    {"name": "b", "type": "operation",
+	     "actions": [{"functionRef": "f2"}]}
+	  ]
+	}`
+	doc, err := config.Parse([]byte(js), ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Task("b")
+	if len(b.DependsOn) != 1 || b.DependsOn[0] != "a" {
+		t.Fatalf("b deps = %v", b.DependsOn)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{"id": "x", "states": []}`,
+		`{"id": "x", "states": [{"type": "operation"}]}`,
+		`{"id": "x", "states": [{"name": "a"}, {"name": "a"}]}`,
+		`{"id": "x", "states": [{"name": "a", "transition": "ghost"}]}`,
+		`{"id": "x", "states": [{"name": "a", "actions": [{}]}]}`,
+	}
+	for _, src := range cases {
+		doc, err := config.Parse([]byte(src), ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("no error for %s", src)
+		}
+	}
+}
