@@ -17,8 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/backend/ ./internal/faas/ ./internal/workflow/ \
-		./internal/core/ ./internal/gui/ ./internal/duet/
+	$(GO) test -race ./...
 
 # One testing.B target per paper table/figure plus ablations and substrate
 # micro-benchmarks.

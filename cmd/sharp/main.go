@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"sharp/internal/record"
 	"sharp/internal/regress"
 	"sharp/internal/report"
+	"sharp/internal/resilience"
 	"sharp/internal/rodinia"
 	"sharp/internal/similarity"
 	"sharp/internal/stats"
@@ -127,22 +129,27 @@ Run 'sharp <command> -h' for command flags.`)
 
 // runFlags defines the flags shared by run/compare.
 type runFlags struct {
-	workload    string
-	backendName string
-	machineName string
-	faasURL     string
-	rule        string
-	threshold   float64
-	maxRuns     int
-	minRuns     int
-	day         int
-	seed        uint64
-	concurrency int
-	warmup      int
-	timeout     time.Duration
-	outCSV      string
-	outMeta     string
-	quiet       bool
+	workload      string
+	backendName   string
+	machineName   string
+	faasURL       string
+	rule          string
+	threshold     float64
+	maxRuns       int
+	minRuns       int
+	day           int
+	seed          uint64
+	concurrency   int
+	warmup        int
+	timeout       time.Duration
+	retries       int
+	retryBackoff  time.Duration
+	failureBudget float64
+	maxConsecFail int
+	chaos         float64
+	outCSV        string
+	outMeta       string
+	quiet         bool
 }
 
 func (rf *runFlags) register(fs *flag.FlagSet) {
@@ -159,27 +166,46 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&rf.concurrency, "concurrency", 1, "parallel instances per run")
 	fs.IntVar(&rf.warmup, "warmup", 0, "warm-up runs (not recorded)")
 	fs.DurationVar(&rf.timeout, "timeout", 0, "per-instance timeout")
+	fs.IntVar(&rf.retries, "retries", 1, "total attempts per run (>1 enables retry with backoff)")
+	fs.DurationVar(&rf.retryBackoff, "retry-backoff", 0, "base retry backoff (0 = 10ms default)")
+	fs.Float64Var(&rf.failureBudget, "failure-budget", 0, "abort past this failed-run fraction (0 = default 0.5, <0 disables)")
+	fs.IntVar(&rf.maxConsecFail, "max-consecutive-failures", 0, "abort after this many consecutive failed runs (0 = default 10, <0 disables)")
+	fs.Float64Var(&rf.chaos, "chaos", 0, "fault-injection rate in [0,1): deterministic errors (60%), timeouts (30%), latency spikes (10%)")
 	fs.StringVar(&rf.outCSV, "csv", "", "write tidy-data CSV log to this path")
 	fs.StringVar(&rf.outMeta, "meta", "", "write metadata record to this path")
 	fs.BoolVar(&rf.quiet, "quiet", false, "suppress the report; print one summary line")
 }
 
-// buildBackend constructs the requested backend.
+// buildBackend constructs the requested backend, applying chaos fault
+// injection when --chaos is set.
 func (rf *runFlags) buildBackend(machineName string) (backend.Backend, error) {
+	var b backend.Backend
 	switch rf.backendName {
 	case "sim":
 		m, err := machine.ByName(machineName)
 		if err != nil {
 			return nil, err
 		}
-		return backend.NewSim(m, rf.seed), nil
+		b = backend.NewSim(m, rf.seed)
 	case "kernel", "inprocess":
-		return kernelBackend(), nil
+		b = kernelBackend()
 	case "faas":
-		return faas.NewClient(rf.faasURL), nil
+		b = faas.NewClient(rf.faasURL)
 	default:
 		return nil, fmt.Errorf("unknown backend %q (sim | kernel | faas)", rf.backendName)
 	}
+	if rf.chaos > 0 {
+		if rf.chaos >= 1 {
+			return nil, fmt.Errorf("--chaos rate %v out of range [0,1)", rf.chaos)
+		}
+		b = backend.NewChaos(b, backend.ChaosConfig{
+			Seed:        rf.seed,
+			ErrorRate:   rf.chaos * 0.6,
+			TimeoutRate: rf.chaos * 0.3,
+			LatencyRate: rf.chaos * 0.1,
+		})
+	}
+	return b, nil
 }
 
 // kernelBackend registers every Rodinia kernel plus the eleven built-in
@@ -239,6 +265,15 @@ func (rf *runFlags) experiment(machineName string) (core.Experiment, error) {
 		WarmupRuns:  rf.warmup,
 		Day:         rf.day,
 		Seed:        rf.seed,
+		Retry: resilience.Policy{
+			MaxAttempts: rf.retries,
+			BaseDelay:   rf.retryBackoff,
+			Seed:        rf.seed,
+		},
+		FailureBudget: core.FailureBudget{
+			MaxFraction:    rf.failureBudget,
+			MaxConsecutive: rf.maxConsecFail,
+		},
 	}, nil
 }
 
@@ -271,9 +306,11 @@ func cmdRun(args []string) error {
 		}
 	}
 	res, err := core.NewLauncher().Run(context.Background(), exp)
-	if err != nil {
+	if err != nil && !errors.Is(err, core.ErrFailureBudget) {
 		return err
 	}
+	// A budget abort still yields a partial result: persist what we have
+	// (failures are data) and report; the abort error is returned at the end.
 	if rf.outCSV != "" {
 		if err := res.SaveCSV(rf.outCSV); err != nil {
 			return err
@@ -290,10 +327,10 @@ func cmdRun(args []string) error {
 		sum, _ := res.Summary()
 		fmt.Printf("%s: n=%d mean=%.4g median=%.4g modes=%d (%s)\n",
 			exp.Name, sum.N, sum.Mean, sum.Median, res.Modes(), res.StopReason)
-		return nil
+		return err
 	}
 	fmt.Print(report.Result(res, report.Options{}))
-	return nil
+	return err
 }
 
 func cmdCompare(args []string) error {

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"sharp/internal/backend"
@@ -112,6 +113,7 @@ states:
 	}
 	m1, _ := machine.ByName("machine1")
 	launcher := core.NewLauncher()
+	var resultsMu sync.Mutex
 	results := map[string]*core.Result{}
 	err = w.Execute(context.Background(), func(ctx context.Context, task string, act workflow.Action) error {
 		res, err := launcher.Run(ctx, core.Experiment{
@@ -125,7 +127,9 @@ states:
 		if err != nil {
 			return err
 		}
+		resultsMu.Lock()
 		results[act.Function] = res
+		resultsMu.Unlock()
 		return nil
 	})
 	if err != nil {

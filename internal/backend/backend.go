@@ -52,6 +52,10 @@ type Invocation struct {
 	Worker string
 	// Err is the per-instance failure, if any.
 	Err error
+	// Attempts is the number of attempts consumed to produce this result
+	// when a retry decorator (resilience.Wrap) is in play; 0 means a single
+	// undecorated attempt.
+	Attempts int
 }
 
 // ExecTime returns the exec_time metric.
@@ -72,6 +76,19 @@ type Backend interface {
 // ErrUnknownWorkload is returned when a backend has no workload by the
 // requested name.
 var ErrUnknownWorkload = errors.New("backend: unknown workload")
+
+// Unwrap strips decorator backends (Chaos, resilience.Wrap) and returns the
+// innermost Backend. Decorators opt in by exposing an
+// Unwrap() Backend method.
+func Unwrap(b Backend) Backend {
+	for {
+		u, ok := b.(interface{ Unwrap() Backend })
+		if !ok {
+			return b
+		}
+		b = u.Unwrap()
+	}
+}
 
 // Func is an in-process workload: it performs the work and returns its
 // metrics. exec_time is added automatically from wall-clock measurement if
@@ -140,7 +157,7 @@ func (b *InProcess) Invoke(ctx context.Context, req Request) ([]Invocation, erro
 			}
 			seed := uint64(req.Run)*1_000_003 + uint64(inst)
 			start := time.Now()
-			metrics, err := f(ictx, seed)
+			metrics, err := runFunc(ictx, f, seed)
 			elapsed := time.Since(start).Seconds()
 			if metrics == nil {
 				metrics = map[string]float64{}
@@ -159,6 +176,17 @@ func (b *InProcess) Invoke(ctx context.Context, req Request) ([]Invocation, erro
 	}
 	wg.Wait()
 	return out, nil
+}
+
+// runFunc executes an in-process workload, converting panics into errors so
+// a panicking Func fails its own instance instead of crashing the launcher.
+func runFunc(ctx context.Context, f Func, seed uint64) (metrics map[string]float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			metrics, err = nil, fmt.Errorf("backend: workload panic: %v", r)
+		}
+	}()
+	return f(ctx, seed)
 }
 
 // Close implements Backend.

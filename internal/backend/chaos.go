@@ -1,0 +1,179 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sharp/internal/randx"
+)
+
+// Injected-fault sentinel errors. ErrInjectedTimeout wraps
+// context.DeadlineExceeded so callers classify it like a real expiry.
+var (
+	// ErrInjected is the base error of chaos-injected failures.
+	ErrInjected = errors.New("chaos: injected failure")
+	// ErrInjectedTimeout marks a chaos-injected timeout.
+	ErrInjectedTimeout = fmt.Errorf("chaos: injected timeout: %w", context.DeadlineExceeded)
+)
+
+// ChaosConfig tunes deterministic fault injection. Rates are per-instance
+// probabilities in [0, 1] and are evaluated in a fixed order (panic, error,
+// timeout, latency) from a single seeded stream, so a given seed always
+// yields the same fault schedule.
+type ChaosConfig struct {
+	// Seed seeds the fault stream; campaigns with equal seeds see equal
+	// faults.
+	Seed uint64
+	// ErrorRate injects plain invocation errors.
+	ErrorRate float64
+	// TimeoutRate injects timeout failures (ErrInjectedTimeout), optionally
+	// stalling for Stall first.
+	TimeoutRate float64
+	// LatencyRate injects latency spikes: LatencySpike seconds are added to
+	// the instance's exec_time metric.
+	LatencyRate float64
+	// LatencySpike is the injected spike magnitude in seconds (default 0.25).
+	LatencySpike float64
+	// PanicRate injects a panic per request (recovered by resilience.Wrap
+	// or the in-process backends), exercising crash-safety paths.
+	PanicRate float64
+	// Stall is the real wall-clock stall accompanying an injected timeout
+	// (default 0: fail immediately). The stall respects ctx cancellation.
+	Stall time.Duration
+}
+
+// Chaos wraps a Backend with seeded deterministic fault injection — errors,
+// timeouts, latency spikes, and panics at configurable rates — so retry
+// policies, circuit breakers, and failure-aware logging can be tested
+// without real flakiness (the fault-injection analogue of MongoDB's noisy
+// performance-testing infrastructure).
+type Chaos struct {
+	inner Backend
+	cfg   ChaosConfig
+
+	mu       sync.Mutex
+	rng      *randx.RNG
+	injected map[string]int
+}
+
+// NewChaos wraps inner with fault injection.
+func NewChaos(inner Backend, cfg ChaosConfig) *Chaos {
+	if cfg.LatencySpike == 0 {
+		cfg.LatencySpike = 0.25
+	}
+	return &Chaos{
+		inner:    inner,
+		cfg:      cfg,
+		rng:      randx.New(cfg.Seed),
+		injected: map[string]int{},
+	}
+}
+
+// Name implements Backend; the decorator is transparent so tidy rows keep
+// the real backend name.
+func (c *Chaos) Name() string { return c.inner.Name() }
+
+// Unwrap returns the decorated backend.
+func (c *Chaos) Unwrap() Backend { return c.inner }
+
+// Close implements Backend.
+func (c *Chaos) Close() error { return c.inner.Close() }
+
+// Injected returns a copy of the per-kind injected-fault counters
+// ("panic", "error", "timeout", "latency").
+func (c *Chaos) Injected() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.injected))
+	for k, v := range c.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// fault is one instance's drawn fault plan.
+type fault struct {
+	err     bool
+	timeout bool
+	latency bool
+}
+
+// draw consumes the fault stream for one request: a request-level panic
+// decision plus one fault plan per instance. Draws happen under the lock in
+// a fixed order, so concurrent campaigns remain deterministic as long as
+// requests arrive in a deterministic order.
+func (c *Chaos) draw(conc int) (panicNow bool, faults []fault) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.PanicRate > 0 && c.rng.Float64() < c.cfg.PanicRate {
+		c.injected["panic"]++
+		return true, nil
+	}
+	faults = make([]fault, conc)
+	for i := range faults {
+		f := &faults[i]
+		if c.cfg.ErrorRate > 0 && c.rng.Float64() < c.cfg.ErrorRate {
+			f.err = true
+			c.injected["error"]++
+			continue
+		}
+		if c.cfg.TimeoutRate > 0 && c.rng.Float64() < c.cfg.TimeoutRate {
+			f.timeout = true
+			c.injected["timeout"]++
+			continue
+		}
+		if c.cfg.LatencyRate > 0 && c.rng.Float64() < c.cfg.LatencyRate {
+			f.latency = true
+			c.injected["latency"]++
+		}
+	}
+	return false, faults
+}
+
+// Invoke implements Backend: it draws a deterministic fault plan, then
+// perturbs the inner backend's results accordingly. A drawn panic fires
+// before the inner invocation (modelling a crash in the execution layer).
+func (c *Chaos) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
+	conc := req.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	panicNow, faults := c.draw(conc)
+	if panicNow {
+		panic("chaos: injected panic")
+	}
+	invs, err := c.inner.Invoke(ctx, req)
+	if err != nil {
+		return invs, err
+	}
+	for i := range invs {
+		if i >= len(faults) {
+			break
+		}
+		switch f := faults[i]; {
+		case f.err:
+			invs[i].Err = fmt.Errorf("%w (instance %d, run %d)", ErrInjected, invs[i].Instance, req.Run)
+			invs[i].Metrics = map[string]float64{}
+		case f.timeout:
+			if c.cfg.Stall > 0 {
+				t := time.NewTimer(c.cfg.Stall)
+				select {
+				case <-ctx.Done():
+				case <-t.C:
+				}
+				t.Stop()
+			}
+			invs[i].Err = ErrInjectedTimeout
+			invs[i].Metrics = map[string]float64{}
+		case f.latency:
+			if invs[i].Metrics == nil {
+				invs[i].Metrics = map[string]float64{}
+			}
+			invs[i].Metrics[MetricExecTime] += c.cfg.LatencySpike
+		}
+	}
+	return invs, nil
+}

@@ -1,0 +1,189 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// okBackend always succeeds with a fixed exec_time.
+type okBackend struct{ calls int }
+
+func (b *okBackend) Name() string { return "ok" }
+func (b *okBackend) Close() error { return nil }
+func (b *okBackend) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
+	b.calls++
+	conc := req.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	out := make([]Invocation, conc)
+	for i := range out {
+		out[i] = Invocation{Instance: i + 1, Metrics: map[string]float64{MetricExecTime: 1.0}}
+	}
+	return out, nil
+}
+
+func TestChaosTransparent(t *testing.T) {
+	inner := &okBackend{}
+	c := NewChaos(inner, ChaosConfig{Seed: 1})
+	if c.Name() != "ok" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if Unwrap(c) != Backend(inner) {
+		t.Fatal("Unwrap did not reach the inner backend")
+	}
+	// Zero rates: passthrough.
+	invs, err := c.Invoke(context.Background(), Request{Workload: "w", Run: 1})
+	if err != nil || invs[0].Err != nil {
+		t.Fatalf("zero-rate chaos perturbed the result: %v %v", err, invs)
+	}
+}
+
+func TestChaosInjectsErrorsAtRate(t *testing.T) {
+	c := NewChaos(&okBackend{}, ChaosConfig{Seed: 42, ErrorRate: 0.3})
+	failures := 0
+	const runs = 1000
+	for run := 1; run <= runs; run++ {
+		invs, err := c.Invoke(context.Background(), Request{Workload: "w", Run: run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if invs[0].Err != nil {
+			if !errors.Is(invs[0].Err, ErrInjected) {
+				t.Fatalf("injected error not marked: %v", invs[0].Err)
+			}
+			failures++
+		}
+	}
+	frac := float64(failures) / runs
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("injected failure rate %.3f, want ~0.3", frac)
+	}
+	if got := c.Injected()["error"]; got != failures {
+		t.Errorf("Injected()[error] = %d, want %d", got, failures)
+	}
+}
+
+func TestChaosDeterministicUnderSeed(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		c := NewChaos(&okBackend{}, ChaosConfig{Seed: seed, ErrorRate: 0.2, TimeoutRate: 0.1, LatencyRate: 0.1})
+		var out []bool
+		for run := 1; run <= 200; run++ {
+			invs, err := c.Invoke(context.Background(), Request{Workload: "w", Run: run})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, invs[0].Err != nil)
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fault schedule at run %d", i+1)
+		}
+	}
+	other := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestChaosTimeoutClassifiesAsDeadline(t *testing.T) {
+	c := NewChaos(&okBackend{}, ChaosConfig{Seed: 3, TimeoutRate: 1})
+	invs, err := c.Invoke(context.Background(), Request{Workload: "w", Run: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(invs[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("injected timeout does not classify as deadline: %v", invs[0].Err)
+	}
+}
+
+func TestChaosStallRespectsContext(t *testing.T) {
+	c := NewChaos(&okBackend{}, ChaosConfig{Seed: 3, TimeoutRate: 1, Stall: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	invs, err := c.Invoke(ctx, Request{Workload: "w", Run: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stall ignored context cancellation: %v", elapsed)
+	}
+	if invs[0].Err == nil {
+		t.Fatal("stalled instance reported success")
+	}
+}
+
+func TestChaosLatencySpike(t *testing.T) {
+	c := NewChaos(&okBackend{}, ChaosConfig{Seed: 5, LatencyRate: 1, LatencySpike: 2.5})
+	invs, err := c.Invoke(context.Background(), Request{Workload: "w", Run: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := invs[0].ExecTime(); got != 3.5 {
+		t.Fatalf("exec_time = %v, want 1.0 + 2.5 spike", got)
+	}
+	if invs[0].Err != nil {
+		t.Fatalf("latency spike errored: %v", invs[0].Err)
+	}
+}
+
+func TestChaosPanics(t *testing.T) {
+	inner := &okBackend{}
+	c := NewChaos(inner, ChaosConfig{Seed: 1, PanicRate: 1})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("chaos did not panic at rate 1")
+		}
+		if inner.calls != 0 {
+			t.Error("panic fired after the inner invocation")
+		}
+		if c.Injected()["panic"] != 1 {
+			t.Errorf("panic counter = %d", c.Injected()["panic"])
+		}
+	}()
+	c.Invoke(context.Background(), Request{Workload: "w", Run: 1})
+}
+
+func TestInProcessPanicRecovered(t *testing.T) {
+	b := NewInProcess()
+	b.Register("boom", func(ctx context.Context, seed uint64) (map[string]float64, error) {
+		panic("workload exploded")
+	})
+	invs, err := b.Invoke(context.Background(), Request{Workload: "boom", Run: 1, Concurrency: 2})
+	if err != nil {
+		t.Fatalf("panic escalated to request error: %v", err)
+	}
+	for _, inv := range invs {
+		if inv.Err == nil {
+			t.Fatal("panicking instance reported success")
+		}
+	}
+}
+
+func TestProcessTimeout(t *testing.T) {
+	b := NewProcess("/bin/sh", "-c")
+	invs, err := b.Invoke(context.Background(), Request{
+		Workload: "sleeper",
+		Args:     []string{"sleep 5"},
+		Timeout:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Skipf("no /bin/sh: %v", err)
+	}
+	if invs[0].Err == nil {
+		t.Fatal("timeout not propagated into Invocation.Err")
+	}
+}

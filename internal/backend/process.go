@@ -67,6 +67,20 @@ func (b *Process) Invoke(ctx context.Context, req Request) ([]Invocation, error)
 		wg.Add(1)
 		go func(inst int) {
 			defer wg.Done()
+			start := time.Now()
+			// Recover panics (e.g. from a misbehaving metric collector) into
+			// the instance error instead of crashing the launcher.
+			defer func() {
+				if r := recover(); r != nil {
+					out[inst] = Invocation{
+						Instance: inst + 1,
+						Start:    start,
+						Metrics:  map[string]float64{},
+						Worker:   "local",
+						Err:      fmt.Errorf("backend: process instance panic: %v", r),
+					}
+				}
+			}()
 			ictx := ctx
 			var cancel context.CancelFunc
 			if req.Timeout > 0 {
@@ -75,12 +89,18 @@ func (b *Process) Invoke(ctx context.Context, req Request) ([]Invocation, error)
 			}
 			name, args := b.command(req.Args)
 			cmd := exec.CommandContext(ictx, name, args...)
+			// After a timeout kill, don't wait forever for orphaned
+			// grandchildren holding the output pipe open.
+			cmd.WaitDelay = time.Second
 			var output bytes.Buffer
 			cmd.Stdout = &output
 			cmd.Stderr = &output // collectors like time -v write to stderr
-			start := time.Now()
+			start = time.Now()
 			err := cmd.Run()
 			elapsed := time.Since(start).Seconds()
+			if err == nil && ictx.Err() != nil {
+				err = ictx.Err() // timed out but the kill was racy
+			}
 			text := output.String()
 			collected := ParseMetrics(bytes.NewBufferString(text))
 			for _, c := range b.Collectors {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"sharp/internal/backend"
@@ -18,6 +19,7 @@ import (
 	"sharp/internal/config"
 	"sharp/internal/machine"
 	"sharp/internal/record"
+	"sharp/internal/resilience"
 	"sharp/internal/similarity"
 	"sharp/internal/stats"
 	"sharp/internal/stopping"
@@ -57,7 +59,62 @@ type Experiment struct {
 	// SUT describes the system under test; the zero value is filled from
 	// the local host (or the simulated machine for Sim backends).
 	SUT sysinfo.SUT
+	// Retry is the per-run retry policy; the zero value (MaxAttempts <= 1)
+	// disables retrying. When enabled the backend is wrapped with
+	// resilience.Wrap, and every failed attempt is still logged as a
+	// tidy-data row.
+	Retry resilience.Policy
+	// FailureBudget bounds tolerated run failures before the campaign
+	// aborts; the zero value applies the package defaults (10 consecutive
+	// failed runs, or >50% of runs failed after at least 10 runs).
+	FailureBudget FailureBudget
 }
+
+// FailureBudget is the launcher's graceful-degradation policy: instead of
+// aborting on the first failure (and losing the campaign) or looping
+// forever against a dead backend, the campaign aborts only once the budget
+// is exhausted. Every failed run is recorded as data first.
+type FailureBudget struct {
+	// MaxConsecutive aborts after this many consecutive failed runs
+	// (default 10; negative disables the check).
+	MaxConsecutive int
+	// MaxFraction aborts when more than this fraction of runs failed,
+	// checked once MinRuns runs completed (default 0.5; negative disables).
+	MaxFraction float64
+	// MinRuns is the minimum number of runs before MaxFraction applies
+	// (default 10).
+	MinRuns int
+}
+
+func (fb FailureBudget) withDefaults() FailureBudget {
+	if fb.MaxConsecutive == 0 {
+		fb.MaxConsecutive = 10
+	}
+	if fb.MaxFraction == 0 {
+		fb.MaxFraction = 0.5
+	}
+	if fb.MinRuns == 0 {
+		fb.MinRuns = 10
+	}
+	return fb
+}
+
+// exceeded reports whether the budget is exhausted, with an explanation.
+func (fb FailureBudget) exceeded(consecutive, failed, total int) (bool, string) {
+	if fb.MaxConsecutive > 0 && consecutive >= fb.MaxConsecutive {
+		return true, fmt.Sprintf("%d consecutive failed runs (budget %d)", consecutive, fb.MaxConsecutive)
+	}
+	if fb.MaxFraction > 0 && total >= fb.MinRuns &&
+		float64(failed) > fb.MaxFraction*float64(total) {
+		return true, fmt.Sprintf("%d/%d runs failed (budget %.0f%%)", failed, total, fb.MaxFraction*100)
+	}
+	return false, ""
+}
+
+// ErrFailureBudget marks a campaign aborted by its failure budget. The
+// returned *Result still carries every recorded observation, including the
+// failure rows.
+var ErrFailureBudget = errors.New("core: failure budget exceeded")
 
 // withDefaults validates and fills defaults.
 func (e Experiment) withDefaults() (Experiment, error) {
@@ -79,8 +136,15 @@ func (e Experiment) withDefaults() (Experiment, error) {
 	if e.Concurrency < 1 {
 		e.Concurrency = 1
 	}
+	e.FailureBudget = e.FailureBudget.withDefaults()
+	if e.Retry.Enabled() {
+		if e.Retry.Seed == 0 {
+			e.Retry.Seed = e.Seed
+		}
+		e.Backend = resilience.Wrap(e.Backend, e.Retry)
+	}
 	if e.SUT == (sysinfo.SUT{}) {
-		if sim, ok := e.Backend.(*backend.Sim); ok {
+		if sim, ok := backend.Unwrap(e.Backend).(*backend.Sim); ok {
 			e.SUT = sim.Machine.SUT()
 		} else {
 			e.SUT = sysinfo.Collect()
@@ -105,8 +169,12 @@ type Result struct {
 	StopReason string
 	// RuleName names the stopping rule used.
 	RuleName string
-	// Errors counts failed instances (excluded from Samples).
+	// Errors counts failed invocation attempts (excluded from Samples but
+	// recorded as tidy-data rows — failures are data, not gaps).
 	Errors int
+	// FailedRuns counts runs in which no instance produced the primary
+	// metric.
+	FailedRuns int
 	// Started/Finished bound the campaign.
 	Started, Finished time.Time
 }
@@ -122,6 +190,14 @@ func NewLauncher() *Launcher { return &Launcher{Clock: time.Now} }
 
 // Run executes the experiment until its stopping rule is satisfied and
 // returns the full Result.
+//
+// Failure handling (§IV-d: the log must account for every observation):
+// per-instance failures become tidy-data rows with status "error" rather
+// than vanishing; a whole-run failure is recorded the same way and the
+// campaign continues, degrading gracefully until the FailureBudget is
+// exhausted — in which case Run returns the partial Result together with an
+// error wrapping ErrFailureBudget. Configuration errors (unknown workload,
+// cancelled context) still abort immediately.
 func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 	e, err := e.withDefaults()
 	if err != nil {
@@ -132,27 +208,40 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 		RuleName:   e.Rule.Name(),
 		Started:    l.Clock(),
 	}
-	// Warm-up runs: executed, discarded.
+	// Warm-up runs: executed, discarded. Warm-up failures are tolerated
+	// (the measurement phase judges health), except configuration errors.
 	for w := 0; w < e.WarmupRuns; w++ {
 		if _, err := e.Backend.Invoke(ctx, l.request(e, -(w+1))); err != nil {
-			return nil, fmt.Errorf("core: warmup run %d: %w", w+1, err)
+			if errors.Is(err, backend.ErrUnknownWorkload) || ctx.Err() != nil {
+				return nil, fmt.Errorf("core: warmup run %d: %w", w+1, err)
+			}
 		}
 	}
 	run := 0
+	consecutiveFailed := 0
 	for !e.Rule.Done() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		run++
 		invs, err := e.Backend.Invoke(ctx, l.request(e, run))
+		now := l.Clock()
 		if err != nil {
-			return nil, fmt.Errorf("core: run %d: %w", run, err)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if errors.Is(err, backend.ErrUnknownWorkload) {
+				return nil, fmt.Errorf("core: run %d: %w", run, err)
+			}
+			// Whole-run failure: record it as data and keep going.
+			res.Errors++
+			res.Rows = append(res.Rows, l.errorRow(e, now, run, backend.Invocation{}, err))
 		}
 		sum, ok := 0.0, 0
-		now := l.Clock()
 		for _, inv := range invs {
 			if inv.Err != nil {
 				res.Errors++
+				res.Rows = append(res.Rows, l.errorRow(e, now, run, inv, inv.Err))
 				continue
 			}
 			for metricName, v := range inv.Metrics {
@@ -168,6 +257,8 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 					Metric:     metricName,
 					Value:      v,
 					Unit:       unitFor(metricName),
+					Status:     record.StatusOK,
+					Attempt:    attempts(inv),
 				})
 			}
 			if v, has := inv.Metrics[e.Metric]; has {
@@ -176,10 +267,17 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 			}
 		}
 		if ok == 0 {
-			// Whole run failed; feed nothing but avoid a livelock by
-			// charging the rule one observation cap-wise.
+			res.FailedRuns++
+			consecutiveFailed++
+			if over, why := e.FailureBudget.exceeded(consecutiveFailed, res.FailedRuns, run); over {
+				res.Runs = run
+				res.StopReason = "failure budget exceeded: " + why
+				res.Finished = l.Clock()
+				return res, fmt.Errorf("%w after run %d: %s", ErrFailureBudget, run, why)
+			}
 			continue
 		}
+		consecutiveFailed = 0
 		v := sum / float64(ok)
 		res.Samples = append(res.Samples, v)
 		e.Rule.Add(v)
@@ -188,6 +286,38 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 	res.StopReason = e.Rule.Explain()
 	res.Finished = l.Clock()
 	return res, nil
+}
+
+// attempts normalizes an invocation's attempt count (0 = undecorated single
+// attempt).
+func attempts(inv backend.Invocation) int {
+	if inv.Attempts < 1 {
+		return 1
+	}
+	return inv.Attempts
+}
+
+// errorRow converts a failed invocation (or whole-run failure, Instance 0)
+// into its tidy-data record: metric "error", value 1, with the message and
+// attempt count preserved.
+func (l *Launcher) errorRow(e Experiment, now time.Time, run int, inv backend.Invocation, err error) record.Row {
+	msg := strings.ReplaceAll(err.Error(), "\n", "; ")
+	return record.Row{
+		Timestamp:  now,
+		Experiment: e.Name,
+		Workload:   e.Workload,
+		Backend:    e.Backend.Name(),
+		Machine:    inv.Worker,
+		Day:        e.Day,
+		Run:        run,
+		Instance:   inv.Instance,
+		Metric:     record.MetricError,
+		Value:      1,
+		Unit:       "",
+		Status:     record.StatusError,
+		Attempt:    attempts(inv),
+		Error:      msg,
+	}
 }
 
 // request assembles the backend request for a run index.
@@ -262,7 +392,7 @@ func (r *Result) Metadata() *record.Metadata {
 	m := record.NewMetadata(e.Name, e.SUT)
 	m.Set("workload", e.Workload)
 	m.Set("backend", e.Backend.Name())
-	if sim, ok := e.Backend.(*backend.Sim); ok {
+	if sim, ok := backend.Unwrap(e.Backend).(*backend.Sim); ok {
 		m.Set("machine", sim.Machine.Name)
 		m.Set("backend_seed", sim.Seed)
 	}
@@ -275,6 +405,15 @@ func (r *Result) Metadata() *record.Metadata {
 	m.Set("seed", e.Seed)
 	m.Set("runs", r.Runs)
 	m.Set("stop_reason", r.StopReason)
+	if e.Retry.Enabled() {
+		m.Set("retries", e.Retry.MaxAttempts)
+	}
+	if r.Errors > 0 {
+		m.Set("errors", r.Errors)
+	}
+	if r.FailedRuns > 0 {
+		m.Set("failed_runs", r.FailedRuns)
+	}
 	if len(e.Args) > 0 {
 		m.Set("args", fmt.Sprintf("%v", e.Args))
 	}
@@ -307,6 +446,9 @@ func RecreateExperiment(m *record.Metadata, backends map[string]backend.Backend)
 	e.Cold = m.Get("cold") == "true"
 	seed, _ := strconv.ParseUint(m.Get("seed"), 10, 64)
 	e.Seed = seed
+	if r := atoi("retries"); r > 1 {
+		e.Retry = resilience.Policy{MaxAttempts: r, Seed: seed}
+	}
 
 	switch name := m.Get("backend"); name {
 	case "sim":
@@ -450,6 +592,16 @@ func CompareResults(a, b *Result) (Comparison, error) {
 //	  day: 1
 //	  seed: 42
 //	  metric: exec_time
+//	  retries: 3              # total attempts per run (resilience.Wrap)
+//	  retry_base_delay: 10ms
+//	  failure_budget: 0.5     # abort past this failed-run fraction
+//	  max_consecutive_failures: 10
+//	  chaos:                  # optional deterministic fault injection
+//	    error_rate: 0.1
+//	    timeout_rate: 0.05
+//	    latency_rate: 0.05
+//	    panic_rate: 0
+//	    seed: 42
 //	  backend:
 //	    type: sim
 //	    machine: machine1
@@ -475,9 +627,33 @@ func ExperimentFromConfig(doc *config.Document, path string) (Experiment, error)
 		}
 		e.Timeout = d
 	}
+	if r := doc.Int(path+".retries", 1); r > 1 {
+		e.Retry = resilience.Policy{MaxAttempts: r, Seed: e.Seed}
+		if d := doc.String(path+".retry_base_delay", ""); d != "" {
+			bd, err := time.ParseDuration(d)
+			if err != nil {
+				return e, fmt.Errorf("core: config: bad retry_base_delay: %w", err)
+			}
+			e.Retry.BaseDelay = bd
+		}
+	}
+	e.FailureBudget = FailureBudget{
+		MaxFraction:    doc.Float(path+".failure_budget", 0),
+		MaxConsecutive: doc.Int(path+".max_consecutive_failures", 0),
+	}
 	b, err := backend.FromConfig(doc, path+".backend")
 	if err != nil {
 		return e, err
+	}
+	if doc.Map(path+".chaos") != nil {
+		b = backend.NewChaos(b, backend.ChaosConfig{
+			Seed:         uint64(doc.Int(path+".chaos.seed", int(e.Seed))),
+			ErrorRate:    doc.Float(path+".chaos.error_rate", 0),
+			TimeoutRate:  doc.Float(path+".chaos.timeout_rate", 0),
+			LatencyRate:  doc.Float(path+".chaos.latency_rate", 0),
+			LatencySpike: doc.Float(path+".chaos.latency_spike", 0),
+			PanicRate:    doc.Float(path+".chaos.panic_rate", 0),
+		})
 	}
 	e.Backend = b
 	ruleName := doc.String(path+".rule", "meta")

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -109,15 +110,24 @@ func (c *Client) post(ctx context.Context, body InvokeRequest) (*InvokeResponse,
 		io.Copy(io.Discard, httpResp.Body)
 		httpResp.Body.Close()
 	}()
+	// Check the status before decoding: a non-200 with a non-JSON body (a
+	// proxy error page, a plain-text http.Error) must surface as a status
+	// error, not a confusing "decoding response" failure.
+	if httpResp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		var resp InvokeResponse
+		if json.Unmarshal(raw, &resp) == nil && resp.Error != "" {
+			return nil, fmt.Errorf("faas: status %d: %s", httpResp.StatusCode, resp.Error)
+		}
+		return nil, fmt.Errorf("faas: status %d: %s", httpResp.StatusCode,
+			strings.TrimSpace(string(raw)))
+	}
 	var resp InvokeResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return nil, fmt.Errorf("faas: decoding response: %w", err)
 	}
 	if resp.Error != "" {
 		return nil, fmt.Errorf("faas: %s", resp.Error)
-	}
-	if httpResp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("faas: unexpected status %d", httpResp.StatusCode)
 	}
 	return &resp, nil
 }

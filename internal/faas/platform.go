@@ -6,17 +6,27 @@
 //
 // The platform exposes a small REST API:
 //
-//	POST /invoke   {"workload": "...", "day": 1, "cold": false}
+//	POST /invoke          {"workload": "...", "day": 1, "cold": false}
 //	GET  /functions
+//	GET  /workers
+//	POST /workers/evict   {"worker": "machine1"}
+//	POST /workers/admit   {"worker": "machine1"}
 //	GET  /healthz
 //
 // and is consumed by the Client type, which implements backend.Backend so
 // the SHARP launcher drives it exactly like any other backend.
+//
+// Resilience: every worker carries a circuit breaker (closed/open/half-open
+// with a failure-count threshold and a probe-after-cooldown path), so the
+// dispatcher routes around a failing worker instead of round-robining into
+// it. Workers can also be evicted and re-admitted explicitly, the manual
+// analogue of a failed health check.
 package faas
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -25,6 +35,7 @@ import (
 
 	"sharp/internal/backend"
 	"sharp/internal/machine"
+	"sharp/internal/resilience"
 )
 
 // ColdStartSeconds is the simulated container cold-start latency added to
@@ -49,12 +60,31 @@ type InvokeResponse struct {
 	Error   string             `json:"error,omitempty"`
 }
 
-// worker is one platform node: a simulated machine plus warm-function
-// bookkeeping.
+// WorkerStatus describes one worker's health for GET /workers.
+type WorkerStatus struct {
+	Name    string `json:"name"`
+	State   string `json:"state"` // closed | open | half-open
+	Evicted bool   `json:"evicted"`
+	// ConsecutiveFailures is the breaker's current failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+}
+
+// worker is one platform node: an execution backend plus warm-function
+// bookkeeping and a circuit breaker.
 type worker struct {
-	sim  *backend.Sim
-	mu   sync.Mutex
-	warm map[string]time.Time // workload -> last use
+	name    string
+	be      backend.Backend
+	breaker *resilience.Breaker
+	evicted atomic.Bool
+	mu      sync.Mutex
+	warm    map[string]time.Time // workload -> last successful use
+}
+
+// available reports whether the worker may receive traffic. A true return
+// from an open breaker consumes its half-open probe slot, so callers must
+// actually dispatch to the worker and report the outcome.
+func (w *worker) available() bool {
+	return !w.evicted.Load() && w.breaker.Allow()
 }
 
 // Platform is the simulated FaaS control plane.
@@ -67,54 +97,166 @@ type Platform struct {
 }
 
 // NewPlatform builds a platform over the given machines (typically
-// machine.GPUMachines(): Machines 1 and 3).
+// machine.GPUMachines(): Machines 1 and 3) with default circuit breakers
+// (3 consecutive failures to open, 5 s cooldown).
 func NewPlatform(machines []*machine.Machine, seed uint64) *Platform {
 	p := &Platform{now: time.Now}
 	for i, m := range machines {
 		p.workers = append(p.workers, &worker{
-			sim:  backend.NewSim(m, seed+uint64(i)*7919),
-			warm: map[string]time.Time{},
+			name:    m.Name,
+			be:      backend.NewSim(m, seed+uint64(i)*7919),
+			breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
+			warm:    map[string]time.Time{},
 		})
 	}
 	return p
+}
+
+// ConfigureBreakers replaces every worker's circuit breaker with one built
+// from cfg (tests use short cooldowns and fake clocks).
+func (p *Platform) ConfigureBreakers(cfg resilience.BreakerConfig) {
+	for _, w := range p.workers {
+		w.breaker = resilience.NewBreaker(cfg)
+	}
+}
+
+// WrapWorkers decorates each worker's execution backend (fault injection in
+// tests: wrap with backend.NewChaos).
+func (p *Platform) WrapWorkers(wrap func(name string, b backend.Backend) backend.Backend) {
+	for _, w := range p.workers {
+		w.be = wrap(w.name, w.be)
+	}
 }
 
 // WorkerNames lists the platform's worker machines.
 func (p *Platform) WorkerNames() []string {
 	out := make([]string, len(p.workers))
 	for i, w := range p.workers {
-		out[i] = w.sim.Machine.Name
+		out[i] = w.name
 	}
 	return out
 }
 
-// Do dispatches one request round-robin across workers and returns the
-// response. It is the platform's core operation; the HTTP handler wraps it,
-// and in-process experiments call it directly.
-func (p *Platform) Do(ctx context.Context, req InvokeRequest) InvokeResponse {
-	if len(p.workers) == 0 {
-		return InvokeResponse{Error: "faas: no workers"}
+// Workers reports every worker's health status.
+func (p *Platform) Workers() []WorkerStatus {
+	out := make([]WorkerStatus, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = WorkerStatus{
+			Name:                w.name,
+			State:               w.breaker.State().String(),
+			Evicted:             w.evicted.Load(),
+			ConsecutiveFailures: w.breaker.ConsecutiveFailures(),
+		}
 	}
-	w := p.workers[int(p.next.Add(1)-1)%len(p.workers)]
+	return out
+}
 
-	// Cold-start accounting.
+// WorkerState returns the circuit-breaker state of the named worker.
+func (p *Platform) WorkerState(name string) (resilience.State, bool) {
+	for _, w := range p.workers {
+		if w.name == name {
+			return w.breaker.State(), true
+		}
+	}
+	return 0, false
+}
+
+// Evict removes the named worker from dispatch until Admit is called (the
+// manual health-check path). It reports whether the worker exists.
+func (p *Platform) Evict(name string) bool {
+	for _, w := range p.workers {
+		if w.name == name {
+			w.evicted.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// Admit re-admits a previously evicted worker and resets its breaker, so it
+// rejoins dispatch with a clean slate.
+func (p *Platform) Admit(name string) bool {
+	for _, w := range p.workers {
+		if w.name == name {
+			w.evicted.Store(false)
+			w.breaker.Success()
+			return true
+		}
+	}
+	return false
+}
+
+// pickWorker selects the next available worker round-robin, skipping
+// evicted workers and those whose breaker rejects traffic. It returns nil
+// when no worker is available.
+func (p *Platform) pickWorker() *worker {
+	if len(p.workers) == 0 {
+		return nil
+	}
+	start := int(p.next.Add(1) - 1)
+	for i := 0; i < len(p.workers); i++ {
+		w := p.workers[(start+i)%len(p.workers)]
+		if w.available() {
+			return w
+		}
+	}
+	return nil
+}
+
+// Do dispatches one request round-robin across the available workers and
+// returns the response. It is the platform's core operation; the HTTP
+// handler wraps it, and in-process experiments call it directly.
+//
+// Failure handling: a failed invocation feeds the worker's circuit breaker
+// (routing future requests around it) and does NOT mark the function warm —
+// cold-start bookkeeping only advances on success.
+func (p *Platform) Do(ctx context.Context, req InvokeRequest) InvokeResponse {
+	w := p.pickWorker()
+	if w == nil {
+		if len(p.workers) == 0 {
+			return InvokeResponse{Error: "faas: no workers"}
+		}
+		return InvokeResponse{Error: "faas: no available workers (all evicted or circuit-broken)"}
+	}
+
+	// Cold-start accounting: observe only; the warm timestamp is updated
+	// after a successful invocation.
 	w.mu.Lock()
 	last, warm := w.warm[req.Workload]
 	now := p.now()
 	isCold := req.Cold || !warm ||
 		(p.IdleTimeout > 0 && now.Sub(last) > p.IdleTimeout)
-	w.warm[req.Workload] = now
 	w.mu.Unlock()
 
-	invs, err := w.sim.Invoke(ctx, backend.Request{
+	invs, err := w.be.Invoke(ctx, backend.Request{
 		Workload: req.Workload,
 		Day:      req.Day,
 		Run:      req.Run,
 	})
-	if err != nil {
-		return InvokeResponse{Worker: w.sim.Machine.Name, Error: err.Error()}
+	if err == nil && (len(invs) == 0 || invs[0].Err != nil) {
+		if len(invs) == 0 {
+			err = fmt.Errorf("faas: worker %s returned no invocations", w.name)
+		} else {
+			err = invs[0].Err
+		}
 	}
+	if err != nil {
+		// Unknown workloads are caller errors, not worker failures: they
+		// must not open the breaker.
+		if !errors.Is(err, backend.ErrUnknownWorkload) {
+			w.breaker.Failure()
+		}
+		return InvokeResponse{Worker: w.name, Error: err.Error()}
+	}
+	w.breaker.Success()
+	w.mu.Lock()
+	w.warm[req.Workload] = p.now()
+	w.mu.Unlock()
+
 	metrics := invs[0].Metrics
+	if metrics == nil {
+		metrics = map[string]float64{}
+	}
 	if isCold {
 		metrics["cold_start"] = 1
 		metrics[backend.MetricExecTime] += ColdStartSeconds
@@ -122,10 +264,15 @@ func (p *Platform) Do(ctx context.Context, req InvokeRequest) InvokeResponse {
 		metrics["cold_start"] = 0
 	}
 	return InvokeResponse{
-		Worker:  w.sim.Machine.Name,
+		Worker:  w.name,
 		Cold:    isCold,
 		Metrics: metrics,
 	}
+}
+
+// workerRequest is the body of the evict/admit endpoints.
+type workerRequest struct {
+	Worker string `json:"worker"`
 }
 
 // Handler returns the platform's HTTP handler.
@@ -144,7 +291,11 @@ func (p *Platform) Handler() http.Handler {
 		resp := p.Do(r.Context(), req)
 		rw.Header().Set("Content-Type", "application/json")
 		if resp.Error != "" {
-			rw.WriteHeader(http.StatusNotFound)
+			status := http.StatusNotFound
+			if resp.Worker == "" { // no worker even attempted the request
+				status = http.StatusServiceUnavailable
+			}
+			rw.WriteHeader(status)
 		}
 		json.NewEncoder(rw).Encode(resp)
 	})
@@ -154,6 +305,29 @@ func (p *Platform) Handler() http.Handler {
 			"workers": p.WorkerNames(),
 		})
 	})
+	mux.HandleFunc("GET /workers", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(map[string]any{
+			"workers": p.Workers(),
+		})
+	})
+	workerAction := func(action func(string) bool) http.HandlerFunc {
+		return func(rw http.ResponseWriter, r *http.Request) {
+			var req workerRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+				http.Error(rw, "faas: bad request: expected {\"worker\": \"name\"}", http.StatusBadRequest)
+				return
+			}
+			if !action(req.Worker) {
+				http.Error(rw, fmt.Sprintf("faas: unknown worker %q", req.Worker), http.StatusNotFound)
+				return
+			}
+			rw.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(rw).Encode(map[string]any{"workers": p.Workers()})
+		}
+	}
+	mux.HandleFunc("POST /workers/evict", workerAction(p.Evict))
+	mux.HandleFunc("POST /workers/admit", workerAction(p.Admit))
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")

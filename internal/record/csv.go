@@ -35,7 +35,8 @@ type Row struct {
 	// Run is the repetition index within the experiment (1-based).
 	Run int
 	// Instance is the concurrent-instance index within the run (1-based);
-	// each concurrent instance gets its own row.
+	// each concurrent instance gets its own row. 0 marks a whole-run
+	// failure record.
 	Instance int
 	// Metric is the metric name ("exec_time", "detection_time", ...).
 	Metric string
@@ -43,14 +44,40 @@ type Row struct {
 	Value float64
 	// Unit is the measurement unit ("seconds", "bytes", ...).
 	Unit string
+	// Status marks the observation outcome: "ok", "error", or "" for legacy
+	// logs that predate failure-aware logging.
+	Status string
+	// Attempt is the number of backend attempts consumed to produce this
+	// observation (1 without retries; 0 in legacy logs).
+	Attempt int
+	// Error is the failure message for Status "error" rows (empty
+	// otherwise). Failed runs and instances are recorded as data, never
+	// silently dropped.
+	Error string
 }
 
 // Header is the CSV column order; it doubles as the field list documented
-// in the metadata file.
+// in the metadata file. The status/attempt/error columns were added by the
+// resilience layer; logs written before it (the first len(legacyHeader)
+// columns only) still parse.
 var Header = []string{
 	"timestamp", "experiment", "workload", "backend", "machine",
 	"day", "run", "instance", "metric", "value", "unit",
+	"status", "attempt", "error",
 }
+
+// legacyHeaderLen is the column count of pre-resilience logs.
+const legacyHeaderLen = 11
+
+// Row.Status values and the failure-row metric name.
+const (
+	// StatusOK marks a successful observation.
+	StatusOK = "ok"
+	// StatusError marks a failed run or instance recorded as data.
+	StatusError = "error"
+	// MetricError is the metric name of failure rows (value 1 per failure).
+	MetricError = "error"
+)
 
 // FieldDocs maps each CSV column to its documentation line, written to the
 // metadata file so every field of the raw data is described (§IV-d).
@@ -62,10 +89,13 @@ var FieldDocs = map[string]string{
 	"machine":    "machine (possibly simulated) that executed the run",
 	"day":        "measurement day index, 1-based; 0 if not applicable",
 	"run":        "repetition index within the experiment, 1-based",
-	"instance":   "concurrent instance index within the run, 1-based",
+	"instance":   "concurrent instance index within the run, 1-based; 0 = whole-run failure",
 	"metric":     "metric name (e.g. exec_time)",
 	"value":      "measured value (float)",
 	"unit":       "unit of the value",
+	"status":     "observation outcome: ok or error",
+	"attempt":    "backend attempts consumed (1 without retries)",
+	"error":      "failure message for error rows",
 }
 
 // strings converts a Row to CSV fields in Header order.
@@ -75,12 +105,15 @@ func (r Row) strings() []string {
 		r.Experiment, r.Workload, r.Backend, r.Machine,
 		strconv.Itoa(r.Day), strconv.Itoa(r.Run), strconv.Itoa(r.Instance),
 		r.Metric, strconv.FormatFloat(r.Value, 'g', -1, 64), r.Unit,
+		r.Status, strconv.Itoa(r.Attempt), r.Error,
 	}
 }
 
-// parseRow converts CSV fields back to a Row.
+// parseRow converts CSV fields back to a Row. Both the current layout and
+// the legacy pre-resilience layout (no status/attempt/error columns) are
+// accepted.
 func parseRow(fields []string) (Row, error) {
-	if len(fields) != len(Header) {
+	if len(fields) != len(Header) && len(fields) != legacyHeaderLen {
 		return Row{}, fmt.Errorf("record: row has %d fields, want %d", len(fields), len(Header))
 	}
 	ts, err := time.Parse(time.RFC3339Nano, fields[0])
@@ -103,12 +136,22 @@ func parseRow(fields []string) (Row, error) {
 	if err != nil {
 		return Row{}, fmt.Errorf("record: bad value %q", fields[9])
 	}
-	return Row{
+	row := Row{
 		Timestamp: ts, Experiment: fields[1], Workload: fields[2],
 		Backend: fields[3], Machine: fields[4],
 		Day: day, Run: run, Instance: inst,
 		Metric: fields[8], Value: val, Unit: fields[10],
-	}, nil
+	}
+	if len(fields) == len(Header) {
+		row.Status = fields[11]
+		attempt, err := strconv.Atoi(fields[12])
+		if err != nil {
+			return Row{}, fmt.Errorf("record: bad attempt %q", fields[12])
+		}
+		row.Attempt = attempt
+		row.Error = fields[13]
+	}
+	return row, nil
 }
 
 // Writer streams tidy rows to CSV.
@@ -176,7 +219,9 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Read parses tidy rows from r; the first record must be the Header.
+// Read parses tidy rows from r; the first record must be the Header (the
+// legacy pre-resilience header, lacking the status/attempt/error columns,
+// is also accepted).
 func Read(r io.Reader) ([]Row, error) {
 	cr := csv.NewReader(r)
 	records, err := cr.ReadAll()
@@ -186,8 +231,11 @@ func Read(r io.Reader) ([]Row, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("record: missing header")
 	}
-	for i, col := range Header {
-		if i >= len(records[0]) || records[0][i] != col {
+	if len(records[0]) != len(Header) && len(records[0]) != legacyHeaderLen {
+		return nil, fmt.Errorf("record: unexpected header %v", records[0])
+	}
+	for i, col := range records[0] {
+		if Header[i] != col {
 			return nil, fmt.Errorf("record: unexpected header %v", records[0])
 		}
 	}

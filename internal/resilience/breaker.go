@@ -1,0 +1,146 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int
+
+// Circuit breaker states: Closed admits all traffic, Open rejects all
+// traffic, HalfOpen admits a single probe after the cooldown.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig configures a circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that opens the
+	// breaker (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker waits before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Now is the time source (tests may override; default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker with the classic
+// closed → open → half-open lifecycle: FailureThreshold consecutive failures
+// open it, the cooldown admits a single half-open probe, and the probe's
+// outcome either closes it again or re-opens it. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       State
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the breaker's current state, applying the open → half-open
+// transition if the cooldown has elapsed.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// maybeHalfOpen transitions open → half-open once the cooldown elapsed.
+// Callers must hold b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		b.probing = false
+	}
+}
+
+// Allow reports whether a request may proceed. In half-open state only one
+// probe is admitted at a time; the caller must report the outcome via
+// Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default: // Open
+		return false
+	}
+}
+
+// Success records a successful request, closing the breaker and resetting
+// the failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// Failure records a failed request: a failed half-open probe re-opens the
+// breaker immediately, and FailureThreshold consecutive failures open a
+// closed breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	b.consecutive++
+	if b.state == HalfOpen || b.consecutive >= b.cfg.FailureThreshold {
+		b.state = Open
+		b.openedAt = b.cfg.Now()
+		b.probing = false
+	}
+}
+
+// ConsecutiveFailures returns the current consecutive-failure count.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive
+}

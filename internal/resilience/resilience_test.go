@@ -1,0 +1,230 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sharp/internal/randx"
+)
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	calls := 0
+	attempts, err := Do(context.Background(), Policy{MaxAttempts: 4, BaseDelay: time.Microsecond},
+		func(ctx context.Context, attempt int) error {
+			calls++
+			if attempt < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts = %d calls = %d, want 3", attempts, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	attempts, err := Do(context.Background(), Policy{MaxAttempts: 3, BaseDelay: time.Microsecond},
+		func(ctx context.Context, attempt int) error { return boom })
+	if attempts != 3 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestDoSingleAttemptTransparent(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Do(context.Background(), Policy{}, func(ctx context.Context, attempt int) error { return boom })
+	// No retrying configured: the caller's error must come back unwrapped.
+	if err != boom {
+		t.Fatalf("err = %v, want boom verbatim", err)
+	}
+}
+
+func TestDoPermanentNotRetried(t *testing.T) {
+	calls := 0
+	_, err := Do(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond},
+		func(ctx context.Context, attempt int) error {
+			calls++
+			return Permanent(errors.New("config error"))
+		})
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("permanence lost through wrapping: %v", err)
+	}
+}
+
+func TestDoContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts, err := Do(ctx, Policy{MaxAttempts: 3}, func(ctx context.Context, attempt int) error {
+		t.Fatal("fn called with dead context")
+		return nil
+	})
+	if attempts != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("attempts = %d err = %v", attempts, err)
+	}
+}
+
+func TestDoCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := Do(ctx, Policy{MaxAttempts: 5, BaseDelay: time.Hour},
+		func(ctx context.Context, attempt int) error {
+			calls++
+			cancel() // die during the subsequent backoff sleep
+			return errors.New("transient")
+		})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled during backoff)", calls)
+	}
+	if err == nil {
+		t.Fatal("no error after aborted backoff")
+	}
+}
+
+func TestDelayExponentialAndCapped(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+		Multiplier: 2, Jitter: -1}
+	got := []time.Duration{p.Delay(1, nil), p.Delay(2, nil), p.Delay(3, nil), p.Delay(10, nil)}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 50 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestDelayJitterDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond}
+	a := []time.Duration{}
+	b := []time.Duration{}
+	rngA, rngB := randx.New(7), randx.New(7)
+	for i := 1; i <= 5; i++ {
+		a = append(a, p.Delay(i, rngA))
+		b = append(b, p.Delay(i, rngB))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+		}
+	}
+	// Jitter must actually perturb the base delay for some retry.
+	perturbed := false
+	for i, d := range a {
+		base := p.Delay(i+1, nil)
+		if d != base {
+			perturbed = true
+		}
+	}
+	if !perturbed {
+		t.Error("seeded jitter never changed the delay")
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if IsPermanent(errors.New("x")) {
+		t.Fatal("plain error reported permanent")
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep err = %v", err)
+	}
+}
+
+// fakeClock is a manually-advanced time source for breaker tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute, Now: clk.Now})
+
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker not closed")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("opened below threshold")
+	}
+	b.Failure() // third consecutive failure: open
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic")
+	}
+
+	// Cooldown elapses: half-open, single probe.
+	clk.now = clk.now.Add(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: re-open immediately.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+
+	// Second cooldown; successful probe closes it.
+	clk.now = clk.now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != Closed || b.ConsecutiveFailures() != 0 {
+		t.Fatalf("state = %v failures = %d after successful probe", b.State(), b.ConsecutiveFailures())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+	if b.ConsecutiveFailures() != 2 {
+		t.Fatalf("consecutive = %d", b.ConsecutiveFailures())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Closed.String() != "closed" || Open.String() != "open" || HalfOpen.String() != "half-open" {
+		t.Fatal("state strings wrong")
+	}
+	if State(42).String() != "unknown" {
+		t.Fatal("unknown state string")
+	}
+}

@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sharp/internal/backend"
+	"sharp/internal/randx"
+)
+
+// RetryBackend decorates a backend.Backend with a retry Policy. Request- and
+// instance-level failures are retried with exponential backoff; panics in
+// the wrapped backend are recovered and converted into retryable errors.
+//
+// Failed attempts are never dropped: every superseded (retried) invocation
+// is appended to the returned slice with its Err and Attempts set, so the
+// launcher logs each failure as a tidy-data row. The first Concurrency
+// entries of the result are the final per-instance outcomes; any additional
+// entries are the failed attempts that preceded them.
+type RetryBackend struct {
+	// Inner is the wrapped backend.
+	Inner backend.Backend
+	// Policy is the retry policy (already defaulted by Wrap).
+	Policy Policy
+}
+
+// Wrap decorates b with the retry policy p. A disabled policy
+// (MaxAttempts <= 1) returns b unchanged, so Wrap is safe to apply
+// unconditionally.
+func Wrap(b backend.Backend, p Policy) backend.Backend {
+	if !p.Enabled() {
+		return b
+	}
+	if rb, ok := b.(*RetryBackend); ok {
+		// Re-wrapping replaces the policy instead of stacking retries.
+		return &RetryBackend{Inner: rb.Inner, Policy: p.WithDefaults()}
+	}
+	return &RetryBackend{Inner: b, Policy: p.WithDefaults()}
+}
+
+// Name implements backend.Backend; the decorator is transparent.
+func (rb *RetryBackend) Name() string { return rb.Inner.Name() }
+
+// Unwrap returns the decorated backend.
+func (rb *RetryBackend) Unwrap() backend.Backend { return rb.Inner }
+
+// Close implements backend.Backend.
+func (rb *RetryBackend) Close() error { return rb.Inner.Close() }
+
+// retryableErr classifies invocation errors: unknown workloads are
+// configuration errors and never retried; everything else follows the
+// policy.
+func (rb *RetryBackend) retryableErr(err error) bool {
+	if errors.Is(err, backend.ErrUnknownWorkload) {
+		return false
+	}
+	return rb.Policy.retryable(err)
+}
+
+// invokeSafe calls the inner backend, converting panics into errors so a
+// panicking workload (or chaos injection) cannot kill the launcher.
+func (rb *RetryBackend) invokeSafe(ctx context.Context, req backend.Request) (invs []backend.Invocation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			invs, err = nil, fmt.Errorf("resilience: recovered backend panic: %v", r)
+		}
+	}()
+	return rb.Inner.Invoke(ctx, req)
+}
+
+// Invoke implements backend.Backend with per-request retrying. The jitter
+// stream is seeded from (Policy.Seed, req.Run) so campaigns are
+// deterministic yet runs are decorrelated.
+func (rb *RetryBackend) Invoke(ctx context.Context, req backend.Request) ([]backend.Invocation, error) {
+	p := rb.Policy
+	rng := randx.New(p.Seed ^ (uint64(int64(req.Run)) * 0x9e3779b97f4a7c15))
+	conc := req.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+
+	var final []backend.Invocation  // latest state per instance (len == conc)
+	var failed []backend.Invocation // superseded failed attempts, for the log
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		invs, err := rb.invokeSafe(ctx, req)
+		if err != nil {
+			lastErr = err
+			// Whole-attempt failure: once earlier attempts produced results,
+			// preserve it as one synthetic record (instance 0 =
+			// request-level) so the log keeps every observation; otherwise
+			// it surfaces via the request error below.
+			if final != nil {
+				failed = append(failed, backend.Invocation{
+					Attempts: attempt,
+					Err:      err,
+				})
+			}
+			if attempt == p.MaxAttempts || !rb.retryableErr(err) || ctx.Err() != nil {
+				break
+			}
+			if serr := Sleep(ctx, p.Delay(attempt, rng)); serr != nil {
+				break
+			}
+			continue
+		}
+		lastErr = nil
+		if final == nil {
+			final = invs
+			for i := range final {
+				if final[i].Attempts == 0 {
+					final[i].Attempts = attempt
+				}
+			}
+		} else {
+			for i := range final {
+				if final[i].Err != nil && i < len(invs) {
+					// Retried instance: archive the failure, adopt the redo.
+					failed = append(failed, final[i])
+					invs[i].Attempts = attempt
+					final[i] = invs[i]
+				}
+			}
+		}
+		// Any retryable per-instance failures left?
+		retryNeeded := false
+		for i := range final {
+			if final[i].Err != nil && rb.retryableErr(final[i].Err) {
+				retryNeeded = true
+				break
+			}
+		}
+		if !retryNeeded || attempt == p.MaxAttempts {
+			break
+		}
+		if serr := Sleep(ctx, p.Delay(attempt, rng)); serr != nil {
+			break
+		}
+	}
+	if final == nil {
+		if lastErr == nil {
+			lastErr = errors.New("resilience: no attempts executed")
+		}
+		return nil, fmt.Errorf("resilience: %s request failed after %d attempt(s): %w",
+			rb.Inner.Name(), p.MaxAttempts, lastErr)
+	}
+	return append(final, failed...), nil
+}

@@ -1,0 +1,201 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sharp/internal/backend"
+)
+
+// flakyBackend fails instance 1 for the first failN invocations of each run,
+// then succeeds. It counts calls per run.
+type flakyBackend struct {
+	mu    sync.Mutex
+	calls map[int]int
+	failN int
+	// panicFirst makes the first call of every run panic.
+	panicFirst bool
+	// requestErr makes the whole request fail (nil invocations) failN times.
+	requestErr bool
+	// permanent returns ErrUnknownWorkload on every call.
+	permanent bool
+}
+
+func (f *flakyBackend) Name() string { return "flaky" }
+func (f *flakyBackend) Close() error { return nil }
+
+func (f *flakyBackend) Invoke(ctx context.Context, req backend.Request) ([]backend.Invocation, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = map[int]int{}
+	}
+	f.calls[req.Run]++
+	n := f.calls[req.Run]
+	f.mu.Unlock()
+	if f.permanent {
+		return nil, fmt.Errorf("%w: %q", backend.ErrUnknownWorkload, req.Workload)
+	}
+	if f.panicFirst && n == 1 {
+		panic("kaboom")
+	}
+	if f.requestErr && n <= f.failN {
+		return nil, errors.New("request-level failure")
+	}
+	conc := req.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	out := make([]backend.Invocation, conc)
+	for i := range out {
+		out[i] = backend.Invocation{
+			Instance: i + 1,
+			Metrics:  map[string]float64{backend.MetricExecTime: 1},
+		}
+		if i == 0 && n <= f.failN {
+			out[i].Err = errors.New("instance failure")
+			out[i].Metrics = map[string]float64{}
+		}
+	}
+	return out, nil
+}
+
+func wrapPolicy(attempts int) Policy {
+	return Policy{MaxAttempts: attempts, BaseDelay: time.Microsecond, Seed: 1}
+}
+
+func TestWrapDisabledPolicyReturnsSame(t *testing.T) {
+	b := &flakyBackend{}
+	if got := Wrap(b, Policy{}); got != backend.Backend(b) {
+		t.Fatal("disabled policy wrapped the backend")
+	}
+}
+
+func TestWrapTransparentNameAndUnwrap(t *testing.T) {
+	b := &flakyBackend{}
+	w := Wrap(b, wrapPolicy(3))
+	if w.Name() != "flaky" {
+		t.Fatalf("name = %q", w.Name())
+	}
+	if backend.Unwrap(w) != backend.Backend(b) {
+		t.Fatal("Unwrap did not reach the inner backend")
+	}
+	// Re-wrapping must replace the policy, not stack decorators.
+	w2 := Wrap(w, wrapPolicy(5)).(*RetryBackend)
+	if w2.Inner != backend.Backend(b) {
+		t.Fatal("re-wrapping stacked decorators")
+	}
+	if w2.Policy.MaxAttempts != 5 {
+		t.Fatalf("policy not replaced: %d", w2.Policy.MaxAttempts)
+	}
+}
+
+func TestWrapRetriesInstanceFailuresAndKeepsThem(t *testing.T) {
+	b := &flakyBackend{failN: 2}
+	w := Wrap(b, wrapPolicy(4))
+	invs, err := w.Invoke(context.Background(), backend.Request{Workload: "x", Run: 1, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 2 entries: final per-instance outcomes; then the archived
+	// failed attempts (2 failures of instance 1).
+	if len(invs) != 4 {
+		t.Fatalf("invocations = %d, want 2 final + 2 archived", len(invs))
+	}
+	if invs[0].Err != nil || invs[1].Err != nil {
+		t.Fatalf("final outcomes not healed: %v %v", invs[0].Err, invs[1].Err)
+	}
+	if invs[0].Attempts != 3 {
+		t.Fatalf("healed instance attempts = %d, want 3", invs[0].Attempts)
+	}
+	for _, archived := range invs[2:] {
+		if archived.Err == nil {
+			t.Fatal("archived attempt has no error")
+		}
+	}
+	if b.calls[1] != 3 {
+		t.Fatalf("backend called %d times, want 3", b.calls[1])
+	}
+}
+
+func TestWrapRequestLevelRetry(t *testing.T) {
+	b := &flakyBackend{requestErr: true, failN: 2}
+	w := Wrap(b, wrapPolicy(4))
+	invs, err := w.Invoke(context.Background(), backend.Request{Workload: "x", Run: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 1 || invs[0].Err != nil {
+		t.Fatalf("invs = %+v", invs)
+	}
+	if invs[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", invs[0].Attempts)
+	}
+}
+
+func TestWrapAllAttemptsFail(t *testing.T) {
+	b := &flakyBackend{requestErr: true, failN: 100}
+	w := Wrap(b, wrapPolicy(3))
+	_, err := w.Invoke(context.Background(), backend.Request{Workload: "x", Run: 1})
+	if err == nil {
+		t.Fatal("no error after exhausted attempts")
+	}
+	if b.calls[1] != 3 {
+		t.Fatalf("calls = %d, want 3", b.calls[1])
+	}
+}
+
+func TestWrapRecoversPanic(t *testing.T) {
+	b := &flakyBackend{panicFirst: true}
+	w := Wrap(b, wrapPolicy(3))
+	invs, err := w.Invoke(context.Background(), backend.Request{Workload: "x", Run: 1})
+	if err != nil {
+		t.Fatalf("panic not retried: %v", err)
+	}
+	if invs[0].Err != nil {
+		t.Fatalf("final outcome failed: %v", invs[0].Err)
+	}
+	if invs[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (panic + success)", invs[0].Attempts)
+	}
+}
+
+func TestWrapUnknownWorkloadNotRetried(t *testing.T) {
+	b := &flakyBackend{permanent: true}
+	w := Wrap(b, wrapPolicy(5))
+	_, err := w.Invoke(context.Background(), backend.Request{Workload: "nope", Run: 1})
+	if !errors.Is(err, backend.ErrUnknownWorkload) {
+		t.Fatalf("err = %v", err)
+	}
+	if b.calls[1] != 1 {
+		t.Fatalf("unknown workload retried %d times", b.calls[1])
+	}
+}
+
+func TestWrapDeterministic(t *testing.T) {
+	run := func() []int {
+		b := &flakyBackend{failN: 2}
+		w := Wrap(b, wrapPolicy(4))
+		invs, err := w.Invoke(context.Background(), backend.Request{Workload: "x", Run: 7, Concurrency: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var attempts []int
+		for _, inv := range invs {
+			attempts = append(attempts, inv.Attempts)
+		}
+		return attempts
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic shape: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic attempts: %v vs %v", a, b)
+		}
+	}
+}

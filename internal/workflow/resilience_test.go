@@ -1,0 +1,175 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"sharp/internal/config"
+)
+
+func parseYAML(t *testing.T, src string) *Workflow {
+	t.Helper()
+	doc, err := config.Parse([]byte(src), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestExecuteJoinsLevelErrors(t *testing.T) {
+	// Satellite (c): two independent tasks in the same level both fail; the
+	// returned error must report both, not just the first.
+	w := parseYAML(t, `
+id: joined
+states:
+  - name: a
+    actions:
+      - functionRef: fa
+  - name: b
+    actions:
+      - functionRef: fb
+`)
+	err := w.Execute(context.Background(), func(ctx context.Context, task string, act Action) error {
+		return errors.New(task + " exploded")
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "a exploded") || !strings.Contains(msg, "b exploded") {
+		t.Fatalf("level error truncated: %v", msg)
+	}
+}
+
+func TestTaskRetriesHealTransientFailures(t *testing.T) {
+	w := parseYAML(t, `
+id: retried
+states:
+  - name: flaky
+    retries: 2
+    actions:
+      - functionRef: f
+`)
+	var mu sync.Mutex
+	calls := 0
+	err := w.Execute(context.Background(), func(ctx context.Context, task string, act Action) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retries did not heal: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestTaskRetriesExhausted(t *testing.T) {
+	w := parseYAML(t, `
+id: doomed
+states:
+  - name: broken
+    retries: 1
+    actions:
+      - functionRef: f
+`)
+	calls := 0
+	err := w.Execute(context.Background(), func(ctx context.Context, task string, act Action) error {
+		calls++
+		return errors.New("always")
+	})
+	if err == nil || calls != 2 {
+		t.Fatalf("err = %v calls = %d", err, calls)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempt(s)") {
+		t.Fatalf("attempt count missing: %v", err)
+	}
+}
+
+func TestContinueOnError(t *testing.T) {
+	w := parseYAML(t, `
+id: tolerant
+states:
+  - name: besteffort
+    continueOnError: true
+    actions:
+      - functionRef: f
+    transition: downstream
+  - name: downstream
+    actions:
+      - functionRef: g
+`)
+	var mu sync.Mutex
+	var ran []string
+	err := w.Execute(context.Background(), func(ctx context.Context, task string, act Action) error {
+		mu.Lock()
+		ran = append(ran, task)
+		mu.Unlock()
+		if task == "besteffort" {
+			return errors.New("tolerated")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("continueOnError leaked: %v", err)
+	}
+	if len(ran) != 2 || ran[1] != "downstream" {
+		t.Fatalf("ran = %v; downstream skipped", ran)
+	}
+}
+
+func TestNegativeRetriesRejected(t *testing.T) {
+	doc, err := config.Parse([]byte(`
+id: bad
+states:
+  - name: s
+    retries: -1
+    actions:
+      - functionRef: f
+`), ".yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(doc); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+}
+
+func TestMakefileRetryAndContinue(t *testing.T) {
+	w := parseYAML(t, `
+id: resilient-make
+states:
+  - name: retried
+    retries: 2
+    actions:
+      - functionRef: f
+    transition: tolerated
+  - name: tolerated
+    continueOnError: true
+    actions:
+      - functionRef: g
+`)
+	mk := w.Makefile("sharp")
+	if !strings.Contains(mk, "seq 1 3") {
+		t.Errorf("retry loop missing from Makefile:\n%s", mk)
+	}
+	if !strings.Contains(mk, "\t-sharp run --workload g") {
+		t.Errorf("continueOnError '-' prefix missing:\n%s", mk)
+	}
+	// Normal recipes must not be prefixed.
+	if strings.Contains(mk, "\t-for") {
+		t.Errorf("retry recipe wrongly ignored failures:\n%s", mk)
+	}
+}

@@ -18,8 +18,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"sharp/internal/config"
+	"sharp/internal/resilience"
 )
 
 // Action is one function invocation within a workflow state.
@@ -41,6 +43,13 @@ type Task struct {
 	Parallel bool
 	// DependsOn lists states that must complete first.
 	DependsOn []string
+	// Retries is the number of per-action retries (total attempts =
+	// Retries + 1); parsed from the state's "retries" key.
+	Retries int
+	// ContinueOnError lets the workflow proceed past this task's failure
+	// (the error is dropped after all its actions have been attempted);
+	// parsed from the state's "continueOnError" key.
+	ContinueOnError bool
 }
 
 // Workflow is a parsed dependency graph of tasks.
@@ -82,8 +91,13 @@ func Parse(doc *config.Document) (*Workflow, error) {
 			return nil, fmt.Errorf("workflow: duplicate state %q", name)
 		}
 		task := Task{
-			Name:     name,
-			Parallel: st.String("type", "operation") == "parallel",
+			Name:            name,
+			Parallel:        st.String("type", "operation") == "parallel",
+			Retries:         st.Int("retries", 0),
+			ContinueOnError: st.Bool("continueOnError", false),
+		}
+		if task.Retries < 0 {
+			return nil, fmt.Errorf("workflow: state %q: negative retries", name)
 		}
 		for j := range st.List("actions") {
 			act, err := parseAction(st, fmt.Sprintf("actions.%d", j))
@@ -246,8 +260,11 @@ type Runner func(ctx context.Context, task string, action Action) error
 
 // Execute runs the workflow with the given runner, respecting dependencies:
 // levels run sequentially, tasks within a level concurrently, and a
-// parallel task's actions concurrently. The first error aborts the
-// remaining levels.
+// parallel task's actions concurrently. A failed level aborts the remaining
+// levels, reporting every failed task of the level via errors.Join — a
+// multi-task failure is fully reported, not truncated to its first error.
+// Per-task resilience: Retries re-run failing actions, and ContinueOnError
+// keeps the workflow going past a task's failure.
 func (w *Workflow) Execute(ctx context.Context, run Runner) error {
 	levels, err := w.Levels()
 	if err != nil {
@@ -265,35 +282,54 @@ func (w *Workflow) Execute(ctx context.Context, run Runner) error {
 			}(i, task)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
+		if err := errors.Join(errs...); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-func (w *Workflow) runTask(ctx context.Context, task Task, run Runner) error {
-	if task.Parallel {
-		var wg sync.WaitGroup
-		errs := make([]error, len(task.Actions))
-		for i, act := range task.Actions {
-			wg.Add(1)
-			go func(i int, act Action) {
-				defer wg.Done()
-				errs[i] = run(ctx, task.Name, act)
-			}(i, act)
-		}
-		wg.Wait()
-		return errors.Join(errs...)
-	}
-	for _, act := range task.Actions {
-		if err := run(ctx, task.Name, act); err != nil {
-			return fmt.Errorf("workflow: task %q action %q: %w", task.Name, act.Function, err)
-		}
+// runAction executes one action under the task's retry policy.
+func (w *Workflow) runAction(ctx context.Context, task Task, act Action, run Runner) error {
+	attempts, err := resilience.Do(ctx, resilience.Policy{
+		MaxAttempts: task.Retries + 1,
+		BaseDelay:   time.Millisecond,
+	}, func(ctx context.Context, _ int) error {
+		return run(ctx, task.Name, act)
+	})
+	if err != nil {
+		return fmt.Errorf("workflow: task %q action %q failed after %d attempt(s): %w",
+			task.Name, act.Function, attempts, err)
 	}
 	return nil
+}
+
+func (w *Workflow) runTask(ctx context.Context, task Task, run Runner) error {
+	err := func() error {
+		if task.Parallel {
+			var wg sync.WaitGroup
+			errs := make([]error, len(task.Actions))
+			for i, act := range task.Actions {
+				wg.Add(1)
+				go func(i int, act Action) {
+					defer wg.Done()
+					errs[i] = w.runAction(ctx, task, act, run)
+				}(i, act)
+			}
+			wg.Wait()
+			return errors.Join(errs...)
+		}
+		for _, act := range task.Actions {
+			if err := w.runAction(ctx, task, act, run); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err != nil && task.ContinueOnError {
+		return nil
+	}
+	return err
 }
 
 // Makefile renders the workflow as a Makefile whose targets invoke the
@@ -328,7 +364,19 @@ func (w *Workflow) Makefile(launcher string) string {
 			if len(act.Args) > 0 {
 				args = " --args '" + strings.Join(act.Args, ",") + "'"
 			}
-			fmt.Fprintf(&b, "\t%s run --workload %s%s\n", launcher, act.Function, args)
+			cmd := fmt.Sprintf("%s run --workload %s%s", launcher, act.Function, args)
+			if t.Retries > 0 {
+				// Retry the action inside the recipe: attempt up to N times,
+				// failing the target only when every attempt failed.
+				n := t.Retries + 1
+				cmd = fmt.Sprintf("for i in $$(seq 1 %d); do %s && break; [ $$i -lt %d ] || exit 1; done",
+					n, cmd, n)
+			}
+			prefix := ""
+			if t.ContinueOnError {
+				prefix = "-" // make ignores this recipe line's failure
+			}
+			fmt.Fprintf(&b, "\t%s%s\n", prefix, cmd)
 		}
 		fmt.Fprintln(&b)
 	}
