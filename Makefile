@@ -20,9 +20,13 @@ race:
 	$(GO) test -race ./...
 
 # One testing.B target per paper table/figure plus ablations and substrate
-# micro-benchmarks.
+# micro-benchmarks. BENCH_baseline.json snapshots the pre-parallel-engine
+# seed for comparison; bench-short is the CI smoke variant.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+bench-short:
+	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./...
 
 # Regenerate every paper table and figure into results/.
 experiments:

@@ -20,6 +20,7 @@ import (
 	"sharp/internal/randx"
 	"sharp/internal/similarity"
 	"sharp/internal/stats"
+	"sharp/internal/stats/stream"
 	"sharp/internal/stopping"
 )
 
@@ -411,3 +412,116 @@ func BenchmarkLauncherOverhead(b *testing.B) {
 	}
 	b.ReportMetric(1000, "runs/op")
 }
+
+// BenchmarkStoppingCheckIncrementalVsRecompute compares the two ways of
+// evaluating the KS half-vs-half convergence check (the complexity table in
+// DESIGN.md):
+//
+//   - check-*: one check at n=1000 in isolation. The incremental rule keeps
+//     both prefix halves as sorted multisets, so a check is a single O(n)
+//     merge walk; the pre-rewrite recompute policy re-sorts both halves
+//     first, O(n log n) with two fresh copies.
+//   - campaign-*: a full 1000-sample campaign with an unreachable threshold,
+//     paying for all 100 checks at growing n (amortizing the incremental
+//     path's per-sample sorted inserts against the repeated re-sorts).
+func BenchmarkStoppingCheckIncrementalVsRecompute(b *testing.B) {
+	const n = 1000
+	data := randx.SampleN(randx.NewBimodalNormal(randx.New(benchSeed), 1.0, 0.01, 1.06, 0.01, 0.55), n)
+	bounds := stopping.Bounds{MaxSamples: n}
+
+	b.Run("check-incremental", func(b *testing.B) {
+		var halves stream.Halves
+		for _, x := range data {
+			halves.Add(x)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var ks float64
+		for i := 0; i < b.N; i++ {
+			ks = halves.KS()
+		}
+		b.ReportMetric(ks, "KS")
+	})
+
+	b.Run("check-recompute", func(b *testing.B) {
+		first, second := stats.SplitHalves(data)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var ks float64
+		for i := 0; i < b.N; i++ {
+			ks = stats.KSStatistic(first, second)
+		}
+		b.ReportMetric(ks, "KS")
+	})
+
+	b.Run("campaign-incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		var checks int
+		for i := 0; i < b.N; i++ {
+			rule := stopping.NewKS(1e-9, bounds)
+			checks = 0
+			for _, x := range data {
+				rule.Add(x)
+				if rule.N() >= 10 && rule.N()%10 == 0 {
+					checks++
+				}
+			}
+			if !rule.Done() {
+				b.Fatal("rule did not reach the sample cap")
+			}
+		}
+		b.ReportMetric(float64(checks), "checks/op")
+	})
+
+	b.Run("campaign-recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		var checks int
+		for i := 0; i < b.N; i++ {
+			samples := make([]float64, 0, n)
+			checks = 0
+			done := false
+			for _, x := range data {
+				if done {
+					break
+				}
+				samples = append(samples, x)
+				if len(samples) < 10 || len(samples)%10 != 0 {
+					continue
+				}
+				checks++
+				first, second := stats.SplitHalves(samples)
+				if stats.KSStatistic(first, second) < 1e-9 {
+					done = true
+				}
+			}
+			if done {
+				b.Fatal("recompute variant stopped early")
+			}
+		}
+		b.ReportMetric(float64(checks), "checks/op")
+	})
+}
+
+// benchFig4Parallel regenerates Fig. 4 with the experiments worker pool
+// capped at the given width; on multi-core hosts the per-benchmark fan-out
+// (sampling 5 machine-days plus the KDE mode census) scales near-linearly
+// while the rendered report stays byte-identical.
+func benchFig4Parallel(b *testing.B, workers int) {
+	prev := experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(prev)
+	var multimodalPct float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := len(r.Benchmarks)
+		multimodalPct = 100 * float64(total-r.Split[1]) / float64(total)
+	}
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(multimodalPct, "multimodal_%")
+}
+
+func BenchmarkFig4Parallel1(b *testing.B) { benchFig4Parallel(b, 1) }
+func BenchmarkFig4Parallel4(b *testing.B) { benchFig4Parallel(b, 4) }
+func BenchmarkFig4Parallel8(b *testing.B) { benchFig4Parallel(b, 8) }

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"sharp/internal/experiments"
@@ -22,7 +23,10 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 2024, "experiment seed (results are deterministic per seed)")
 	out := flag.String("out", "", "also write each result to <out>/<id>.md")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines fanning each experiment's benchmarks/machines/days (1 = sequential; output is byte-identical at any value)")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	args := flag.Args()
 	if len(args) == 0 || args[0] == "list" {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -140,6 +141,7 @@ type runFlags struct {
 	day           int
 	seed          uint64
 	concurrency   int
+	parallel      int
 	warmup        int
 	timeout       time.Duration
 	retries       int
@@ -164,6 +166,7 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&rf.day, "day", 1, "measurement day (sim backend)")
 	fs.Uint64Var(&rf.seed, "seed", 42, "experiment seed")
 	fs.IntVar(&rf.concurrency, "concurrency", 1, "parallel instances per run")
+	fs.IntVar(&rf.parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines executing runs between stopping-rule checks (1 = sequential; results are deterministic either way)")
 	fs.IntVar(&rf.warmup, "warmup", 0, "warm-up runs (not recorded)")
 	fs.DurationVar(&rf.timeout, "timeout", 0, "per-instance timeout")
 	fs.IntVar(&rf.retries, "retries", 1, "total attempts per run (>1 enables retry with backoff)")
@@ -261,6 +264,7 @@ func (rf *runFlags) experiment(machineName string) (core.Experiment, error) {
 		Backend:     b,
 		Rule:        rule,
 		Concurrency: rf.concurrency,
+		Parallel:    rf.parallel,
 		Timeout:     rf.timeout,
 		WarmupRuns:  rf.warmup,
 		Day:         rf.day,
@@ -510,6 +514,7 @@ func cmdSweep(args []string) error {
 	threshold := fs.Float64("threshold", 0.1, "rule threshold")
 	maxRuns := fs.Int("max", 300, "maximum runs per cell")
 	seed := fs.Uint64("seed", 42, "experiment seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "cells measured concurrently (1 = sequential; results identical either way)")
 	outCSV := fs.String("csv", "", "write the combined tidy log to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -534,6 +539,7 @@ func cmdSweep(args []string) error {
 		Threshold: *threshold,
 		MaxRuns:   *maxRuns,
 		Seed:      *seed,
+		Parallel:  *parallel,
 	})
 	if err != nil {
 		return err

@@ -90,6 +90,36 @@ func Unwrap(b Backend) Backend {
 	}
 }
 
+// RunOrdered is implemented by stream-stateful backends (Sim, Chaos) whose
+// per-run draws can be synthesized in canonical run order instead of
+// arrival order. The parallel launcher enables the mode so that a run's
+// value depends only on its run index — making concurrent execution
+// bit-identical to sequential — and leaves it off everywhere else (the FaaS
+// platform, for example, partitions one global run counter across
+// per-worker backends, so each backend legitimately sees gaps).
+type RunOrdered interface {
+	// SetRunOrdered toggles canonical run-order draw synthesis.
+	SetRunOrdered(on bool)
+}
+
+// SetRunOrdered walks the decorator chain of b (via Unwrap) and toggles
+// run-ordered draw synthesis on every layer that supports it. It reports
+// whether any layer did.
+func SetRunOrdered(b Backend, on bool) bool {
+	any := false
+	for {
+		if ro, ok := b.(RunOrdered); ok {
+			ro.SetRunOrdered(on)
+			any = true
+		}
+		u, ok := b.(interface{ Unwrap() Backend })
+		if !ok {
+			return any
+		}
+		b = u.Unwrap()
+	}
+}
+
 // Func is an in-process workload: it performs the work and returns its
 // metrics. exec_time is added automatically from wall-clock measurement if
 // the function does not provide it.

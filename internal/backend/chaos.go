@@ -57,6 +57,21 @@ type Chaos struct {
 	mu       sync.Mutex
 	rng      *randx.RNG
 	injected map[string]int
+	// Run-ordered synthesis state (mirrors backend.Sim): when SetRunOrdered
+	// enables it, fault plans for measured runs are drawn in canonical run
+	// order regardless of request arrival order, so the fault schedule under
+	// the parallel launcher is identical to the sequential one. Plans drawn
+	// ahead of their request are parked in pending. Outside run-ordered mode
+	// (the default) plans are drawn at arrival, exactly as before.
+	runOrdered bool
+	next       int
+	pending    map[int]chaosPlan
+}
+
+// chaosPlan is one request's drawn fault plan.
+type chaosPlan struct {
+	panicNow bool
+	faults   []fault
 }
 
 // NewChaos wraps inner with fault injection.
@@ -69,6 +84,8 @@ func NewChaos(inner Backend, cfg ChaosConfig) *Chaos {
 		cfg:      cfg,
 		rng:      randx.New(cfg.Seed),
 		injected: map[string]int{},
+		next:     1,
+		pending:  map[int]chaosPlan{},
 	}
 }
 
@@ -78,6 +95,14 @@ func (c *Chaos) Name() string { return c.inner.Name() }
 
 // Unwrap returns the decorated backend.
 func (c *Chaos) Unwrap() Backend { return c.inner }
+
+// SetRunOrdered implements RunOrdered for the fault stream (the decorated
+// backend is switched separately via the Unwrap chain).
+func (c *Chaos) SetRunOrdered(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runOrdered = on
+}
 
 // Close implements Backend.
 func (c *Chaos) Close() error { return c.inner.Close() }
@@ -101,18 +126,14 @@ type fault struct {
 	latency bool
 }
 
-// draw consumes the fault stream for one request: a request-level panic
-// decision plus one fault plan per instance. Draws happen under the lock in
-// a fixed order, so concurrent campaigns remain deterministic as long as
-// requests arrive in a deterministic order.
-func (c *Chaos) draw(conc int) (panicNow bool, faults []fault) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// drawOne consumes the fault stream for one request: a request-level panic
+// decision plus one fault plan per instance. The caller must hold c.mu.
+func (c *Chaos) drawOne(conc int) chaosPlan {
 	if c.cfg.PanicRate > 0 && c.rng.Float64() < c.cfg.PanicRate {
 		c.injected["panic"]++
-		return true, nil
+		return chaosPlan{panicNow: true}
 	}
-	faults = make([]fault, conc)
+	faults := make([]fault, conc)
 	for i := range faults {
 		f := &faults[i]
 		if c.cfg.ErrorRate > 0 && c.rng.Float64() < c.cfg.ErrorRate {
@@ -130,7 +151,33 @@ func (c *Chaos) draw(conc int) (panicNow bool, faults []fault) {
 			c.injected["latency"]++
 		}
 	}
-	return false, faults
+	return chaosPlan{faults: faults}
+}
+
+// draw returns the fault plan for a request. In run-ordered mode it
+// enforces canonical run order for measured runs (run >= 1): an
+// out-of-order arrival first synthesizes (and parks) the plans of the runs
+// before it, so the fault schedule is a function of run indices alone and
+// survives parallel execution unchanged. Warmups (run < 1), replayed runs,
+// and all requests outside run-ordered mode draw at arrival, exactly like
+// the purely sequential path.
+func (c *Chaos) draw(run, conc int) (panicNow bool, faults []fault) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.runOrdered && run >= 1 {
+		if p, ok := c.pending[run]; ok {
+			delete(c.pending, run)
+			return p.panicNow, p.faults
+		}
+		if run >= c.next {
+			for q := c.next; q < run; q++ {
+				c.pending[q] = c.drawOne(conc)
+			}
+			c.next = run + 1
+		}
+	}
+	p := c.drawOne(conc)
+	return p.panicNow, p.faults
 }
 
 // Invoke implements Backend: it draws a deterministic fault plan, then
@@ -141,7 +188,7 @@ func (c *Chaos) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
 	if conc < 1 {
 		conc = 1
 	}
-	panicNow, faults := c.draw(conc)
+	panicNow, faults := c.draw(req.Run, conc)
 	if panicNow {
 		panic("chaos: injected panic")
 	}

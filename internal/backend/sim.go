@@ -15,15 +15,52 @@ import (
 // measurement, so five "days" of 1000-run experiments complete in
 // milliseconds. This is the substitution that replaces the paper's physical
 // A100/H100 servers (see DESIGN.md).
+//
+// Each workload/day pair owns one deterministic sample stream (like repeated
+// executions on a real machine-day). By default draws are consumed in
+// request-arrival order, exactly like repeated executions on real hardware —
+// this is what the sequential launcher and the FaaS platform (which
+// partitions a global run counter across per-worker Sims, leaving gaps in
+// each Sim's sequence) rely on.
+//
+// The parallel launcher instead needs values that are a function of the run
+// index alone, because its workers complete in scheduler order. It opts in
+// via SetRunOrdered (the RunOrdered interface): draws are then synthesized
+// in canonical run order — when a request for run r arrives before runs
+// next..r-1 have drawn, their draws are generated immediately (in order)
+// and parked in a pending cache until those requests arrive. Since a
+// sequential campaign's arrival order *is* canonical run order, the
+// run-ordered mode reproduces the sequential stream bit-for-bit.
 type Sim struct {
 	// Machine is the simulated machine executing requests.
 	Machine *machine.Machine
 	// Seed is the experiment seed.
 	Seed uint64
 
-	mu   sync.Mutex
-	gens map[string]*perfmodel.Gen      // keyed by workload|day
-	phg  map[string]*perfmodel.PhaseGen // phase generators where available
+	mu         sync.Mutex
+	runOrdered bool
+	streams    map[string]*simStream // keyed by workload|day
+}
+
+// SetRunOrdered toggles canonical run-order draw synthesis (see the type
+// comment). The parallel launcher enables it; leave it off for
+// arrival-order consumption.
+func (b *Sim) SetRunOrdered(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.runOrdered = on
+}
+
+// simStream is the deterministic per-workload/day sample stream with its
+// run-ordered synthesis state.
+type simStream struct {
+	g  *perfmodel.Gen
+	pg *perfmodel.PhaseGen
+	// next is the lowest measured run index that has not drawn yet.
+	next int
+	// pending holds draws synthesized ahead for not-yet-arrived runs:
+	// one metrics map per instance.
+	pending map[int][]map[string]float64
 }
 
 // NewSim returns a simulated backend on the given machine.
@@ -31,41 +68,84 @@ func NewSim(m *machine.Machine, seed uint64) *Sim {
 	return &Sim{
 		Machine: m,
 		Seed:    seed,
-		gens:    map[string]*perfmodel.Gen{},
-		phg:     map[string]*perfmodel.PhaseGen{},
+		streams: map[string]*simStream{},
 	}
 }
 
 // Name implements Backend.
 func (b *Sim) Name() string { return "sim" }
 
-// gen returns (creating if needed) the sampler for a workload/day pair.
-// Samplers are cached so consecutive runs continue one deterministic
-// stream, exactly like repeated executions on a real machine-day.
-func (b *Sim) gen(workload string, day int) (*perfmodel.Gen, *perfmodel.PhaseGen, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// stream returns (creating if needed) the sampler stream for a workload/day
+// pair. The caller must hold b.mu.
+func (b *Sim) stream(workload string, day int) (*simStream, error) {
 	key := fmt.Sprintf("%s|%d", workload, day)
-	if g, ok := b.gens[key]; ok {
-		return g, b.phg[key], nil
+	if s, ok := b.streams[key]; ok {
+		return s, nil
 	}
 	model, ok := perfmodel.For(workload)
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, workload)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, workload)
 	}
 	g, err := model.Sampler(b.Machine, day, b.Seed)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	b.gens[key] = g
+	s := &simStream{g: g, next: 1, pending: map[int][]map[string]float64{}}
 	if len(model.Phases) > 0 {
 		pg, err := model.PhaseSampler(b.Machine, day, b.Seed)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		b.phg[key] = pg
+		s.pg = pg
 	}
-	return g, b.phg[key], nil
+	b.streams[key] = s
+	return s, nil
+}
+
+// drawOne consumes the next stream draw: the full metrics map one instance
+// observes.
+func (s *simStream) drawOne() map[string]float64 {
+	metrics := map[string]float64{}
+	if s.pg != nil {
+		total, phases := s.pg.Next()
+		metrics[MetricExecTime] = total
+		for j, name := range s.pg.PhaseNames() {
+			metrics[name] = phases[j]
+		}
+	} else {
+		metrics[MetricExecTime] = s.g.Next()
+	}
+	return metrics
+}
+
+// drawRun returns the conc metrics maps for one request. In run-ordered
+// mode it enforces canonical run order for measured runs (run >= 1):
+// out-of-order arrivals synthesize the draws of intervening runs into the
+// pending cache. Warmup requests (run < 1), replays of already-drawn runs
+// (retries), and all requests outside run-ordered mode consume the stream
+// at arrival, preserving the sequential launcher's behavior.
+func (s *simStream) drawRun(run, conc int, runOrdered bool) []map[string]float64 {
+	if runOrdered && run >= 1 {
+		if d, ok := s.pending[run]; ok {
+			delete(s.pending, run)
+			return d
+		}
+		if run >= s.next {
+			for q := s.next; q < run; q++ {
+				d := make([]map[string]float64, conc)
+				for i := range d {
+					d[i] = s.drawOne()
+				}
+				s.pending[q] = d
+			}
+			s.next = run + 1
+		}
+	}
+	d := make([]map[string]float64, conc)
+	for i := range d {
+		d[i] = s.drawOne()
+	}
+	return d
 }
 
 // Invoke implements Backend. Phase-decomposed workloads report per-phase
@@ -74,35 +154,25 @@ func (b *Sim) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	g, pg, err := b.gen(req.Workload, req.Day)
-	if err != nil {
-		return nil, err
-	}
 	conc := req.Concurrency
 	if conc < 1 {
 		conc = 1
 	}
+	b.mu.Lock()
+	s, err := b.stream(req.Workload, req.Day)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, err
+	}
+	draws := s.drawRun(req.Run, conc, b.runOrdered)
+	b.mu.Unlock()
 	out := make([]Invocation, conc)
 	now := time.Now()
 	for i := 0; i < conc; i++ {
-		metrics := map[string]float64{}
-		// The sampler is a single deterministic stream; instances draw
-		// sequentially under the lock.
-		b.mu.Lock()
-		if pg != nil {
-			total, phases := pg.Next()
-			metrics[MetricExecTime] = total
-			for j, name := range pg.PhaseNames() {
-				metrics[name] = phases[j]
-			}
-		} else {
-			metrics[MetricExecTime] = g.Next()
-		}
-		b.mu.Unlock()
 		out[i] = Invocation{
 			Instance: i + 1,
 			Start:    now,
-			Metrics:  metrics,
+			Metrics:  draws[i],
 			Worker:   b.Machine.Name,
 		}
 	}

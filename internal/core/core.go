@@ -59,6 +59,14 @@ type Experiment struct {
 	// SUT describes the system under test; the zero value is filled from
 	// the local host (or the simulated machine for Sim backends).
 	SUT sysinfo.SUT
+	// Parallel is the number of worker goroutines executing runs
+	// concurrently (values <= 1 run sequentially). The parallel engine
+	// speculatively executes the runs up to the next CheckEvery boundary
+	// between rule evaluations and merges outcomes in run order, so with a
+	// run-addressable backend (Sim, Chaos, InProcess) the samples, rows and
+	// stop decision are bit-identical to the sequential path. See
+	// DESIGN.md ("Parallel experiment engine").
+	Parallel int
 	// Retry is the per-run retry policy; the zero value (MaxAttempts <= 1)
 	// disables retrying. When enabled the backend is wrapped with
 	// resilience.Wrap, and every failed attempt is still logged as a
@@ -217,6 +225,9 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 			}
 		}
 	}
+	if e.Parallel > 1 {
+		return l.runParallel(ctx, e, res)
+	}
 	run := 0
 	consecutiveFailed := 0
 	for !e.Rule.Done() {
@@ -224,68 +235,86 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 			return nil, err
 		}
 		run++
-		invs, err := e.Backend.Invoke(ctx, l.request(e, run))
-		now := l.Clock()
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
+		invs, invErr := e.Backend.Invoke(ctx, l.request(e, run))
+		if err := l.processRun(ctx, e, res, run, invs, invErr, &consecutiveFailed); err != nil {
+			if errors.Is(err, ErrFailureBudget) {
+				return res, err
 			}
-			if errors.Is(err, backend.ErrUnknownWorkload) {
-				return nil, fmt.Errorf("core: run %d: %w", run, err)
-			}
-			// Whole-run failure: record it as data and keep going.
-			res.Errors++
-			res.Rows = append(res.Rows, l.errorRow(e, now, run, backend.Invocation{}, err))
+			return nil, err
 		}
-		sum, ok := 0.0, 0
-		for _, inv := range invs {
-			if inv.Err != nil {
-				res.Errors++
-				res.Rows = append(res.Rows, l.errorRow(e, now, run, inv, inv.Err))
-				continue
-			}
-			for metricName, v := range inv.Metrics {
-				res.Rows = append(res.Rows, record.Row{
-					Timestamp:  now,
-					Experiment: e.Name,
-					Workload:   e.Workload,
-					Backend:    e.Backend.Name(),
-					Machine:    inv.Worker,
-					Day:        e.Day,
-					Run:        run,
-					Instance:   inv.Instance,
-					Metric:     metricName,
-					Value:      v,
-					Unit:       unitFor(metricName),
-					Status:     record.StatusOK,
-					Attempt:    attempts(inv),
-				})
-			}
-			if v, has := inv.Metrics[e.Metric]; has {
-				sum += v
-				ok++
-			}
-		}
-		if ok == 0 {
-			res.FailedRuns++
-			consecutiveFailed++
-			if over, why := e.FailureBudget.exceeded(consecutiveFailed, res.FailedRuns, run); over {
-				res.Runs = run
-				res.StopReason = "failure budget exceeded: " + why
-				res.Finished = l.Clock()
-				return res, fmt.Errorf("%w after run %d: %s", ErrFailureBudget, run, why)
-			}
-			continue
-		}
-		consecutiveFailed = 0
-		v := sum / float64(ok)
-		res.Samples = append(res.Samples, v)
-		e.Rule.Add(v)
 	}
 	res.Runs = run
 	res.StopReason = e.Rule.Explain()
 	res.Finished = l.Clock()
 	return res, nil
+}
+
+// processRun folds one run's invocation outcome into the result and the
+// stopping rule — the single code path shared by the sequential loop and the
+// parallel engine's ordered merge, which is what guarantees both produce
+// identical rows, samples and stop decisions. It reads the clock exactly
+// once per run (in run order), handles whole-run and per-instance failures,
+// and enforces the failure budget. A returned error wrapping
+// ErrFailureBudget means res was finalized as a partial result; any other
+// error aborts the campaign.
+func (l *Launcher) processRun(ctx context.Context, e Experiment, res *Result, run int, invs []backend.Invocation, invErr error, consecutiveFailed *int) error {
+	now := l.Clock()
+	if invErr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if errors.Is(invErr, backend.ErrUnknownWorkload) {
+			return fmt.Errorf("core: run %d: %w", run, invErr)
+		}
+		// Whole-run failure: record it as data and keep going.
+		res.Errors++
+		res.Rows = append(res.Rows, l.errorRow(e, now, run, backend.Invocation{}, invErr))
+	}
+	sum, ok := 0.0, 0
+	for _, inv := range invs {
+		if inv.Err != nil {
+			res.Errors++
+			res.Rows = append(res.Rows, l.errorRow(e, now, run, inv, inv.Err))
+			continue
+		}
+		for metricName, v := range inv.Metrics {
+			res.Rows = append(res.Rows, record.Row{
+				Timestamp:  now,
+				Experiment: e.Name,
+				Workload:   e.Workload,
+				Backend:    e.Backend.Name(),
+				Machine:    inv.Worker,
+				Day:        e.Day,
+				Run:        run,
+				Instance:   inv.Instance,
+				Metric:     metricName,
+				Value:      v,
+				Unit:       unitFor(metricName),
+				Status:     record.StatusOK,
+				Attempt:    attempts(inv),
+			})
+		}
+		if v, has := inv.Metrics[e.Metric]; has {
+			sum += v
+			ok++
+		}
+	}
+	if ok == 0 {
+		res.FailedRuns++
+		*consecutiveFailed = *consecutiveFailed + 1
+		if over, why := e.FailureBudget.exceeded(*consecutiveFailed, res.FailedRuns, run); over {
+			res.Runs = run
+			res.StopReason = "failure budget exceeded: " + why
+			res.Finished = l.Clock()
+			return fmt.Errorf("%w after run %d: %s", ErrFailureBudget, run, why)
+		}
+		return nil
+	}
+	*consecutiveFailed = 0
+	v := sum / float64(ok)
+	res.Samples = append(res.Samples, v)
+	e.Rule.Add(v)
+	return nil
 }
 
 // attempts normalizes an invocation's attempt count (0 = undecorated single
@@ -616,6 +645,7 @@ func ExperimentFromConfig(doc *config.Document, path string) (Experiment, error)
 		Cold:        doc.Bool(path+".cold", false),
 		Day:         doc.Int(path+".day", 1),
 		Seed:        uint64(doc.Int(path+".seed", 42)),
+		Parallel:    doc.Int(path+".parallel", 0),
 	}
 	if e.Workload == "" {
 		return e, errors.New("core: config: experiment needs a workload")

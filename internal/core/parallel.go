@@ -1,0 +1,144 @@
+package core
+
+// The parallel experiment engine: speculative batched execution of benchmark
+// runs between stopping-rule checks.
+//
+// The key observation is that a dynamic stopping rule can only change its
+// decision at a CheckEvery boundary (or at the MaxSamples cap), so the runs
+// between two checks are known to be needed before they start — they can be
+// executed concurrently without speculating on the rule's answer. The engine
+// therefore:
+//
+//  1. launches the next batch of runs (the distance to the next check
+//     boundary, rounded up to cover the worker count) on a bounded worker
+//     pool, each worker invoking the backend with its run's canonical index;
+//  2. merges the outcomes strictly in run order through the same processRun
+//     the sequential loop uses — reading the clock once per run, logging
+//     rows, feeding the rule;
+//  3. discards any speculative overshoot past the point the rule stops.
+//
+// Determinism: per-run values come from the backend, and SHARP's
+// run-addressable backends derive their draws from the request's run index —
+// InProcess hashes it directly, while Sim and Chaos are switched into
+// run-ordered draw synthesis (backend.SetRunOrdered, applied to every layer
+// of the decorator chain) so their streams become a function of run index
+// regardless of arrival order. Combined with the ordered merge, the
+// samples, tidy rows, CSV bytes and stop decision are bit-identical to the
+// sequential path (differential-tested in parallel_test.go, including under
+// chaos fault injection). The one caveat is retries: resilience.Wrap's
+// re-invocations consume extra draws at arrival time, so parallel campaigns
+// with retries enabled remain valid but are not guaranteed bit-identical to
+// sequential ones.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"sharp/internal/backend"
+	"sharp/internal/stopping"
+)
+
+// ruleBounds exposes the guard rails of rules built on stopping's base.
+type ruleBounds interface{ Bounds() stopping.Bounds }
+
+// runParallel executes the measurement loop with e.Parallel workers.
+// Warm-up runs were already executed (sequentially, preserving backend
+// stream order) by Run.
+func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result) (*Result, error) {
+	checkEvery, maxSamples := 10, 1000
+	if rb, ok := e.Rule.(ruleBounds); ok {
+		b := rb.Bounds()
+		checkEvery, maxSamples = b.CheckEvery, b.MaxSamples
+	}
+
+	// Switch every stream-stateful layer of the backend (Sim, Chaos) into
+	// canonical run-order draw synthesis so each run's value depends only on
+	// its run index, not on worker arrival order. Sequential arrival order is
+	// canonical order, so this reproduces the sequential stream exactly.
+	backend.SetRunOrdered(e.Backend, true)
+
+	type outcome struct {
+		invs     []backend.Invocation
+		err      error
+		panicked any
+	}
+
+	run := 0
+	consecutiveFailed := 0
+	for !e.Rule.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Batch size: up to the next check boundary (in samples), rounded up
+		// to a multiple of CheckEvery that keeps every worker busy, clamped
+		// by the samples remaining to the hard cap. Failed runs add no
+		// samples, so a batch may under-deliver; the outer loop simply
+		// launches another.
+		batch := checkEvery - e.Rule.N()%checkEvery
+		for batch < e.Parallel {
+			batch += checkEvery
+		}
+		if rem := maxSamples - e.Rule.N(); rem > 0 && rem < batch {
+			batch = rem
+		}
+		if batch < 1 {
+			batch = 1
+		}
+
+		outs := make([]outcome, batch)
+		workers := e.Parallel
+		if workers > batch {
+			workers = batch
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					o := &outs[i]
+					func() {
+						// A backend panic (chaos injection) must not kill
+						// the process from a worker goroutine: capture it
+						// and re-raise at this run's position in the merge,
+						// exactly where the sequential loop would panic.
+						defer func() {
+							if p := recover(); p != nil {
+								o.panicked = p
+							}
+						}()
+						o.invs, o.err = e.Backend.Invoke(ctx, l.request(e, run+i+1))
+					}()
+				}
+			}()
+		}
+		for i := 0; i < batch; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+
+		// Ordered merge: replay the sequential per-run processing.
+		for i := 0; i < batch && !e.Rule.Done(); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			run++
+			if p := outs[i].panicked; p != nil {
+				panic(p)
+			}
+			if err := l.processRun(ctx, e, res, run, outs[i].invs, outs[i].err, &consecutiveFailed); err != nil {
+				if errors.Is(err, ErrFailureBudget) {
+					return res, err
+				}
+				return nil, err
+			}
+		}
+	}
+	res.Runs = run
+	res.StopReason = e.Rule.Explain()
+	res.Finished = l.Clock()
+	return res, nil
+}

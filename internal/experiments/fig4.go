@@ -32,27 +32,43 @@ func Fig4(seed uint64) (*Fig4Result, error) {
 		Modes:      map[string]int{},
 		Split:      map[int]int{},
 	}
+	var benches []string
 	for _, bench := range rodinia.Suite() {
 		if bench.CUDA && !m1.HasGPU() {
 			continue
 		}
+		benches = append(benches, bench.Name)
+	}
+	// Fan the per-benchmark work (5 days of sampling plus the KDE mode
+	// census) across the worker pool; each benchmark's sampler streams are
+	// independent, and assembly below follows the suite order, so the
+	// result is identical at any parallelism.
+	pooledBy := make([][]float64, len(benches))
+	modesBy := make([]int, len(benches))
+	if err := forEach(len(benches), func(i int) error {
 		pooled := make([]float64, 0, 5000)
 		for day := 1; day <= 5; day++ {
-			s, err := sampleBench(bench.Name, m1, day, 1000, seed)
+			s, err := sampleBench(benches[i], m1, day, 1000, seed)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pooled = append(pooled, s...)
 		}
-		res.Benchmarks[bench.Name] = pooled
-		modes := stats.CountModes(pooled)
-		res.Modes[bench.Name] = modes
-		bucket := modes
+		pooledBy[i] = pooled
+		modesBy[i] = stats.CountModes(pooled)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, name := range benches {
+		res.Benchmarks[name] = pooledBy[i]
+		res.Modes[name] = modesBy[i]
+		bucket := modesBy[i]
 		if bucket > 4 {
 			bucket = 4
 		}
 		res.Split[bucket]++
-		res.order = append(res.order, bench.Name)
+		res.order = append(res.order, name)
 	}
 	return res, nil
 }

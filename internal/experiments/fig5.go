@@ -34,40 +34,62 @@ type Fig5aResult struct {
 	DissimilarKS int
 }
 
-// Fig5a regenerates the NAMD-vs-KS scatter of Fig. 5a.
+// Fig5a regenerates the NAMD-vs-KS scatter of Fig. 5a. The 33 cells
+// (benchmark x machine) are independent — each samples its own five
+// day-streams — so they fan across the worker pool and are stitched back
+// in the sequential iteration order.
 func Fig5a(seed uint64) (*Fig5aResult, error) {
-	res := &Fig5aResult{}
 	const runsPerDay = 1000
+	type cell struct {
+		bench string
+		mach  *machine.Machine
+	}
+	var cells []cell
 	for _, bench := range rodinia.CPU() {
 		for _, mach := range machine.Testbed() {
-			days := make([][]float64, 6)
-			for d := 1; d <= 5; d++ {
-				s, err := sampleBench(bench.Name, mach, d, runsPerDay, seed)
-				if err != nil {
-					return nil, err
-				}
-				days[d] = s
+			cells = append(cells, cell{bench.Name, mach})
+		}
+	}
+	pairsBy := make([][]PairComparison, len(cells))
+	if err := forEach(len(cells), func(i int) error {
+		c := cells[i]
+		days := make([][]float64, 6)
+		for d := 1; d <= 5; d++ {
+			s, err := sampleBench(c.bench, c.mach, d, runsPerDay, seed)
+			if err != nil {
+				return err
 			}
-			for a := 1; a <= 5; a++ {
-				for bday := a + 1; bday <= 5; bday++ {
-					namd, err := similarity.NAMDSorted(days[a], days[bday])
-					if err != nil {
-						return nil, err
-					}
-					ks := similarity.KS(days[a], days[bday])
-					res.Pairs = append(res.Pairs, PairComparison{
-						Benchmark: bench.Name, Machine: mach.Name,
-						DayA: a, DayB: bday,
-						NAMD: namd, KS: ks,
-						MeanA: stats.Mean(days[a]), MeanB: stats.Mean(days[bday]),
-					})
-					if namd < 0.02 && ks > 0.1 {
-						res.Divergent++
-					}
-					if ks > 0.1 {
-						res.DissimilarKS++
-					}
+			days[d] = s
+		}
+		pairs := make([]PairComparison, 0, 10)
+		for a := 1; a <= 5; a++ {
+			for bday := a + 1; bday <= 5; bday++ {
+				namd, err := similarity.NAMDSorted(days[a], days[bday])
+				if err != nil {
+					return err
 				}
+				pairs = append(pairs, PairComparison{
+					Benchmark: c.bench, Machine: c.mach.Name,
+					DayA: a, DayB: bday,
+					NAMD: namd, KS: similarity.KS(days[a], days[bday]),
+					MeanA: stats.Mean(days[a]), MeanB: stats.Mean(days[bday]),
+				})
+			}
+		}
+		pairsBy[i] = pairs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res := &Fig5aResult{}
+	for _, pairs := range pairsBy {
+		for _, p := range pairs {
+			res.Pairs = append(res.Pairs, p)
+			if p.NAMD < 0.02 && p.KS > 0.1 {
+				res.Divergent++
+			}
+			if p.KS > 0.1 {
+				res.DissimilarKS++
 			}
 		}
 	}

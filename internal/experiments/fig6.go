@@ -75,7 +75,10 @@ func faasStream(bench string, seed uint64) func() float64 {
 	}
 }
 
-// Fig6 regenerates the stopping-rule comparison.
+// Fig6 regenerates the stopping-rule comparison. Benchmarks fan across the
+// worker pool: every (benchmark, rule) measurement builds its own freshly
+// seeded FaaS platform, so concurrent benchmarks share no random state and
+// the assembled result matches the sequential order exactly.
 func Fig6(seed uint64) (*Fig6Result, error) {
 	names, makeRule := fig6Rules()
 	res := &Fig6Result{
@@ -84,34 +87,45 @@ func Fig6(seed uint64) (*Fig6Result, error) {
 		MeanKS:    map[string]float64{},
 		MeanNAMD:  map[string]float64{},
 	}
-	totalRuns := map[string]int{}
-	benchCount := 0
-	for _, bench := range rodinia.CUDA() {
-		benchCount++
+	benches := rodinia.CUDA()
+	outsBy := make([][]RuleOutcome, len(benches))
+	if err := forEach(len(benches), func(i int) error {
+		bench := benches[i]
 		// Ground truth: 1000 warm runs.
 		next := faasStream(bench.Name, seed)
 		truth := make([]float64, TruthRuns)
-		for i := range truth {
-			truth[i] = next()
+		for j := range truth {
+			truth[j] = next()
 		}
+		outs := make([]RuleOutcome, 0, len(names))
 		for _, rn := range names {
 			rule := makeRule[rn]()
 			partial := stopping.Drive(faasStream(bench.Name, seed), rule)
 			namd, err := similarity.NAMDTrimmed(partial, truth)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out := RuleOutcome{
+			outs = append(outs, RuleOutcome{
 				Benchmark: bench.Name,
 				Rule:      rn,
 				Runs:      len(partial),
 				NAMD:      namd,
 				KS:        similarity.KS(partial, truth),
-			}
+			})
+		}
+		outsBy[i] = outs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	totalRuns := map[string]int{}
+	benchCount := len(benches)
+	for _, outs := range outsBy {
+		for _, out := range outs {
 			res.Outcomes = append(res.Outcomes, out)
-			totalRuns[rn] += out.Runs
-			res.MeanKS[rn] += out.KS
-			res.MeanNAMD[rn] += out.NAMD
+			totalRuns[out.Rule] += out.Runs
+			res.MeanKS[out.Rule] += out.KS
+			res.MeanNAMD[out.Rule] += out.NAMD
 		}
 	}
 	for _, rn := range names {

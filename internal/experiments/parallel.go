@@ -1,0 +1,85 @@
+package experiments
+
+// The parallel suite runner: experiment regenerators fan their independent
+// units of work (benchmarks, machines, day pairs) across a bounded worker
+// pool, then assemble results in the canonical iteration order.
+//
+// Determinism: each unit draws from its own perfmodel sampler stream — keyed
+// by (benchmark, machine, day, seed) — so units never share random state.
+// As long as assembly happens in the same order the sequential loop used,
+// the rendered reports are byte-identical at any parallelism level
+// (asserted by TestParallelReportsMatchSequential).
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	parMu  sync.RWMutex
+	parMax = runtime.GOMAXPROCS(0)
+)
+
+// SetParallelism caps the worker pool used by experiment regenerators.
+// n < 1 resets to GOMAXPROCS. It returns the previous value.
+func SetParallelism(n int) int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	prev := parMax
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parMax = n
+	return prev
+}
+
+// Parallelism reports the current worker-pool cap.
+func Parallelism() int {
+	parMu.RLock()
+	defer parMu.RUnlock()
+	return parMax
+}
+
+// forEach runs fn(0..tasks-1) on a pool of min(Parallelism, tasks) workers
+// and returns the error of the lowest-index failing task (so the error a
+// caller sees is the same one the sequential loop would have hit first).
+func forEach(tasks int, fn func(i int) error) error {
+	if tasks <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for i := 0; i < tasks; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, tasks)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < tasks; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

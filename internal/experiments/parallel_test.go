@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelReportsMatchSequential asserts the fan-out regenerators render
+// byte-identical reports at parallelism 1 and 4 — the suite-runner analogue
+// of the launcher's differential determinism tests.
+func TestParallelReportsMatchSequential(t *testing.T) {
+	const seed = 2024
+	for _, id := range []string{"fig4", "fig5a", "fig6"} {
+		prev := SetParallelism(1)
+		seqRep, seqErr := Run(id, seed)
+		SetParallelism(4)
+		parRep, parErr := Run(id, seed)
+		SetParallelism(prev)
+		if seqErr != nil || parErr != nil {
+			t.Fatalf("%s: seq err %v, par err %v", id, seqErr, parErr)
+		}
+		seq, par := seqRep.Render(), parRep.Render()
+		if seq != par {
+			t.Fatalf("%s: rendered report diverged between parallelism 1 and 4 (%d vs %d bytes)",
+				id, len(seq), len(par))
+		}
+	}
+}
+
+// TestSetParallelism checks clamping and restoration semantics.
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(0) // resets to GOMAXPROCS
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d after reset, want >= 1", got)
+	}
+	SetParallelism(prev)
+}
+
+// TestForEachErrorOrder checks forEach reports the lowest-index error.
+func TestForEachErrorOrder(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	errA := errIndexed(2)
+	errB := errIndexed(5)
+	err := forEach(8, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 5:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("forEach returned %v, want the lowest-index error %v", err, errA)
+	}
+}
+
+type errIndexed int
+
+func (e errIndexed) Error() string { return "task failed" }

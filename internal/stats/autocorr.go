@@ -56,9 +56,25 @@ func EffectiveSampleSize(xs []float64) float64 {
 	if maxLag > 200 {
 		maxLag = 200
 	}
+	// Batched ACF: hoist the mean and the (lag-independent) denominator out
+	// of the per-lag loop instead of recomputing them inside Autocorrelation
+	// for every lag. Each per-lag numerator is the same loop in the same
+	// order, so the result is bit-identical to the per-lag recompute.
+	m := Mean(xs)
+	var den float64
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
 	sum := 0.0
 	for k := 1; k <= maxLag; k++ {
-		r := Autocorrelation(xs, k)
+		var num float64
+		for i := 0; i < n-k; i++ {
+			num += (xs[i] - m) * (xs[i+k] - m)
+		}
+		r := num / den
+		if den == 0 {
+			r = 0
+		}
 		if math.IsNaN(r) || r <= 0.05 {
 			break
 		}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math/rand/v2"
+	"sort"
 	"testing"
 )
 
@@ -76,4 +77,46 @@ func BenchmarkBootstrapCI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		BootstrapCI(rng, x, 200, 0.95, Mean)
 	}
+}
+
+// rankSortSlice is the previous Rank implementation (closure-capturing
+// sort.Slice over an index permutation), kept as the benchmark baseline for
+// the slices.SortFunc pair-sorting rewrite.
+func rankSortSlice(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func BenchmarkRank(b *testing.B) {
+	x := benchData(1000)
+	b.Run("pairs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Rank(x)
+		}
+	})
+	b.Run("sortslice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rankSortSlice(x)
+		}
+	})
 }

@@ -106,6 +106,32 @@ func RelativeCIHalfWidth(xs []float64, level float64) float64 {
 	return math.Abs(ci.High-m) / math.Abs(m)
 }
 
+// MeanCIRightTailedFromMoments is MeanCIRightTailed computed from
+// pre-aggregated moments (sample count, mean, standard error of the mean)
+// instead of the raw sample, for incremental callers that maintain the
+// moments in O(1) per observation. Fed the same mean and stderr, it performs
+// the same operations in the same order as MeanCIRightTailed.
+func MeanCIRightTailedFromMoments(n int, mean, stderr, level float64) Interval {
+	if n < 2 {
+		return Interval{Low: math.Inf(-1), High: mean, Level: level}
+	}
+	t := studentTQuantile(level, float64(n-1))
+	return Interval{Low: math.Inf(-1), High: mean + t*stderr, Level: level}
+}
+
+// RelativeCIHalfWidthFromMoments is RelativeCIHalfWidth from pre-aggregated
+// moments; see MeanCIRightTailedFromMoments.
+func RelativeCIHalfWidthFromMoments(n int, mean, stderr, level float64) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	ci := MeanCIRightTailedFromMoments(n, mean, stderr, level)
+	return math.Abs(ci.High-mean) / math.Abs(mean)
+}
+
 // QuantileCI returns a distribution-free (order-statistic, normal
 // approximation) confidence interval for the p-th quantile.
 func QuantileCI(xs []float64, p, level float64) Interval {

@@ -264,3 +264,90 @@ func TestRandomSplitPreservesAll(t *testing.T) {
 		t.Error("random split lost observations")
 	}
 }
+
+// TestRankMatchesSortSliceReference cross-checks the slices.SortFunc Rank
+// against a direct recomputation, including midrank tie handling.
+func TestRankMatchesSortSliceReference(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{7},
+		{3, 1, 2},
+		{1, 2, 2, 3},
+		{5, 5, 5, 5},
+		{2, 1, 2, 3, 1, 2},
+		benchData(257),
+	}
+	for _, xs := range cases {
+		got := Rank(xs)
+		want := rankReference(xs)
+		if len(got) != len(want) {
+			t.Fatalf("Rank(%v): length %d, want %d", xs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Rank(%v)[%d] = %v, want %v", xs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// rankReference computes midranks directly: rank(x) = #smaller + (#equal+1)/2.
+func rankReference(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		smaller, equal := 0, 0
+		for _, y := range xs {
+			if y < x {
+				smaller++
+			} else if y == x {
+				equal++
+			}
+		}
+		out[i] = float64(smaller) + (float64(equal)+1)/2
+	}
+	return out
+}
+
+// TestQuantileSelectMatchesSorted checks the quickselect quantile returns
+// exactly the sorted-path value for every percentile on varied shapes.
+func TestQuantileSelectMatchesSorted(t *testing.T) {
+	shapes := map[string][]float64{
+		"normal":   benchData(501),
+		"sorted":   SortedCopy(benchData(500)),
+		"constant": {4, 4, 4, 4, 4, 4, 4},
+		"two":      {9, 1},
+		"one":      {3},
+		"ties":     {1, 3, 1, 3, 1, 3, 2, 2},
+	}
+	ps := []float64{0, 0.01, 0.025, 0.25, 0.5, 0.75, 0.975, 0.99, 1}
+	for name, xs := range shapes {
+		for _, p := range ps {
+			want := Quantile(xs, p)
+			buf := append([]float64(nil), xs...)
+			got := quantileSelect(buf, p)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("%s p=%v: quantileSelect = %v, want %v", name, p, got, want)
+			}
+		}
+	}
+	if !math.IsNaN(quantileSelect(nil, 0.5)) {
+		t.Error("quantileSelect(nil) should be NaN")
+	}
+}
+
+// TestBootstrapCIMatchesSortedPath checks the select-based BootstrapCI is
+// bit-identical to the original sort-everything implementation.
+func TestBootstrapCIMatchesSortedPath(t *testing.T) {
+	xs := benchData(300)
+	for _, level := range []float64{0.9, 0.95, 0.99} {
+		got := BootstrapCI(rand.New(rand.NewPCG(3, 4)), xs, 500, level, Mean)
+		boots := Bootstrap(rand.New(rand.NewPCG(3, 4)), xs, 500, Mean)
+		alpha := 1 - level
+		wantLow := QuantileSorted(boots, alpha/2)
+		wantHigh := QuantileSorted(boots, 1-alpha/2)
+		if got.Low != wantLow || got.High != wantHigh {
+			t.Errorf("level %v: CI [%v, %v], want [%v, %v]",
+				level, got.Low, got.High, wantLow, wantHigh)
+		}
+	}
+}

@@ -49,6 +49,16 @@ func KSStatistic(xs, ys []float64) float64 {
 	return ksSorted(a, b)
 }
 
+// KSStatisticSorted is KSStatistic for already ascending-sorted samples; it
+// skips the O(n log n) copies so incremental callers (stats/stream.Halves)
+// pay only the O(n+m) merge walk per evaluation.
+func KSStatisticSorted(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	return ksSorted(a, b)
+}
+
 // ksSorted computes the KS statistic for pre-sorted samples.
 func ksSorted(a, b []float64) float64 {
 	na, nb := float64(len(a)), float64(len(b))

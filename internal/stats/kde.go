@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // KDE is a Gaussian kernel density estimator. SHARP uses it to detect the
 // number of performance modes (§VI-A, Fig. 4's multimodality findings):
@@ -13,12 +16,16 @@ type KDE struct {
 // SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth
 // 0.9 * min(s, IQR/1.34) * n^(-1/5), robust to mild non-normality.
 func SilvermanBandwidth(xs []float64) float64 {
-	n := float64(len(xs))
+	return SilvermanFromStats(len(xs), StdDev(xs), IQR(xs))
+}
+
+// SilvermanFromStats is SilvermanBandwidth computed from pre-aggregated
+// inputs (sample count, standard deviation, interquartile range), for
+// incremental callers that already maintain them.
+func SilvermanFromStats(n int, s, iqr float64) float64 {
 	if n < 2 {
 		return 1
 	}
-	s := StdDev(xs)
-	iqr := IQR(xs)
 	a := s
 	if iqr > 0 && iqr/1.34 < a {
 		a = iqr / 1.34
@@ -26,7 +33,7 @@ func SilvermanBandwidth(xs []float64) float64 {
 	if a == 0 {
 		return 1e-9 // degenerate (constant) data
 	}
-	return 0.9 * a * math.Pow(n, -0.2)
+	return 0.9 * a * math.Pow(float64(n), -0.2)
 }
 
 // NewKDE builds a KDE with Silverman's bandwidth.
@@ -36,13 +43,28 @@ func NewKDE(xs []float64) *KDE {
 
 // NewKDEBandwidth builds a KDE with an explicit bandwidth (must be > 0).
 func NewKDEBandwidth(xs []float64, bw float64) *KDE {
+	return NewKDESorted(SortedCopy(xs), bw)
+}
+
+// NewKDESorted builds a KDE over already ascending-sorted data with an
+// explicit bandwidth. The slice is retained, not copied — incremental
+// callers (the modality stopping rule) pass the sorted view their
+// order-statistics accumulator already maintains.
+func NewKDESorted(sorted []float64, bw float64) *KDE {
 	if bw <= 0 {
 		bw = 1e-9
 	}
-	return &KDE{data: SortedCopy(xs), Bandwidth: bw}
+	return &KDE{data: sorted, Bandwidth: bw}
 }
 
 // Eval returns the estimated density at x.
+//
+// The kernel support is truncated at |u| <= 8 bandwidths; since the data is
+// sorted, binary search restricts the scan to the window that can contribute.
+// The window is widened to 9 bandwidths so float rounding of the bounds can
+// never exclude a point the exact |u| <= 8 test would keep: skipped points
+// contribute exactly 0 to the sum, so the result is bit-identical to the
+// full scan.
 func (k *KDE) Eval(x float64) float64 {
 	if len(k.data) == 0 {
 		return 0
@@ -50,7 +72,9 @@ func (k *KDE) Eval(x float64) float64 {
 	const norm = 0.3989422804014327 // 1/sqrt(2*pi)
 	sum := 0.0
 	inv := 1 / k.Bandwidth
-	for _, xi := range k.data {
+	lo := sort.SearchFloat64s(k.data, x-9*k.Bandwidth)
+	hi := sort.SearchFloat64s(k.data, x+9*k.Bandwidth)
+	for _, xi := range k.data[lo:hi] {
 		u := (x - xi) * inv
 		if u > 8 || u < -8 {
 			continue
@@ -113,6 +137,20 @@ func CountModes(data []float64) int {
 		return 1
 	}
 	return len(NewKDE(data).Modes(256, 0.15, 0.25))
+}
+
+// CountModesSortedBandwidth is CountModes over already ascending-sorted data
+// with a caller-supplied bandwidth. Given the bandwidth SilvermanBandwidth
+// would compute for the same multiset, it returns exactly CountModes' answer
+// while skipping the sort-copy — the incremental modality rule's fast path.
+func CountModesSortedBandwidth(sorted []float64, bw float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if sorted[0] == sorted[len(sorted)-1] {
+		return 1
+	}
+	return len(NewKDESorted(sorted, bw).Modes(256, 0.15, 0.25))
 }
 
 // findPeaks locates prominent local maxima in a sampled curve. A candidate

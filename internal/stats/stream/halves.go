@@ -1,0 +1,47 @@
+package stream
+
+import "sharp/internal/stats"
+
+// Halves incrementally maintains the first-half / second-half partition the
+// paper's KS stopping rule compares (§V-C): after n observations, First holds
+// the multiset of xs[:n/2] and Second holds xs[n/2:], both kept sorted. Each
+// Add inserts into Second and migrates at most one element across the
+// boundary, so the partition tracks the growing prefix in O(log n) plus a
+// memmove — where the recompute path re-sorts both halves on every check.
+type Halves struct {
+	xs            []float64 // arrival order
+	first, second OrderStats
+}
+
+// Add feeds the next observation.
+func (h *Halves) Add(x float64) {
+	h.xs = append(h.xs, x)
+	h.second.Add(x)
+	// The boundary n/2 advances by at most one per Add; migrate the next
+	// arrival-order element from the second half to the first.
+	for h.first.N() < len(h.xs)/2 {
+		v := h.xs[h.first.N()]
+		h.second.Remove(v)
+		h.first.Add(v)
+	}
+}
+
+// N returns the number of observations.
+func (h *Halves) N() int { return len(h.xs) }
+
+// First returns the order statistics of xs[:n/2].
+func (h *Halves) First() *OrderStats { return &h.first }
+
+// Second returns the order statistics of xs[n/2:].
+func (h *Halves) Second() *OrderStats { return &h.second }
+
+// Values returns the observations in arrival order (shared; do not mutate).
+func (h *Halves) Values() []float64 { return h.xs }
+
+// KS returns the two-sample Kolmogorov-Smirnov statistic between the two
+// halves, bit-identical to stats.KSStatistic(stats.SplitHalves(xs)) but
+// computed by a single O(n) merge walk over the maintained sorted halves —
+// no sorting on the check path.
+func (h *Halves) KS() float64 {
+	return stats.KSStatisticSorted(h.first.Sorted(), h.second.Sorted())
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"math"
+	"sort"
+
+	"sharp/internal/stats"
+)
+
+// OrderStats is an incrementally maintained order-statistics multiset: a
+// sorted slice updated by binary-search insert (O(log n) search plus a
+// memmove). It maintains exactly the slice stats.SortedCopy would produce, so
+// quantile, median, IQR, ECDF and MAD queries are bit-identical to the
+// recompute path — without the O(n log n) sort per convergence check.
+//
+// For the sample sizes stopping rules see (MaxSamples defaults to 1000) the
+// memmove is a few hundred bytes and far cheaper than re-sorting; a
+// Fenwick-indexed multiset would shave the memmove but lose the cheap
+// contiguous Sorted() view every stats query needs.
+type OrderStats struct {
+	sorted []float64
+	dev    []float64 // scratch buffer for MAD
+}
+
+// Add inserts x, keeping the multiset sorted.
+func (o *OrderStats) Add(x float64) {
+	i := sort.SearchFloat64s(o.sorted, x)
+	o.sorted = append(o.sorted, 0)
+	copy(o.sorted[i+1:], o.sorted[i:])
+	o.sorted[i] = x
+}
+
+// Remove deletes one occurrence of x. It reports whether x was present.
+func (o *OrderStats) Remove(x float64) bool {
+	i := sort.SearchFloat64s(o.sorted, x)
+	if i >= len(o.sorted) || o.sorted[i] != x {
+		return false
+	}
+	o.sorted = append(o.sorted[:i], o.sorted[i+1:]...)
+	return true
+}
+
+// N returns the number of observations.
+func (o *OrderStats) N() int { return len(o.sorted) }
+
+// Sorted returns the ascending view of the multiset (shared; do not mutate,
+// and do not retain across Add/Remove).
+func (o *OrderStats) Sorted() []float64 { return o.sorted }
+
+// Min returns the smallest element, NaN when empty.
+func (o *OrderStats) Min() float64 {
+	if len(o.sorted) == 0 {
+		return nan()
+	}
+	return o.sorted[0]
+}
+
+// Max returns the largest element, NaN when empty.
+func (o *OrderStats) Max() float64 {
+	if len(o.sorted) == 0 {
+		return nan()
+	}
+	return o.sorted[len(o.sorted)-1]
+}
+
+// Quantile returns the p-th sample quantile (Hyndman-Fan type 7),
+// bit-identical to stats.Quantile over the same multiset.
+func (o *OrderStats) Quantile(p float64) float64 {
+	return stats.QuantileSorted(o.sorted, p)
+}
+
+// Median returns the sample median.
+func (o *OrderStats) Median() float64 { return o.Quantile(0.5) }
+
+// IQR returns Q3 - Q1, bit-identical to stats.IQR.
+func (o *OrderStats) IQR() float64 {
+	return o.Quantile(0.75) - o.Quantile(0.25)
+}
+
+// Eval is the incremental ECDF: F(x) = (#observations <= x)/n,
+// right-continuous, bit-identical to stats.ECDF.Eval.
+func (o *OrderStats) Eval(x float64) float64 {
+	if len(o.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(o.sorted, x)
+	for i < len(o.sorted) && o.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(o.sorted))
+}
+
+// MAD returns the median absolute deviation from the median, bit-identical to
+// stats.MAD but in O(n) without sorting: because the data is already sorted,
+// the absolute deviations |x - med| form two ascending runs (walking left and
+// right from the median cut), which a two-pointer merge turns into a sorted
+// deviation slice directly. IEEE-754 subtraction satisfies fl(med-x) =
+// -fl(x-med), so med-x equals math.Abs(x-med) bit for bit.
+func (o *OrderStats) MAD() float64 {
+	n := len(o.sorted)
+	if n == 0 {
+		return nan()
+	}
+	med := o.Median()
+	// Split point: first index with value >= med.
+	k := sort.SearchFloat64s(o.sorted, med)
+	if cap(o.dev) < n {
+		o.dev = make([]float64, 0, cap(o.sorted))
+	}
+	dev := o.dev[:0]
+	// Left run: med - sorted[k-1], med - sorted[k-2], ... ascending.
+	// Right run: sorted[k] - med, sorted[k+1] - med, ... ascending.
+	i, j := k-1, k
+	for i >= 0 && j < n {
+		l, r := med-o.sorted[i], o.sorted[j]-med
+		if l <= r {
+			dev = append(dev, l)
+			i--
+		} else {
+			dev = append(dev, r)
+			j++
+		}
+	}
+	for ; i >= 0; i-- {
+		dev = append(dev, med-o.sorted[i])
+	}
+	for ; j < n; j++ {
+		dev = append(dev, o.sorted[j]-med)
+	}
+	o.dev = dev
+	return stats.QuantileSorted(dev, 0.5)
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,265 @@
+package stream
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"sharp/internal/stats"
+)
+
+// streams returns a set of synthetic observation sequences covering the
+// distribution families SHARP's stopping rules specialize in.
+func streams(n int) map[string][]float64 {
+	rng := rand.New(rand.NewPCG(7, 11))
+	out := map[string][]float64{}
+
+	normal := make([]float64, n)
+	for i := range normal {
+		normal[i] = 100 + 5*rng.NormFloat64()
+	}
+	out["normal"] = normal
+
+	lognormal := make([]float64, n)
+	for i := range lognormal {
+		lognormal[i] = math.Exp(4 + 0.4*rng.NormFloat64())
+	}
+	out["lognormal"] = lognormal
+
+	bimodal := make([]float64, n)
+	for i := range bimodal {
+		mu := 50.0
+		if rng.Float64() < 0.4 {
+			mu = 120
+		}
+		bimodal[i] = mu + 3*rng.NormFloat64()
+	}
+	out["bimodal"] = bimodal
+
+	heavy := make([]float64, n)
+	for i := range heavy {
+		// Pareto-like tail on a positive base.
+		heavy[i] = 10 + 5/math.Pow(1-rng.Float64(), 0.7)
+	}
+	out["heavy"] = heavy
+
+	withTies := make([]float64, n)
+	for i := range withTies {
+		withTies[i] = math.Floor(10 * rng.Float64()) // many exact ties
+	}
+	out["ties"] = withTies
+
+	constant := make([]float64, n)
+	for i := range constant {
+		constant[i] = 42
+	}
+	out["constant"] = constant
+
+	return out
+}
+
+func TestKahanSumMatchesStatsMeanExactly(t *testing.T) {
+	for name, xs := range streams(500) {
+		var k KahanSum
+		for i, x := range xs {
+			k.Add(x)
+			prefix := xs[:i+1]
+			if got, want := k.Sum(), stats.Sum(prefix); got != want {
+				t.Fatalf("%s: Sum at n=%d: got %v want %v", name, i+1, got, want)
+			}
+			if got, want := k.Mean(), stats.Mean(prefix); got != want {
+				t.Fatalf("%s: Mean at n=%d: got %v want %v", name, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestMomentsMatchesStats(t *testing.T) {
+	for name, xs := range streams(500) {
+		var m Moments
+		for i, x := range xs {
+			m.Add(x)
+			prefix := xs[:i+1]
+			if got, want := m.Mean(), stats.Mean(prefix); got != want {
+				t.Fatalf("%s: Mean at n=%d: got %v want %v", name, i+1, got, want)
+			}
+			if i == 0 {
+				if !math.IsNaN(m.Variance()) {
+					t.Fatalf("%s: Variance at n=1 should be NaN", name)
+				}
+				continue
+			}
+			got, want := m.Variance(), stats.Variance(prefix)
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("%s: Variance at n=%d: got %v want 0", name, i+1, got)
+				}
+				continue
+			}
+			if rel := math.Abs(got-want) / want; rel > 1e-9 {
+				t.Fatalf("%s: Variance at n=%d: got %v want %v (rel %v)", name, i+1, got, want, rel)
+			}
+		}
+		// CV conventions match stats.CV.
+		if got, want := m.CV(), stats.CV(xs); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("%s: CV: got %v want %v", name, got, want)
+		}
+	}
+}
+
+func TestOrderStatsMatchesSortedRecompute(t *testing.T) {
+	ps := []float64{0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1}
+	for name, xs := range streams(300) {
+		var o OrderStats
+		for i, x := range xs {
+			o.Add(x)
+			prefix := xs[:i+1]
+			sorted := stats.SortedCopy(prefix)
+			got := o.Sorted()
+			if len(got) != len(sorted) {
+				t.Fatalf("%s: length mismatch at n=%d", name, i+1)
+			}
+			for j := range sorted {
+				if got[j] != sorted[j] {
+					t.Fatalf("%s: sorted[%d] at n=%d: got %v want %v", name, j, i+1, got[j], sorted[j])
+				}
+			}
+			if i%17 != 0 { // full query sweep on a subset of prefixes
+				continue
+			}
+			for _, p := range ps {
+				if got, want := o.Quantile(p), stats.Quantile(prefix, p); got != want {
+					t.Fatalf("%s: Quantile(%v) at n=%d: got %v want %v", name, p, i+1, got, want)
+				}
+			}
+			if got, want := o.Median(), stats.Median(prefix); got != want {
+				t.Fatalf("%s: Median at n=%d: got %v want %v", name, i+1, got, want)
+			}
+			if got, want := o.IQR(), stats.IQR(prefix); got != want {
+				t.Fatalf("%s: IQR at n=%d: got %v want %v", name, i+1, got, want)
+			}
+			if got, want := o.MAD(), stats.MAD(prefix); got != want {
+				t.Fatalf("%s: MAD at n=%d: got %v want %v", name, i+1, got, want)
+			}
+			ecdf := stats.NewECDF(prefix)
+			for _, q := range []float64{prefix[0], o.Median(), o.Max(), o.Min() - 1, o.Max() + 1} {
+				if got, want := o.Eval(q), ecdf.Eval(q); got != want {
+					t.Fatalf("%s: Eval(%v) at n=%d: got %v want %v", name, q, i+1, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderStatsRemove(t *testing.T) {
+	var o OrderStats
+	for _, x := range []float64{3, 1, 2, 2, 5} {
+		o.Add(x)
+	}
+	if !o.Remove(2) {
+		t.Fatal("Remove(2) failed")
+	}
+	if o.Remove(4) {
+		t.Fatal("Remove(4) should report absent")
+	}
+	want := []float64{1, 2, 3, 5}
+	got := o.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestHalvesMatchesSplitHalvesKS(t *testing.T) {
+	for name, xs := range streams(400) {
+		var h Halves
+		for i, x := range xs {
+			h.Add(x)
+			prefix := xs[:i+1]
+			first, second := stats.SplitHalves(prefix)
+			if h.First().N() != len(first) || h.Second().N() != len(second) {
+				t.Fatalf("%s: partition size mismatch at n=%d: got %d/%d want %d/%d",
+					name, i+1, h.First().N(), h.Second().N(), len(first), len(second))
+			}
+			if got, want := h.KS(), stats.KSStatistic(first, second); got != want {
+				t.Fatalf("%s: KS at n=%d: got %v want %v", name, i+1, got, want)
+			}
+		}
+		// The maintained halves are exactly the sorted half-multisets.
+		first, _ := stats.SplitHalves(xs)
+		sortedFirst := stats.SortedCopy(first)
+		for j, v := range h.First().Sorted() {
+			if v != sortedFirst[j] {
+				t.Fatalf("%s: first-half multiset diverged at %d", name, j)
+			}
+		}
+	}
+}
+
+func TestKDEWindowedEvalMatchesFullScan(t *testing.T) {
+	for name, xs := range streams(300) {
+		sorted := stats.SortedCopy(xs)
+		bw := stats.SilvermanBandwidth(xs)
+		k := stats.NewKDESorted(sorted, bw)
+		probe := append([]float64{}, sorted...)
+		probe = append(probe, sorted[0]-bw, sorted[len(sorted)-1]+bw, stats.Mean(xs))
+		for _, x := range probe {
+			if got, want := k.Eval(x), fullScanKDE(sorted, bw, x); got != want {
+				t.Fatalf("%s: Eval(%v): got %v want %v", name, x, got, want)
+			}
+		}
+	}
+}
+
+// fullScanKDE replicates the pre-windowing KDE evaluation (scan all points).
+func fullScanKDE(sorted []float64, bw, x float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if bw <= 0 {
+		bw = 1e-9
+	}
+	const norm = 0.3989422804014327
+	sum := 0.0
+	inv := 1 / bw
+	for _, xi := range sorted {
+		u := (x - xi) * inv
+		if u > 8 || u < -8 {
+			continue
+		}
+		sum += math.Exp(-0.5 * u * u)
+	}
+	return sum * norm * inv / float64(len(sorted))
+}
+
+func TestCountModesSortedBandwidthMatchesCountModes(t *testing.T) {
+	for name, xs := range streams(400) {
+		var o OrderStats
+		for _, x := range xs {
+			o.Add(x)
+		}
+		bw := stats.SilvermanFromStats(len(xs), stats.StdDev(xs), o.IQR())
+		got := stats.CountModesSortedBandwidth(o.Sorted(), bw)
+		want := stats.CountModes(xs)
+		if got != want {
+			t.Fatalf("%s: modes: got %d want %d", name, got, want)
+		}
+	}
+}
+
+func TestRelativeCIHalfWidthFromMomentsMatches(t *testing.T) {
+	for name, xs := range streams(200) {
+		got := stats.RelativeCIHalfWidthFromMoments(len(xs), stats.Mean(xs), stats.StdErr(xs), 0.95)
+		want := stats.RelativeCIHalfWidth(xs, 0.95)
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Fatalf("%s: got %v want %v", name, got, want)
+		}
+	}
+	if !math.IsInf(stats.RelativeCIHalfWidthFromMoments(1, 5, 0, 0.95), 1) {
+		t.Fatal("n<2 should give +Inf")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"sharp/internal/classify"
 	"sharp/internal/stats"
+	"sharp/internal/stats/stream"
 )
 
 // SelfSimilarity is the paper's generic, distribution-free rule: it stops
@@ -130,6 +131,14 @@ type Meta struct {
 	profile classify.Profile
 	// decision state recomputed at each classification point
 	lastClass classify.Class
+	// Incremental accumulators backing the per-family criteria. The
+	// classifier itself still runs on the raw prefix every ClassifyEvery
+	// samples, but the (much more frequent) CheckEvery evaluations are
+	// answered incrementally.
+	mom    stream.Moments    // CI family
+	logMom stream.Moments    // log-CI family (fed log(x) for x > 0)
+	halves stream.Halves     // KS / self-similarity families
+	order  stream.OrderStats // heavy-tailed family (median, MAD, min)
 }
 
 // NewMeta returns the meta-heuristic rule.
@@ -145,7 +154,17 @@ func (r *Meta) Profile() classify.Profile { return r.profile }
 
 // Add implements Rule.
 func (r *Meta) Add(x float64) {
-	if !r.add(x) {
+	if r.done {
+		return
+	}
+	check := r.add(x)
+	r.mom.Add(x)
+	if x > 0 {
+		r.logMom.Add(math.Log(x))
+	}
+	r.halves.Add(x)
+	r.order.Add(x)
+	if !check {
 		return
 	}
 	n := len(r.samples)
@@ -160,37 +179,34 @@ func (r *Meta) Add(x float64) {
 	}
 }
 
-// evaluate applies the family-appropriate criterion to the current samples.
+// evaluate applies the family-appropriate criterion to the current samples,
+// answering each from the incremental accumulators maintained by Add.
 func (r *Meta) evaluate() (bool, string) {
 	s := r.samples
 	switch r.lastClass {
 	case classify.Constant:
 		return true, "constant distribution"
 	case classify.Normal, classify.Uniform, classify.Logistic:
-		w := stats.RelativeCIHalfWidth(s, r.cfg.CILevel)
+		w := stats.RelativeCIHalfWidthFromMoments(r.mom.N(), r.mom.Mean(), r.mom.StdErr(), r.cfg.CILevel)
 		if w < r.cfg.CIThreshold {
 			return true, fmt.Sprintf("relative CI %.4f < %.4f", w, r.cfg.CIThreshold)
 		}
 	case classify.LogNormal, classify.LogUniform:
-		if stats.Min(s) > 0 {
-			logs := make([]float64, len(s))
-			for i, v := range s {
-				logs[i] = math.Log(v)
-			}
-			w := stats.RelativeCIHalfWidth(logs, r.cfg.CILevel)
+		// logMom holds log(x) for every positive observation, so it covers
+		// the full prefix exactly when the minimum is positive.
+		if r.order.Min() > 0 {
 			// The log-mean is O(log units); use an absolute half-width bound
 			// scaled by the log-spread instead of the mean-relative form.
-			ci := stats.MeanCIRightTailed(logs, r.cfg.CILevel)
-			half := ci.High - stats.Mean(logs)
-			sd := stats.StdDev(logs)
+			m := r.logMom.Mean()
+			ci := stats.MeanCIRightTailedFromMoments(r.logMom.N(), m, r.logMom.StdErr(), r.cfg.CILevel)
+			half := ci.High - m
+			sd := r.logMom.StdDev()
 			if sd > 0 && half/sd < r.cfg.CIThreshold*3 {
 				return true, fmt.Sprintf("log-CI half-width %.4f sd", half/sd)
 			}
-			_ = w
 		}
 	case classify.Multimodal:
-		first, second := stats.SplitHalves(s)
-		ks := stats.KSStatistic(first, second)
+		ks := r.halves.KS()
 		if ks < r.cfg.KSThreshold {
 			return true, fmt.Sprintf("half-vs-half KS %.4f < %.4f", ks, r.cfg.KSThreshold)
 		}
@@ -200,9 +216,9 @@ func (r *Meta) evaluate() (bool, string) {
 		if n < window+r.bounds.MinSamples {
 			return false, ""
 		}
-		all := stats.Median(s)
+		all := r.order.Median()
 		tail := stats.Median(s[n-window:])
-		scale := math.Max(math.Abs(all), stats.MAD(s))
+		scale := math.Max(math.Abs(all), r.order.MAD())
 		if scale > 0 && math.Abs(tail-all)/scale < r.cfg.MedianThreshold {
 			return true, fmt.Sprintf("median drift %.4f", math.Abs(tail-all)/scale)
 		}
@@ -212,8 +228,7 @@ func (r *Meta) evaluate() (bool, string) {
 			return true, fmt.Sprintf("ESS %.1f >= %g", ess, r.cfg.ESSTarget)
 		}
 	default: // Unknown or not yet classified
-		first, second := stats.SplitHalves(s)
-		ks := stats.KSStatistic(first, second)
+		ks := r.halves.KS()
 		if ks < r.cfg.SelfThreshold {
 			return true, fmt.Sprintf("self-similarity KS %.4f < %.4f", ks, r.cfg.SelfThreshold)
 		}

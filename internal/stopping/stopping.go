@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"sharp/internal/stats"
+	"sharp/internal/stats/stream"
 )
 
 // Rule decides when a measurement experiment has collected enough samples.
@@ -112,6 +113,11 @@ func (b *base) add(x float64) (check bool) {
 // Samples returns the observations collected so far (shared slice).
 func (b *base) Samples() []float64 { return b.samples }
 
+// Bounds returns the rule's effective guard rails (after defaulting). The
+// parallel launcher uses it to align speculative batches to CheckEvery
+// boundaries and to clamp speculation at MaxSamples.
+func (b *base) Bounds() Bounds { return b.bounds }
+
 // --- 1. Fixed ---
 
 // Fixed stops after exactly N0 runs — the traditional policy the paper
@@ -151,6 +157,7 @@ type CI struct {
 	Level     float64
 	Threshold float64
 	current   float64
+	mom       stream.Moments
 }
 
 // NewCI returns a CI rule with the given confidence level and relative
@@ -162,12 +169,19 @@ func NewCI(level, threshold float64, b Bounds) *CI {
 // Name implements Rule.
 func (r *CI) Name() string { return fmt.Sprintf("ci-%g", r.Threshold) }
 
-// Add implements Rule.
+// Add implements Rule. The relative CI half-width is evaluated from the
+// incrementally maintained moments: O(1) per check instead of re-scanning
+// the sample prefix.
 func (r *CI) Add(x float64) {
-	if !r.add(x) {
+	if r.done {
 		return
 	}
-	r.current = stats.RelativeCIHalfWidth(r.samples, r.Level)
+	check := r.add(x)
+	r.mom.Add(x)
+	if !check {
+		return
+	}
+	r.current = stats.RelativeCIHalfWidthFromMoments(r.mom.N(), r.mom.Mean(), r.mom.StdErr(), r.Level)
 	if r.current < r.Threshold {
 		r.done = true
 		r.reason = fmt.Sprintf("relative CI %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
@@ -184,6 +198,7 @@ type KS struct {
 	base
 	Threshold float64
 	current   float64
+	halves    stream.Halves
 }
 
 // NewKS returns a KS rule with the given threshold.
@@ -194,13 +209,20 @@ func NewKS(threshold float64, b Bounds) *KS {
 // Name implements Rule.
 func (r *KS) Name() string { return fmt.Sprintf("ks-%g", r.Threshold) }
 
-// Add implements Rule.
+// Add implements Rule. The half-vs-half partition is maintained
+// incrementally (stream.Halves keeps both halves sorted across the moving
+// midpoint), so each check is a single O(n) merge walk with no sorting —
+// the recompute path sorted both halves on every check.
 func (r *KS) Add(x float64) {
-	if !r.add(x) {
+	if r.done {
 		return
 	}
-	first, second := stats.SplitHalves(r.samples)
-	r.current = stats.KSStatistic(first, second)
+	check := r.add(x)
+	r.halves.Add(x)
+	if !check {
+		return
+	}
+	r.current = r.halves.KS()
 	if r.current < r.Threshold {
 		r.done = true
 		r.reason = fmt.Sprintf("half-vs-half KS %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
@@ -217,6 +239,11 @@ type CV struct {
 	base
 	Threshold float64
 	current   float64
+	all       stream.Moments
+	// half accumulates moments of the first-half prefix lazily: the first
+	// half of a growing sample only ever extends at its end, so it can be
+	// caught up append-only at check time.
+	half stream.Moments
 }
 
 // NewCV returns a CV-convergence rule.
@@ -227,14 +254,22 @@ func NewCV(threshold float64, b Bounds) *CV {
 // Name implements Rule.
 func (r *CV) Name() string { return fmt.Sprintf("cv-%g", r.Threshold) }
 
-// Add implements Rule.
+// Add implements Rule. Both CVs come from O(1) moment accumulators; the
+// half accumulator is caught up to the current midpoint at check time.
 func (r *CV) Add(x float64) {
-	if !r.add(x) {
+	if r.done {
 		return
 	}
-	half, _ := stats.SplitHalves(r.samples)
-	cvHalf := stats.CV(half)
-	cvAll := stats.CV(r.samples)
+	check := r.add(x)
+	r.all.Add(x)
+	if !check {
+		return
+	}
+	for r.half.N() < len(r.samples)/2 {
+		r.half.Add(r.samples[r.half.N()])
+	}
+	cvHalf := r.half.CV()
+	cvAll := r.all.CV()
 	if math.IsInf(cvHalf, 0) || math.IsInf(cvAll, 0) {
 		return
 	}
@@ -256,6 +291,7 @@ type MeanStability struct {
 	Threshold float64
 	Window    int
 	current   float64
+	sum       stream.KahanSum
 }
 
 // NewMeanStability returns a mean-stability rule; window <= 0 defaults to 30.
@@ -269,16 +305,23 @@ func NewMeanStability(threshold float64, window int, b Bounds) *MeanStability {
 // Name implements Rule.
 func (r *MeanStability) Name() string { return fmt.Sprintf("mean-stability-%g", r.Threshold) }
 
-// Add implements Rule.
+// Add implements Rule. The overall mean comes from the running Kahan sum
+// (bit-identical to the recompute); only the O(Window) trailing mean is
+// recomputed per check.
 func (r *MeanStability) Add(x float64) {
-	if !r.add(x) {
+	if r.done {
+		return
+	}
+	check := r.add(x)
+	r.sum.Add(x)
+	if !check {
 		return
 	}
 	n := len(r.samples)
 	if n < r.Window+r.bounds.MinSamples {
 		return
 	}
-	all := stats.Mean(r.samples)
+	all := r.sum.Mean()
 	tail := stats.Mean(r.samples[n-r.Window:])
 	if all == 0 {
 		return
@@ -300,6 +343,7 @@ type MedianStability struct {
 	Threshold float64
 	Window    int
 	current   float64
+	order     stream.OrderStats
 }
 
 // NewMedianStability returns a median-stability rule; window <= 0 defaults
@@ -314,18 +358,25 @@ func NewMedianStability(threshold float64, window int, b Bounds) *MedianStabilit
 // Name implements Rule.
 func (r *MedianStability) Name() string { return fmt.Sprintf("median-stability-%g", r.Threshold) }
 
-// Add implements Rule.
+// Add implements Rule. Median and MAD are answered by the incrementally
+// sorted multiset — O(1) and O(n) respectively, with no sorting per check
+// (the recompute path sorted the full prefix twice per check).
 func (r *MedianStability) Add(x float64) {
-	if !r.add(x) {
+	if r.done {
+		return
+	}
+	check := r.add(x)
+	r.order.Add(x)
+	if !check {
 		return
 	}
 	n := len(r.samples)
 	if n < r.Window+r.bounds.MinSamples {
 		return
 	}
-	all := stats.Median(r.samples)
+	all := r.order.Median()
 	tail := stats.Median(r.samples[n-r.Window:])
-	scale := math.Max(math.Abs(all), stats.MAD(r.samples))
+	scale := math.Max(math.Abs(all), r.order.MAD())
 	if scale == 0 {
 		r.done = true
 		r.reason = "degenerate (zero spread) sample"
@@ -349,6 +400,7 @@ type ModalityStability struct {
 	StableChecks int
 	lastModes    int
 	streak       int
+	order        stream.OrderStats
 }
 
 // NewModalityStability returns a modality-stability rule; stableChecks <= 0
@@ -365,12 +417,22 @@ func (r *ModalityStability) Name() string {
 	return fmt.Sprintf("modality-stability-%d", r.StableChecks)
 }
 
-// Add implements Rule.
+// Add implements Rule. Mode counting reuses the incrementally sorted view
+// (no sort-copy per check); the Silverman bandwidth takes its IQR from the
+// same multiset and its standard deviation from the arrival-order prefix so
+// the count matches the recompute path bit for bit. The windowed KDE
+// evaluation then only scans points within kernel support of each grid node.
 func (r *ModalityStability) Add(x float64) {
-	if !r.add(x) {
+	if r.done {
 		return
 	}
-	modes := stats.CountModes(r.samples)
+	check := r.add(x)
+	r.order.Add(x)
+	if !check {
+		return
+	}
+	bw := stats.SilvermanFromStats(len(r.samples), stats.StdDev(r.samples), r.order.IQR())
+	modes := stats.CountModesSortedBandwidth(r.order.Sorted(), bw)
 	if modes == r.lastModes && modes > 0 {
 		r.streak++
 	} else {
@@ -406,7 +468,10 @@ func NewESS(target float64, b Bounds) *ESS {
 // Name implements Rule.
 func (r *ESS) Name() string { return fmt.Sprintf("ess-%g", r.Target) }
 
-// Add implements Rule.
+// Add implements Rule. ESS is inherently a whole-series statistic (it walks
+// autocorrelation lags over the full prefix), so it is recomputed — but via
+// the batched EffectiveSampleSize, which hoists the mean and denominator out
+// of the per-lag loop.
 func (r *ESS) Add(x float64) {
 	if !r.add(x) {
 		return

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"sharp/internal/backend"
 	"sharp/internal/core"
@@ -44,6 +45,11 @@ type Design struct {
 	MaxRuns int
 	// Seed drives all cells deterministically.
 	Seed uint64
+	// Parallel measures up to this many cells concurrently (default 1:
+	// sequential). Each cell owns a private simulated backend and stopping
+	// rule, so cells share no state and the outcome is identical — cell
+	// order included — at any parallelism.
+	Parallel int
 }
 
 func (d Design) withDefaults() (Design, error) {
@@ -92,49 +98,105 @@ type Outcome struct {
 	Cells  []Cell
 }
 
-// Run executes the design cell by cell (deterministically ordered).
+// cellPlan is one expanded factor combination awaiting measurement.
+type cellPlan struct {
+	workload    string
+	machineName string
+	day         int
+	concurrency int
+}
+
+// Run executes the design (deterministically ordered). With
+// Design.Parallel > 1, up to that many cells are measured concurrently on a
+// bounded worker pool; results are still assembled in the canonical
+// grid-expansion order, so the outcome is identical to a sequential run.
 func Run(ctx context.Context, d Design) (*Outcome, error) {
 	d, err := d.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	launcher := core.NewLauncher()
-	out := &Outcome{Design: d}
+	var plans []cellPlan
 	for _, wl := range d.Workloads {
 		for _, machName := range d.Machines {
-			m, err := machine.ByName(machName)
-			if err != nil {
+			if _, err := machine.ByName(machName); err != nil {
 				return nil, err
 			}
 			for _, day := range d.Days {
 				for _, conc := range d.Concurrencies {
-					rule, err := stopping.NewNamed(d.RuleName, d.Threshold,
-						stopping.Bounds{MaxSamples: d.MaxRuns})
-					if err != nil {
-						return nil, err
-					}
-					res, err := launcher.Run(ctx, core.Experiment{
-						Name:        fmt.Sprintf("%s/%s@%s", d.Name, wl, machName),
-						Workload:    wl,
-						Backend:     backend.NewSim(m, d.Seed),
-						Rule:        rule,
-						Concurrency: conc,
-						Day:         day,
-						Seed:        d.Seed,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("sweep: cell %s@%s day %d c%d: %w",
-							wl, machName, day, conc, err)
-					}
-					out.Cells = append(out.Cells, Cell{
-						Workload: wl, Machine: machName,
-						Day: day, Concurrency: conc, Result: res,
-					})
+					plans = append(plans, cellPlan{wl, machName, day, conc})
 				}
 			}
 		}
 	}
-	return out, nil
+	launcher := core.NewLauncher()
+	runCell := func(p cellPlan) (Cell, error) {
+		m, err := machine.ByName(p.machineName)
+		if err != nil {
+			return Cell{}, err
+		}
+		rule, err := stopping.NewNamed(d.RuleName, d.Threshold,
+			stopping.Bounds{MaxSamples: d.MaxRuns})
+		if err != nil {
+			return Cell{}, err
+		}
+		res, err := launcher.Run(ctx, core.Experiment{
+			Name:        fmt.Sprintf("%s/%s@%s", d.Name, p.workload, p.machineName),
+			Workload:    p.workload,
+			Backend:     backend.NewSim(m, d.Seed),
+			Rule:        rule,
+			Concurrency: p.concurrency,
+			Day:         p.day,
+			Seed:        d.Seed,
+		})
+		if err != nil {
+			return Cell{}, fmt.Errorf("sweep: cell %s@%s day %d c%d: %w",
+				p.workload, p.machineName, p.day, p.concurrency, err)
+		}
+		return Cell{
+			Workload: p.workload, Machine: p.machineName,
+			Day: p.day, Concurrency: p.concurrency, Result: res,
+		}, nil
+	}
+
+	cells := make([]Cell, len(plans))
+	errs := make([]error, len(plans))
+	workers := d.Parallel
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers <= 1 {
+		for i, p := range plans {
+			c, err := runCell(p)
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = c
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					cells[i], errs[i] = runCell(plans[i])
+				}
+			}()
+		}
+		for i := range plans {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		// Report the lowest-index failure, matching the sequential path.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Outcome{Design: d, Cells: cells}, nil
 }
 
 // Rows flattens every cell's tidy-data log into one slice.

@@ -147,3 +147,42 @@ func TestDesignValidation(t *testing.T) {
 		t.Error("unknown rule accepted")
 	}
 }
+
+// TestParallelSweepMatchesSequential checks that a parallel sweep yields the
+// same cells — order, samples and stop reasons — as a sequential one.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	seqDesign := smallDesign()
+	parDesign := smallDesign()
+	parDesign.Parallel = 4
+	seq, err := Run(context.Background(), seqDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), parDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Cells) != len(par.Cells) {
+		t.Fatalf("cell count diverged: %d vs %d", len(seq.Cells), len(par.Cells))
+	}
+	for i := range seq.Cells {
+		a, b := seq.Cells[i], par.Cells[i]
+		if a.Key() != b.Key() {
+			t.Fatalf("cell %d order diverged: %s vs %s", i, a.Key(), b.Key())
+		}
+		if a.Result.StopReason != b.Result.StopReason {
+			t.Fatalf("%s: StopReason diverged: %q vs %q", a.Key(), a.Result.StopReason, b.Result.StopReason)
+		}
+		if len(a.Result.Samples) != len(b.Result.Samples) {
+			t.Fatalf("%s: sample count diverged", a.Key())
+		}
+		for j := range a.Result.Samples {
+			if a.Result.Samples[j] != b.Result.Samples[j] {
+				t.Fatalf("%s: sample %d diverged", a.Key(), j)
+			}
+		}
+	}
+	if seq.Render() != par.Render() {
+		t.Fatal("rendered sweep diverged between sequential and parallel runs")
+	}
+}
