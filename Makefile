@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench experiments fuzz examples clean
+.PHONY: all build test vet race check bench experiments fuzz examples clean
 
 all: build vet test
 
@@ -18,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The pre-commit gate: vet plus the test suite in a shuffled order, which
+# catches inter-test state leaks that a fixed order hides.
+check:
+	$(GO) vet ./...
+	$(GO) test -shuffle=on ./...
 
 # One testing.B target per paper table/figure plus ablations and substrate
 # micro-benchmarks. BENCH_baseline.json snapshots the pre-parallel-engine

@@ -18,15 +18,30 @@ import (
 	"time"
 
 	"sharp/internal/experiments"
+	"sharp/internal/obs"
 )
+
+// metrics is the optional --metrics-addr registry (nil without the flag).
+var metrics *obs.Registry
 
 func main() {
 	seed := flag.Uint64("seed", 2024, "experiment seed (results are deterministic per seed)")
 	out := flag.String("out", "", "also write each result to <out>/<id>.md")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines fanning each experiment's benchmarks/machines/days (1 = sequential; output is byte-identical at any value)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while regenerating")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr, obs.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sharp-experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		metrics = srv.Registry()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
 
 	args := flag.Args()
 	if len(args) == 0 || args[0] == "list" {
@@ -65,6 +80,18 @@ func execute(w io.Writer, ids []string, seed uint64, outDir string) error {
 	for _, id := range ids {
 		start := time.Now()
 		rep, err := experiments.Run(id, seed)
+		if metrics != nil {
+			status := "ok"
+			if err != nil {
+				status = "error"
+			}
+			metrics.Counter("sharp_experiments_total",
+				"Paper experiments regenerated.", "status", status).Inc()
+			metrics.Histogram("sharp_experiment_duration_seconds",
+				"Wall-clock regeneration time per experiment.",
+				[]float64{.1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120},
+				"id", id).Observe(time.Since(start).Seconds())
+		}
 		if err != nil {
 			fmt.Fprintf(w, "ERROR %s: %v\n", id, err)
 			if firstErr == nil {

@@ -7,6 +7,7 @@
 //
 //	sharp-faas --addr :8080 --seed 42
 //	curl -XPOST localhost:8080/invoke -d '{"workload":"bfs-CUDA","day":1,"run":1}'
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -14,11 +15,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
 	"sharp/internal/faas"
 	"sharp/internal/machine"
+	"sharp/internal/obs"
 )
 
 func main() {
@@ -26,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "platform seed")
 	idle := flag.Duration("idle-timeout", 10*time.Minute, "warm-instance idle timeout (0 = keep warm forever)")
 	workers := flag.String("workers", "machine1,machine3", "comma-separated worker machines")
+	trace := flag.String("trace", "", "write a JSONL platform event trace to this path ('-' = stderr)")
 	flag.Parse()
 
 	var machines []*machine.Machine
@@ -38,6 +42,17 @@ func main() {
 	}
 	p := faas.NewPlatform(machines, *seed)
 	p.IdleTimeout = *idle
+	if *trace != "" {
+		w := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				log.Fatalf("sharp-faas: %v", err)
+			}
+			w = f
+		}
+		p.SetTracer(obs.NewJSONL(w))
+	}
 
 	fmt.Printf("sharp-faas: serving on %s with workers %v (seed %d)\n",
 		*addr, p.WorkerNames(), *seed)

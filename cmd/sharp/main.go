@@ -19,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"sharp/internal/kernels"
 	"sharp/internal/machine"
 	"sharp/internal/microbench"
+	"sharp/internal/obs"
 	"sharp/internal/record"
 	"sharp/internal/regress"
 	"sharp/internal/report"
@@ -152,6 +154,9 @@ type runFlags struct {
 	outCSV        string
 	outMeta       string
 	quiet         bool
+	trace         string
+	progress      bool
+	metricsAddr   string
 }
 
 func (rf *runFlags) register(fs *flag.FlagSet) {
@@ -177,6 +182,56 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&rf.outCSV, "csv", "", "write tidy-data CSV log to this path")
 	fs.StringVar(&rf.outMeta, "meta", "", "write metadata record to this path")
 	fs.BoolVar(&rf.quiet, "quiet", false, "suppress the report; print one summary line")
+	fs.StringVar(&rf.trace, "trace", "", "write a JSONL campaign event trace to this path ('-' = stderr)")
+	fs.BoolVar(&rf.progress, "progress", false, "render live campaign progress on stderr")
+	fs.StringVar(&rf.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+}
+
+// observability assembles the campaign tracer requested by --trace,
+// --progress and --metrics-addr. The returned cleanup flushes the trace file
+// and shuts the metrics sidecar down; it is safe to call when no sink was
+// requested (the tracer is nil then, which disables tracing).
+func (rf *runFlags) observability() (obs.Tracer, func(), error) {
+	var tracers []obs.Tracer
+	var closers []func()
+	if rf.trace != "" {
+		var w io.Writer = struct{ io.Writer }{os.Stderr} // hide stderr's Close
+		if rf.trace != "-" {
+			f, err := os.Create(rf.trace)
+			if err != nil {
+				return nil, nil, err
+			}
+			w = f
+		}
+		jt := obs.NewJSONL(w)
+		tracers = append(tracers, jt)
+		closers = append(closers, func() {
+			if err := obs.Close(jt); err != nil {
+				fmt.Fprintln(os.Stderr, "sharp: trace:", err)
+			}
+		})
+	}
+	if rf.progress {
+		tracers = append(tracers, obs.NewProgress(os.Stderr))
+	}
+	if rf.metricsAddr != "" {
+		srv, err := obs.ServeMetrics(rf.metricsAddr, obs.NewRegistry())
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+		tracers = append(tracers, obs.NewMetricsSink(srv.Registry()))
+		closers = append(closers, func() { _ = srv.Close() })
+	}
+	cleanup := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	if len(tracers) == 0 {
+		return nil, cleanup, nil
+	}
+	return obs.Multi(tracers...), cleanup, nil
 }
 
 // buildBackend constructs the requested backend, applying chaos fault
@@ -299,6 +354,16 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+		// Observability can also be configured from the file; flags win.
+		if rf.trace == "" {
+			rf.trace = doc.String("observability.trace", "")
+		}
+		if !rf.progress {
+			rf.progress = doc.Bool("observability.progress", false)
+		}
+		if rf.metricsAddr == "" {
+			rf.metricsAddr = doc.String("observability.metrics_addr", "")
+		}
 	} else {
 		if rf.workload == "" {
 			return fmt.Errorf("run: --workload is required")
@@ -309,7 +374,14 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	res, err := core.NewLauncher().Run(context.Background(), exp)
+	tracer, cleanup, err := rf.observability()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	launcher := core.NewLauncher()
+	launcher.Tracer = tracer
+	res, err := launcher.Run(context.Background(), exp)
 	if err != nil && !errors.Is(err, core.ErrFailureBudget) {
 		return err
 	}
@@ -348,7 +420,13 @@ func cmdCompare(args []string) error {
 	if rf.workload == "" {
 		return fmt.Errorf("compare: --workload is required")
 	}
+	tracer, cleanup, err := rf.observability()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	launcher := core.NewLauncher()
+	launcher.Tracer = tracer
 	expA, err := rf.experiment(rf.machineName)
 	if err != nil {
 		return err

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"sharp/internal/obs"
 )
 
 // MetricExecTime is the canonical execution-time metric name.
@@ -100,6 +102,32 @@ func Unwrap(b Backend) Backend {
 type RunOrdered interface {
 	// SetRunOrdered toggles canonical run-order draw synthesis.
 	SetRunOrdered(on bool)
+}
+
+// TraceSink is implemented by backends and decorators that emit
+// observability events (Chaos injections, resilience.Wrap retry attempts).
+// The launcher threads its tracer down the decorator chain via SetTracer so
+// every execution layer reports into one event stream.
+type TraceSink interface {
+	// SetTracer installs the campaign event tracer (nil disables emission).
+	SetTracer(t obs.Tracer)
+}
+
+// SetTracer walks the decorator chain of b (via Unwrap) and installs t on
+// every layer implementing TraceSink. It reports whether any layer did.
+func SetTracer(b Backend, t obs.Tracer) bool {
+	any := false
+	for {
+		if ts, ok := b.(TraceSink); ok {
+			ts.SetTracer(t)
+			any = true
+		}
+		u, ok := b.(interface{ Unwrap() Backend })
+		if !ok {
+			return any
+		}
+		b = u.Unwrap()
+	}
 }
 
 // SetRunOrdered walks the decorator chain of b (via Unwrap) and toggles

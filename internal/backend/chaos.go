@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sharp/internal/obs"
 	"sharp/internal/randx"
 )
 
@@ -57,6 +58,9 @@ type Chaos struct {
 	mu       sync.Mutex
 	rng      *randx.RNG
 	injected map[string]int
+	// tracer receives chaos.inject events at fault-application time (nil =
+	// no emission). Installed by backend.SetTracer.
+	tracer obs.Tracer
 	// Run-ordered synthesis state (mirrors backend.Sim): when SetRunOrdered
 	// enables it, fault plans for measured runs are drawn in canonical run
 	// order regardless of request arrival order, so the fault schedule under
@@ -102,6 +106,25 @@ func (c *Chaos) SetRunOrdered(on bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.runOrdered = on
+}
+
+// SetTracer implements TraceSink: injected faults are emitted as
+// chaos.inject events when they are applied to a request.
+func (c *Chaos) SetTracer(t obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
+// emit sends one chaos.inject event (fault application, in request order —
+// deterministic under the sequential launcher).
+func (c *Chaos) emit(run int, kind string, instance int) {
+	c.mu.Lock()
+	t := c.tracer
+	c.mu.Unlock()
+	obs.Emit(t, obs.EventChaosInject, map[string]any{
+		"run": run, "kind": kind, "instance": instance,
+	})
 }
 
 // Close implements Backend.
@@ -190,6 +213,7 @@ func (c *Chaos) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
 	}
 	panicNow, faults := c.draw(req.Run, conc)
 	if panicNow {
+		c.emit(req.Run, "panic", 0)
 		panic("chaos: injected panic")
 	}
 	invs, err := c.inner.Invoke(ctx, req)
@@ -204,6 +228,7 @@ func (c *Chaos) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
 		case f.err:
 			invs[i].Err = fmt.Errorf("%w (instance %d, run %d)", ErrInjected, invs[i].Instance, req.Run)
 			invs[i].Metrics = map[string]float64{}
+			c.emit(req.Run, "error", invs[i].Instance)
 		case f.timeout:
 			if c.cfg.Stall > 0 {
 				t := time.NewTimer(c.cfg.Stall)
@@ -215,11 +240,13 @@ func (c *Chaos) Invoke(ctx context.Context, req Request) ([]Invocation, error) {
 			}
 			invs[i].Err = ErrInjectedTimeout
 			invs[i].Metrics = map[string]float64{}
+			c.emit(req.Run, "timeout", invs[i].Instance)
 		case f.latency:
 			if invs[i].Metrics == nil {
 				invs[i].Metrics = map[string]float64{}
 			}
 			invs[i].Metrics[MetricExecTime] += c.cfg.LatencySpike
+			c.emit(req.Run, "latency", invs[i].Instance)
 		}
 	}
 	return invs, nil

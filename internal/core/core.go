@@ -8,8 +8,10 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"sharp/internal/classify"
 	"sharp/internal/config"
 	"sharp/internal/machine"
+	"sharp/internal/obs"
 	"sharp/internal/record"
 	"sharp/internal/resilience"
 	"sharp/internal/similarity"
@@ -191,10 +194,72 @@ type Result struct {
 type Launcher struct {
 	// Clock is the time source (tests may override).
 	Clock func() time.Time
+	// Tracer receives campaign observability events (nil disables tracing).
+	// Run installs it on every TraceSink layer of the experiment's backend
+	// decorator chain (Chaos, resilience.Wrap, FaaS client), so one sink
+	// collects the whole execution stack's event stream.
+	Tracer obs.Tracer
 }
 
 // NewLauncher returns a Launcher.
 func NewLauncher() *Launcher { return &Launcher{Clock: time.Now} }
+
+// trace emits one campaign event (no-op without a tracer).
+func (l *Launcher) trace(typ string, fields map[string]any) {
+	obs.Emit(l.Tracer, typ, fields)
+}
+
+// traceStop emits the campaign.stop event summarizing the (possibly partial)
+// result.
+func (l *Launcher) traceStop(e Experiment, res *Result) {
+	if l.Tracer == nil {
+		return
+	}
+	l.trace(obs.EventCampaignStop, map[string]any{
+		"experiment":  e.Name,
+		"runs":        res.Runs,
+		"samples":     len(res.Samples),
+		"errors":      res.Errors,
+		"failed_runs": res.FailedRuns,
+		"stop_reason": res.StopReason,
+	})
+}
+
+// traceRuleEval emits the rule.eval event for the convergence check that the
+// rule just performed, if it performed one on this observation. Non-finite
+// statistics are omitted from the payload (JSON cannot carry NaN/Inf).
+func (l *Launcher) traceRuleEval(rule stopping.Rule) {
+	if l.Tracer == nil {
+		return
+	}
+	ev, ok := rule.(stopping.Evaluated)
+	if !ok {
+		return
+	}
+	last, has := ev.LastEval()
+	if !has || last.N != rule.N() {
+		return // no convergence check happened on this Add
+	}
+	verdict := "continue"
+	if last.Stopped {
+		verdict = "stop"
+	}
+	fields := map[string]any{
+		"rule":    rule.Name(),
+		"n":       last.N,
+		"verdict": verdict,
+	}
+	if finite(last.Statistic) {
+		fields["statistic"] = last.Statistic
+	}
+	if finite(last.Threshold) {
+		fields["threshold"] = last.Threshold
+	}
+	l.trace(obs.EventRuleEval, fields)
+}
+
+// finite reports whether x is representable in JSON.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // Run executes the experiment until its stopping rule is satisfied and
 // returns the full Result.
@@ -216,6 +281,22 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 		RuleName:   e.Rule.Name(),
 		Started:    l.Clock(),
 	}
+	if l.Tracer != nil {
+		// Thread the tracer down the backend decorator chain (Chaos,
+		// resilience.Wrap, ...) so every execution layer reports into the
+		// same event stream.
+		backend.SetTracer(e.Backend, l.Tracer)
+		l.trace(obs.EventCampaignStart, map[string]any{
+			"experiment":  e.Name,
+			"workload":    e.Workload,
+			"backend":     e.Backend.Name(),
+			"rule":        res.RuleName,
+			"metric":      e.Metric,
+			"seed":        e.Seed,
+			"parallel":    e.Parallel,
+			"concurrency": e.Concurrency,
+		})
+	}
 	// Warm-up runs: executed, discarded. Warm-up failures are tolerated
 	// (the measurement phase judges health), except configuration errors.
 	for w := 0; w < e.WarmupRuns; w++ {
@@ -235,6 +316,9 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 			return nil, err
 		}
 		run++
+		if l.Tracer != nil {
+			l.trace(obs.EventRunScheduled, map[string]any{"run": run})
+		}
 		invs, invErr := e.Backend.Invoke(ctx, l.request(e, run))
 		if err := l.processRun(ctx, e, res, run, invs, invErr, &consecutiveFailed); err != nil {
 			if errors.Is(err, ErrFailureBudget) {
@@ -246,6 +330,7 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 	res.Runs = run
 	res.StopReason = e.Rule.Explain()
 	res.Finished = l.Clock()
+	l.traceStop(e, res)
 	return res, nil
 }
 
@@ -302,10 +387,14 @@ func (l *Launcher) processRun(ctx context.Context, e Experiment, res *Result, ru
 	if ok == 0 {
 		res.FailedRuns++
 		*consecutiveFailed = *consecutiveFailed + 1
+		if l.Tracer != nil {
+			l.trace(obs.EventRunMerged, map[string]any{"run": run, "status": "failed"})
+		}
 		if over, why := e.FailureBudget.exceeded(*consecutiveFailed, res.FailedRuns, run); over {
 			res.Runs = run
 			res.StopReason = "failure budget exceeded: " + why
 			res.Finished = l.Clock()
+			l.traceStop(e, res)
 			return fmt.Errorf("%w after run %d: %s", ErrFailureBudget, run, why)
 		}
 		return nil
@@ -313,7 +402,15 @@ func (l *Launcher) processRun(ctx context.Context, e Experiment, res *Result, ru
 	*consecutiveFailed = 0
 	v := sum / float64(ok)
 	res.Samples = append(res.Samples, v)
+	if l.Tracer != nil {
+		fields := map[string]any{"run": run, "status": "ok"}
+		if finite(v) {
+			fields["value"] = v
+		}
+		l.trace(obs.EventRunMerged, fields)
+	}
 	e.Rule.Add(v)
+	l.traceRuleEval(e.Rule)
 	return nil
 }
 
@@ -434,8 +531,25 @@ func (r *Result) Metadata() *record.Metadata {
 	m.Set("seed", e.Seed)
 	m.Set("runs", r.Runs)
 	m.Set("stop_reason", r.StopReason)
+	if e.Parallel > 1 {
+		m.Set("parallel", e.Parallel)
+	}
+	if e.Timeout > 0 {
+		m.Set("timeout", e.Timeout.String())
+	}
 	if e.Retry.Enabled() {
 		m.Set("retries", e.Retry.MaxAttempts)
+		if e.Retry.BaseDelay != 0 {
+			m.Set("retry_base_delay", e.Retry.BaseDelay.String())
+		}
+		if e.Retry.Seed != e.Seed {
+			m.Set("retry_seed", e.Retry.Seed)
+		}
+	}
+	if fb := e.FailureBudget; fb != (FailureBudget{}) && fb != (FailureBudget{}).withDefaults() {
+		m.Set("failure_budget", fb.MaxFraction)
+		m.Set("max_consecutive_failures", fb.MaxConsecutive)
+		m.Set("failure_min_runs", fb.MinRuns)
 	}
 	if r.Errors > 0 {
 		m.Set("errors", r.Errors)
@@ -444,7 +558,11 @@ func (r *Result) Metadata() *record.Metadata {
 		m.Set("failed_runs", r.FailedRuns)
 	}
 	if len(e.Args) > 0 {
-		m.Set("args", fmt.Sprintf("%v", e.Args))
+		// JSON array: lossless for args containing spaces or brackets (the
+		// previous %v rendering could not be parsed back).
+		if b, err := json.Marshal(e.Args); err == nil {
+			m.Set("args", string(b))
+		}
 	}
 	return m
 }
@@ -473,10 +591,42 @@ func RecreateExperiment(m *record.Metadata, backends map[string]backend.Backend)
 	e.WarmupRuns = atoi("warmup_runs")
 	e.Day = atoi("day")
 	e.Cold = m.Get("cold") == "true"
+	e.Parallel = atoi("parallel")
 	seed, _ := strconv.ParseUint(m.Get("seed"), 10, 64)
 	e.Seed = seed
+	if s := m.Get("args"); s != "" {
+		var args []string
+		if err := json.Unmarshal([]byte(s), &args); err == nil {
+			e.Args = args
+		} else if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+			// Legacy records rendered args with %v ("[a b c]"): lossy for
+			// values containing spaces, but recoverable for simple ones.
+			if inner := strings.TrimSpace(s[1 : len(s)-1]); inner != "" {
+				e.Args = strings.Fields(inner)
+			}
+		}
+	}
+	if t := m.Get("timeout"); t != "" {
+		if d, err := time.ParseDuration(t); err == nil {
+			e.Timeout = d
+		}
+	}
 	if r := atoi("retries"); r > 1 {
 		e.Retry = resilience.Policy{MaxAttempts: r, Seed: seed}
+		if s, err := strconv.ParseUint(m.Get("retry_seed"), 10, 64); err == nil {
+			e.Retry.Seed = s
+		}
+		if d, err := time.ParseDuration(m.Get("retry_base_delay")); err == nil {
+			e.Retry.BaseDelay = d
+		}
+	}
+	if m.Get("failure_budget") != "" || m.Get("max_consecutive_failures") != "" {
+		frac, _ := strconv.ParseFloat(m.Get("failure_budget"), 64)
+		e.FailureBudget = FailureBudget{
+			MaxFraction:    frac,
+			MaxConsecutive: atoi("max_consecutive_failures"),
+			MinRuns:        atoi("failure_min_runs"),
+		}
 	}
 
 	switch name := m.Get("backend"); name {
@@ -507,20 +657,36 @@ func RecreateExperiment(m *record.Metadata, backends map[string]backend.Backend)
 	return e, nil
 }
 
+// ruleKinds are the known rule-name prefixes, longest first so compound
+// names ("median-stability") are never mistaken for shorter kinds.
+var ruleKinds = []string{
+	"modality-stability", "median-stability", "mean-stability",
+	"tail-stability", "self-similarity",
+	"fixed", "meta", "ess", "ci", "ks", "cv",
+}
+
 // ruleFromName parses rule names of the form "kind-threshold" produced by
-// the stopping rules' Name methods.
+// the stopping rules' Name methods. The kind is matched against the known
+// prefixes rather than split at the last '-': thresholds rendered in
+// scientific notation ("ks-1e-05") contain a '-' inside the exponent, which
+// the old last-dash split parsed as kind "ks-1e" with threshold 5.
 func ruleFromName(name string, seed uint64) (stopping.Rule, error) {
 	if name == "" {
 		return nil, nil // default rule
 	}
 	kind := name
 	threshold := 0.0
-	for i := len(name) - 1; i >= 0; i-- {
-		if name[i] == '-' {
-			if t, err := strconv.ParseFloat(name[i+1:], 64); err == nil {
-				kind = name[:i]
-				threshold = t
+	for _, k := range ruleKinds {
+		if name == k {
+			kind = k
+			break
+		}
+		if strings.HasPrefix(name, k+"-") {
+			t, err := strconv.ParseFloat(name[len(k)+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad threshold in rule name %q: %w", name, err)
 			}
+			kind, threshold = k, t
 			break
 		}
 	}

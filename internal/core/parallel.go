@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"sharp/internal/backend"
+	"sharp/internal/obs"
 	"sharp/internal/stopping"
 )
 
@@ -115,6 +116,12 @@ func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result) (
 			}()
 		}
 		for i := 0; i < batch; i++ {
+			if l.Tracer != nil {
+				// Emitted from the dispatch loop (not the workers) so the
+				// schedule order in the trace is canonical run order even
+				// under concurrency.
+				l.trace(obs.EventRunScheduled, map[string]any{"run": run + i + 1})
+			}
 			idx <- i
 		}
 		close(idx)
@@ -140,5 +147,6 @@ func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result) (
 	res.Runs = run
 	res.StopReason = e.Rule.Explain()
 	res.Finished = l.Clock()
+	l.traceStop(e, res)
 	return res, nil
 }

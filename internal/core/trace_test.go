@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sharp/internal/backend"
+	"sharp/internal/machine"
+	"sharp/internal/obs"
+	"sharp/internal/resilience"
+	"sharp/internal/stopping"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// traceExperiment is the canonical chaos-under-retries campaign the trace
+// tests run: a simulated machine with injected errors and timeouts, a
+// retrying launcher, and a KS stopping rule.
+func traceExperiment(t *testing.T, parallel int) Experiment {
+	t.Helper()
+	m1, err := machine.ByName("machine1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := backend.NewChaos(backend.NewSim(m1, 7), backend.ChaosConfig{
+		Seed: 11, ErrorRate: 0.08, TimeoutRate: 0.04,
+	})
+	return Experiment{
+		Name:     "golden",
+		Workload: "bfs-CUDA",
+		Backend:  be,
+		Rule:     stopping.NewKS(0.1, stopping.Bounds{MaxSamples: 60}),
+		Seed:     7,
+		Parallel: parallel,
+		// BaseDelay < 0 disables the real backoff sleep: the retry schedule
+		// (and hence the trace) is identical, without wall-clock cost.
+		Retry: resilience.Policy{MaxAttempts: 3, BaseDelay: -1},
+	}
+}
+
+// runTrace executes the canonical campaign with a JSONL tracer on a fixed
+// clock and returns the raw trace bytes.
+func runTrace(t *testing.T, parallel int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewJSONL(&buf)
+	tr.Now = func() time.Time { return time.Unix(0, 0).UTC() }
+	l := NewLauncher()
+	l.Tracer = tr
+	if _, err := l.Run(context.Background(), traceExperiment(t, parallel)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	return buf.String()
+}
+
+// TestTraceGolden pins the sequential campaign trace byte-for-byte (the
+// clock is fixed, so even timestamps are stable). Run with -update after an
+// intentional trace-schema change.
+func TestTraceGolden(t *testing.T) {
+	got := runTrace(t, 1)
+	golden := filepath.Join("testdata", "trace_golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/core -run TestTraceGolden -update`)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace deviates from golden file (len %d vs %d); rerun with -update if intended.\nfirst lines:\n%s",
+			len(got), len(want), firstDiff(got, string(want)))
+	}
+}
+
+// firstDiff renders the first differing line pair for the failure message.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "got:  " + al[i] + "\nwant: " + bl[i]
+		}
+	}
+	return "traces differ only in length"
+}
+
+// TestTraceDeterministic: same seed, same trace — the reproducibility
+// contract for campaign observability.
+func TestTraceDeterministic(t *testing.T) {
+	if a, b := runTrace(t, 1), runTrace(t, 1); a != b {
+		t.Error("two sequential runs with one seed produced different traces")
+	}
+}
+
+// TestTraceParallelInvariants runs the chaos campaign with 8 workers (this
+// test is the -race exercise for the tracer) and checks the structural
+// invariants that hold at any parallelism: one campaign.start first, one
+// campaign.stop last, contiguous sequence numbers, run.scheduled in
+// canonical order, and merged-event accounting that matches the stop
+// summary.
+func TestTraceParallelInvariants(t *testing.T) {
+	out := runTrace(t, 8)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var events []obs.Event
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 3 {
+		t.Fatalf("suspiciously short trace: %d events", len(events))
+	}
+	if events[0].Type != obs.EventCampaignStart {
+		t.Errorf("first event = %s, want %s", events[0].Type, obs.EventCampaignStart)
+	}
+	if last := events[len(events)-1]; last.Type != obs.EventCampaignStop {
+		t.Errorf("last event = %s, want %s", last.Type, obs.EventCampaignStop)
+	}
+	var merged, starts, stops int
+	lastScheduled := 0
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("seq not contiguous at %d: got %d", i+1, ev.Seq)
+		}
+		switch ev.Type {
+		case obs.EventCampaignStart:
+			starts++
+		case obs.EventCampaignStop:
+			stops++
+		case obs.EventRunMerged:
+			merged++
+		case obs.EventRunScheduled:
+			run := int(ev.Fields["run"].(float64))
+			if run != lastScheduled+1 {
+				t.Errorf("run.scheduled out of canonical order: %d after %d", run, lastScheduled)
+			}
+			lastScheduled = run
+		}
+	}
+	if starts != 1 || stops != 1 {
+		t.Errorf("start/stop events = %d/%d, want 1/1", starts, stops)
+	}
+	stop := events[len(events)-1].Fields
+	want := int(stop["runs"].(float64)) + int(stop["failed_runs"].(float64))
+	if merged != want {
+		t.Errorf("run.merged events = %d, want runs+failed_runs = %d", merged, want)
+	}
+}

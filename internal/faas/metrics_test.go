@@ -1,0 +1,110 @@
+package faas
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sharp/internal/obs"
+)
+
+// scrape fetches /metrics from the platform's HTTP handler.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsEndpointCountersAdvance is the acceptance check: the platform
+// exposes Prometheus metrics at GET /metrics and the invocation counters
+// move across invocations.
+func TestMetricsEndpointCountersAdvance(t *testing.T) {
+	p, srv := newTestPlatform(t)
+
+	resp := p.Do(context.Background(), InvokeRequest{Workload: "bfs-CUDA", Run: 1})
+	if resp.Error != "" {
+		t.Fatalf("invoke: %s", resp.Error)
+	}
+	first := scrape(t, srv.URL)
+	if !strings.Contains(first, `sharp_faas_invocations_total{status="ok",worker="`) {
+		t.Fatalf("scrape missing invocation counter:\n%s", first)
+	}
+	if !strings.Contains(first, "# TYPE sharp_faas_invocations_total counter") {
+		t.Errorf("missing TYPE line:\n%s", first)
+	}
+	if !strings.Contains(first, "sharp_faas_exec_time_seconds_count") {
+		t.Errorf("missing exec-time histogram:\n%s", first)
+	}
+	// The first invocation on a worker is a cold start.
+	if !strings.Contains(first, "sharp_faas_cold_starts_total") {
+		t.Errorf("missing cold-start counter:\n%s", first)
+	}
+
+	// Counters must change between invocations.
+	for run := 2; run <= 5; run++ {
+		if r := p.Do(context.Background(), InvokeRequest{Workload: "bfs-CUDA", Run: run}); r.Error != "" {
+			t.Fatalf("invoke %d: %s", run, r.Error)
+		}
+	}
+	second := scrape(t, srv.URL)
+	if first == second {
+		t.Fatal("metrics did not change across invocations")
+	}
+	total := func(out string) (n float64) {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, `sharp_faas_invocations_total{status="ok"`) {
+				v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+				if err != nil {
+					t.Fatalf("bad sample line %q: %v", line, err)
+				}
+				n += v
+			}
+		}
+		return n
+	}
+	if a, b := total(first), total(second); b != a+4 {
+		t.Errorf("ok invocations went %v -> %v, want +4", a, b)
+	}
+}
+
+// TestPlatformTracerReceivesInvokeEvents: SetTracer must surface
+// faas.invoke events (and worker attribution) through the obs pipeline.
+func TestPlatformTracerReceivesInvokeEvents(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	c := obs.NewCollector()
+	p.SetTracer(c)
+	for run := 1; run <= 3; run++ {
+		if r := p.Do(context.Background(), InvokeRequest{Workload: "bfs-CUDA", Run: run}); r.Error != "" {
+			t.Fatalf("invoke %d: %s", run, r.Error)
+		}
+	}
+	evs := c.ByType(obs.EventFaasInvoke)
+	if len(evs) != 3 {
+		t.Fatalf("faas.invoke events = %d, want 3", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Fields["status"] != "ok" {
+			t.Errorf("event status = %v", ev.Fields["status"])
+		}
+		if w, _ := ev.Fields["worker"].(string); !strings.HasPrefix(w, "machine") {
+			t.Errorf("event worker = %v", ev.Fields["worker"])
+		}
+	}
+}

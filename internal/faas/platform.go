@@ -11,6 +11,7 @@
 //	GET  /workers
 //	POST /workers/evict   {"worker": "machine1"}
 //	POST /workers/admit   {"worker": "machine1"}
+//	GET  /metrics
 //	GET  /healthz
 //
 // and is consumed by the Client type, which implements backend.Backend so
@@ -35,6 +36,7 @@ import (
 
 	"sharp/internal/backend"
 	"sharp/internal/machine"
+	"sharp/internal/obs"
 	"sharp/internal/resilience"
 )
 
@@ -94,29 +96,79 @@ type Platform struct {
 	// IdleTimeout is how long a function instance stays warm (0 = forever).
 	IdleTimeout time.Duration
 	now         func() time.Time
+
+	// metrics is the platform's own registry, served at GET /metrics.
+	metrics *obs.Registry
+
+	// tmu guards tracer.
+	tmu    sync.Mutex
+	tracer obs.Tracer
 }
 
 // NewPlatform builds a platform over the given machines (typically
 // machine.GPUMachines(): Machines 1 and 3) with default circuit breakers
 // (3 consecutive failures to open, 5 s cooldown).
 func NewPlatform(machines []*machine.Machine, seed uint64) *Platform {
-	p := &Platform{now: time.Now}
+	p := &Platform{now: time.Now, metrics: obs.NewRegistry()}
 	for i, m := range machines {
 		p.workers = append(p.workers, &worker{
 			name:    m.Name,
 			be:      backend.NewSim(m, seed+uint64(i)*7919),
-			breaker: resilience.NewBreaker(resilience.BreakerConfig{}),
+			breaker: p.newBreaker(m.Name, resilience.BreakerConfig{}),
 			warm:    map[string]time.Time{},
 		})
 	}
 	return p
 }
 
+// Metrics returns the platform's metrics registry (the source of the
+// GET /metrics endpoint).
+func (p *Platform) Metrics() *obs.Registry { return p.metrics }
+
+// SetTracer installs the campaign event tracer on the platform and on every
+// worker's backend decorator chain (nil disables emission).
+func (p *Platform) SetTracer(t obs.Tracer) {
+	p.tmu.Lock()
+	p.tracer = t
+	p.tmu.Unlock()
+	for _, w := range p.workers {
+		backend.SetTracer(w.be, t)
+	}
+}
+
+// emit sends one platform event to the installed tracer.
+func (p *Platform) emit(typ string, fields map[string]any) {
+	p.tmu.Lock()
+	t := p.tracer
+	p.tmu.Unlock()
+	obs.Emit(t, typ, fields)
+}
+
+// newBreaker builds a worker breaker whose transitions feed the platform's
+// metrics and event stream, chaining any caller-provided callback.
+func (p *Platform) newBreaker(name string, cfg resilience.BreakerConfig) *resilience.Breaker {
+	user := cfg.OnTransition
+	cfg.OnTransition = func(from, to resilience.State) {
+		p.metrics.Counter("sharp_faas_breaker_transitions_total",
+			"Worker circuit-breaker state transitions.",
+			"worker", name, "to", to.String()).Inc()
+		p.emit(obs.EventBreakerTransition, map[string]any{
+			"name": name, "from": from.String(), "to": to.String(),
+		})
+		if user != nil {
+			user(from, to)
+		}
+	}
+	return resilience.NewBreaker(cfg)
+}
+
 // ConfigureBreakers replaces every worker's circuit breaker with one built
-// from cfg (tests use short cooldowns and fake clocks).
+// from cfg (tests use short cooldowns and fake clocks). The platform's
+// observability hooks are preserved: cfg.OnTransition, if set, is invoked
+// after them.
 func (p *Platform) ConfigureBreakers(cfg resilience.BreakerConfig) {
 	for _, w := range p.workers {
-		w.breaker = resilience.NewBreaker(cfg)
+		w.breaker = p.newBreaker(w.name, cfg)
 	}
 }
 
@@ -213,6 +265,12 @@ func (p *Platform) pickWorker() *worker {
 func (p *Platform) Do(ctx context.Context, req InvokeRequest) InvokeResponse {
 	w := p.pickWorker()
 	if w == nil {
+		p.metrics.Counter("sharp_faas_invocations_total",
+			"FaaS invocations dispatched by the platform.",
+			"worker", "none", "status", "unavailable").Inc()
+		p.emit(obs.EventFaasInvoke, map[string]any{
+			"worker": "", "workload": req.Workload, "status": "unavailable", "cold": false,
+		})
 		if len(p.workers) == 0 {
 			return InvokeResponse{Error: "faas: no workers"}
 		}
@@ -246,6 +304,12 @@ func (p *Platform) Do(ctx context.Context, req InvokeRequest) InvokeResponse {
 		if !errors.Is(err, backend.ErrUnknownWorkload) {
 			w.breaker.Failure()
 		}
+		p.metrics.Counter("sharp_faas_invocations_total",
+			"FaaS invocations dispatched by the platform.",
+			"worker", w.name, "status", "error").Inc()
+		p.emit(obs.EventFaasInvoke, map[string]any{
+			"worker": w.name, "workload": req.Workload, "status": "error", "cold": isCold,
+		})
 		return InvokeResponse{Worker: w.name, Error: err.Error()}
 	}
 	w.breaker.Success()
@@ -260,9 +324,20 @@ func (p *Platform) Do(ctx context.Context, req InvokeRequest) InvokeResponse {
 	if isCold {
 		metrics["cold_start"] = 1
 		metrics[backend.MetricExecTime] += ColdStartSeconds
+		p.metrics.Counter("sharp_faas_cold_starts_total",
+			"Cold-start invocations.", "worker", w.name).Inc()
 	} else {
 		metrics["cold_start"] = 0
 	}
+	p.metrics.Counter("sharp_faas_invocations_total",
+		"FaaS invocations dispatched by the platform.",
+		"worker", w.name, "status", "ok").Inc()
+	p.metrics.Histogram("sharp_faas_exec_time_seconds",
+		"Reported execution time of successful invocations.",
+		nil, "worker", w.name).Observe(metrics[backend.MetricExecTime])
+	p.emit(obs.EventFaasInvoke, map[string]any{
+		"worker": w.name, "workload": req.Workload, "status": "ok", "cold": isCold,
+	})
 	return InvokeResponse{
 		Worker:  w.name,
 		Cold:    isCold,
@@ -328,6 +403,7 @@ func (p *Platform) Handler() http.Handler {
 	}
 	mux.HandleFunc("POST /workers/evict", workerAction(p.Evict))
 	mux.HandleFunc("POST /workers/admit", workerAction(p.Admit))
+	mux.Handle("GET /metrics", p.metrics.Handler())
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")

@@ -1,0 +1,118 @@
+package obs
+
+// Live campaign progress: a Tracer that folds events into a one-line status
+// and repaints it on a terminal-style writer (stderr in the CLIs). Rendering
+// is throttled so tight campaigns do not spend their time printing; the
+// campaign.stop event always flushes a final line.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress renders live campaign status lines ("runs completed, failures,
+// current rule statistic, elapsed") from the event stream. It implements
+// Tracer and is safe for concurrent use.
+type Progress struct {
+	// Now is the clock (tests may override; default time.Now).
+	Now func() time.Time
+	// MinInterval throttles repaints (default 100ms; negative repaints on
+	// every event — used by tests).
+	MinInterval time.Duration
+
+	mu         sync.Mutex
+	w          io.Writer
+	name       string
+	started    time.Time
+	lastPaint  time.Time
+	runs       int
+	failures   int
+	retries    int
+	statistic  float64
+	hasStat    bool
+	rule       string
+	wroteLine  bool
+	lastLength int
+}
+
+// NewProgress returns a Progress sink writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{Now: time.Now, MinInterval: 100 * time.Millisecond, w: w}
+}
+
+// Emit implements Tracer.
+func (p *Progress) Emit(typ string, fields map[string]any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch typ {
+	case EventCampaignStart:
+		p.name, _ = fields["experiment"].(string)
+		p.rule, _ = fields["rule"].(string)
+		p.started = p.Now()
+		p.runs, p.failures, p.retries, p.hasStat = 0, 0, 0, false
+		p.paint(false)
+	case EventRunMerged:
+		p.runs++
+		if status, _ := fields["status"].(string); status == "failed" {
+			p.failures++
+		}
+		p.paint(false)
+	case EventRetryAttempt:
+		p.retries++
+	case EventRuleEval:
+		if s, ok := fields["statistic"].(float64); ok {
+			p.statistic, p.hasStat = s, true
+		}
+		p.paint(false)
+	case EventCampaignStop:
+		reason, _ := fields["stop_reason"].(string)
+		p.paint(true)
+		fmt.Fprintf(p.w, "\n%s: done (%s)\n", p.orCampaign(), reason)
+		p.wroteLine = false
+	}
+}
+
+// orCampaign returns the campaign display name.
+func (p *Progress) orCampaign() string {
+	if p.name == "" {
+		return "campaign"
+	}
+	return p.name
+}
+
+// paint repaints the status line; callers hold p.mu. force bypasses the
+// repaint throttle (used by campaign.stop).
+func (p *Progress) paint(force bool) {
+	now := p.Now()
+	if !force && p.MinInterval >= 0 && p.wroteLine && now.Sub(p.lastPaint) < p.MinInterval {
+		return
+	}
+	p.lastPaint = now
+	elapsed := now.Sub(p.started).Round(time.Millisecond)
+	line := fmt.Sprintf("%s: runs=%d failures=%d", p.orCampaign(), p.runs, p.failures)
+	if p.retries > 0 {
+		line += fmt.Sprintf(" retries=%d", p.retries)
+	}
+	if p.hasStat {
+		line += fmt.Sprintf(" %s=%.4g", p.statName(), p.statistic)
+	}
+	line += fmt.Sprintf(" elapsed=%s", elapsed)
+	pad := ""
+	if n := p.lastLength - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLength = len(line)
+	p.wroteLine = true
+}
+
+// statName labels the rule statistic with the rule when known.
+func (p *Progress) statName() string {
+	if p.rule == "" {
+		return "stat"
+	}
+	return p.rule
+}

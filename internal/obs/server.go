@@ -1,0 +1,63 @@
+package obs
+
+// The metrics sidecar: an HTTP server exposing the registry at /metrics and
+// the Go runtime profiles at /debug/pprof/, started by the CLIs when
+// --metrics-addr is given. A sidecar on a measurement tool must never
+// perturb the measurement, so it runs on its own mux (not
+// http.DefaultServeMux) and its own goroutine, and Close tears it down.
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running metrics sidecar.
+type Server struct {
+	reg *Registry
+	srv *http.Server
+	lis net.Listener
+}
+
+// ServeMetrics starts the sidecar on addr (e.g. ":9090" or "127.0.0.1:0")
+// serving GET /metrics from reg plus the net/http/pprof handlers under
+// /debug/pprof/. It returns once the listener is bound; serving continues in
+// the background until Close.
+func ServeMetrics(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+	})
+	s := &Server{
+		reg: reg,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis: lis,
+	}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Registry returns the served registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close shuts the sidecar down gracefully.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -176,7 +176,9 @@ func Create(path string) (*Writer, error) {
 	return &Writer{w: csv.NewWriter(f), c: f}, nil
 }
 
-// Write appends one row.
+// Write appends one row. Rows counts only successful writes: the counter is
+// incremented after encoding/csv accepts the record, not before (the old
+// order overcounted when the underlying writer failed).
 func (w *Writer) Write(r Row) error {
 	if !w.wroteHeader {
 		if err := w.w.Write(Header); err != nil {
@@ -184,8 +186,11 @@ func (w *Writer) Write(r Row) error {
 		}
 		w.wroteHeader = true
 	}
+	if err := w.w.Write(r.strings()); err != nil {
+		return err
+	}
 	w.rows++
-	return w.w.Write(r.strings())
+	return nil
 }
 
 // WriteAll appends all rows.

@@ -1,0 +1,53 @@
+package record
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// failWriter accepts the first okBytes bytes, then fails every write.
+type failWriter struct {
+	okBytes int
+	written int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.okBytes {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestRowsCountsOnlySuccessfulWrites is the bugfix test: Rows() used to
+// increment before handing the record to encoding/csv, so a failing sink
+// still advanced the counter and the metadata reported rows that were never
+// written. encoding/csv buffers ~4 KiB, so the row carries an error message
+// larger than the buffer to force the underlying write during Write itself.
+func TestRowsCountsOnlySuccessfulWrites(t *testing.T) {
+	w := NewWriter(&failWriter{okBytes: 0})
+	row := Row{
+		Timestamp: time.Unix(0, 0).UTC(),
+		Experiment: "e", Workload: "w", Backend: "sim", Machine: "machine1",
+		Day: 1, Run: 1, Instance: 1,
+		Metric: MetricError, Value: 1, Unit: "count",
+		Status: StatusError, Attempt: 1,
+		Error: strings.Repeat("x", 8192), // exceeds csv/bufio buffering
+	}
+	if err := w.Write(row); err == nil {
+		t.Fatal("Write against a failing sink returned nil error")
+	}
+	if got := w.Rows(); got != 0 {
+		t.Errorf("Rows() = %d after a failed write, want 0", got)
+	}
+	// A healthy writer still counts.
+	ok := NewWriter(&strings.Builder{})
+	if err := ok.Write(row); err != nil {
+		t.Fatal(err)
+	}
+	if got := ok.Rows(); got != 1 {
+		t.Errorf("Rows() = %d after one successful write, want 1", got)
+	}
+}

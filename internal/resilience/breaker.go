@@ -40,6 +40,11 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 	// Now is the time source (tests may override; default time.Now).
 	Now func() time.Time
+	// OnTransition, if non-nil, is invoked after every state change with
+	// the old and new state. It is called outside the breaker's lock, so
+	// the callback may safely call back into the breaker (and may observe
+	// a state more recent than `to` under concurrency).
+	OnTransition func(from, to State)
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -74,20 +79,49 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults()}
 }
 
+// stateChange is one recorded breaker transition, delivered to
+// BreakerConfig.OnTransition after the lock is released.
+type stateChange struct{ from, to State }
+
+// transition moves the breaker to `to`, recording the change (if any) for
+// post-unlock callback delivery. Callers must hold b.mu.
+func (b *Breaker) transition(to State, trans *[]stateChange) {
+	if b.state == to {
+		return
+	}
+	*trans = append(*trans, stateChange{b.state, to})
+	b.state = to
+}
+
+// notify delivers recorded transitions to the OnTransition callback. Callers
+// must NOT hold b.mu (deadlock safety: the callback may re-enter the
+// breaker).
+func (b *Breaker) notify(trans []stateChange) {
+	if b.cfg.OnTransition == nil {
+		return
+	}
+	for _, t := range trans {
+		b.cfg.OnTransition(t.from, t.to)
+	}
+}
+
 // State returns the breaker's current state, applying the open → half-open
 // transition if the cooldown has elapsed.
 func (b *Breaker) State() State {
+	var trans []stateChange
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.maybeHalfOpen()
-	return b.state
+	b.maybeHalfOpen(&trans)
+	s := b.state
+	b.mu.Unlock()
+	b.notify(trans)
+	return s
 }
 
 // maybeHalfOpen transitions open → half-open once the cooldown elapsed.
 // Callers must hold b.mu.
-func (b *Breaker) maybeHalfOpen() {
+func (b *Breaker) maybeHalfOpen(trans *[]stateChange) {
 	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
-		b.state = HalfOpen
+		b.transition(HalfOpen, trans)
 		b.probing = false
 	}
 }
@@ -96,46 +130,52 @@ func (b *Breaker) maybeHalfOpen() {
 // probe is admitted at a time; the caller must report the outcome via
 // Success or Failure.
 func (b *Breaker) Allow() bool {
+	var trans []stateChange
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.maybeHalfOpen()
+	b.maybeHalfOpen(&trans)
+	allowed := false
 	switch b.state {
 	case Closed:
-		return true
+		allowed = true
 	case HalfOpen:
-		if b.probing {
-			return false
+		if !b.probing {
+			b.probing = true
+			allowed = true
 		}
-		b.probing = true
-		return true
 	default: // Open
-		return false
 	}
+	b.mu.Unlock()
+	b.notify(trans)
+	return allowed
 }
 
 // Success records a successful request, closing the breaker and resetting
 // the failure count.
 func (b *Breaker) Success() {
+	var trans []stateChange
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = Closed
+	b.transition(Closed, &trans)
 	b.consecutive = 0
 	b.probing = false
+	b.mu.Unlock()
+	b.notify(trans)
 }
 
 // Failure records a failed request: a failed half-open probe re-opens the
 // breaker immediately, and FailureThreshold consecutive failures open a
 // closed breaker.
 func (b *Breaker) Failure() {
+	var trans []stateChange
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.maybeHalfOpen()
+	b.maybeHalfOpen(&trans)
 	b.consecutive++
 	if b.state == HalfOpen || b.consecutive >= b.cfg.FailureThreshold {
-		b.state = Open
+		b.transition(Open, &trans)
 		b.openedAt = b.cfg.Now()
 		b.probing = false
 	}
+	b.mu.Unlock()
+	b.notify(trans)
 }
 
 // ConsecutiveFailures returns the current consecutive-failure count.

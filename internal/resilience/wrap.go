@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"sharp/internal/backend"
+	"sharp/internal/obs"
 	"sharp/internal/randx"
 )
 
@@ -23,6 +26,9 @@ type RetryBackend struct {
 	Inner backend.Backend
 	// Policy is the retry policy (already defaulted by Wrap).
 	Policy Policy
+
+	mu     sync.Mutex
+	tracer obs.Tracer
 }
 
 // Wrap decorates b with the retry policy p. A disabled policy
@@ -47,6 +53,33 @@ func (rb *RetryBackend) Unwrap() backend.Backend { return rb.Inner }
 
 // Close implements backend.Backend.
 func (rb *RetryBackend) Close() error { return rb.Inner.Close() }
+
+// SetTracer implements backend.TraceSink: every failed attempt that will be
+// retried is emitted as a retry.attempt event with its backoff delay.
+func (rb *RetryBackend) SetTracer(t obs.Tracer) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.tracer = t
+}
+
+// emitRetry reports one scheduled retry (attempt just failed; the backend
+// will be re-invoked after delay).
+func (rb *RetryBackend) emitRetry(req backend.Request, attempt int, delay time.Duration, err error) {
+	rb.mu.Lock()
+	t := rb.tracer
+	rb.mu.Unlock()
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	obs.Emit(t, obs.EventRetryAttempt, map[string]any{
+		"workload": req.Workload,
+		"run":      req.Run,
+		"attempt":  attempt,
+		"delay_ms": float64(delay) / float64(time.Millisecond),
+		"error":    msg,
+	})
+}
 
 // retryableErr classifies invocation errors: unknown workloads are
 // configuration errors and never retried; everything else follows the
@@ -100,7 +133,9 @@ func (rb *RetryBackend) Invoke(ctx context.Context, req backend.Request) ([]back
 			if attempt == p.MaxAttempts || !rb.retryableErr(err) || ctx.Err() != nil {
 				break
 			}
-			if serr := Sleep(ctx, p.Delay(attempt, rng)); serr != nil {
+			d := p.Delay(attempt, rng)
+			rb.emitRetry(req, attempt, d, err)
+			if serr := Sleep(ctx, d); serr != nil {
 				break
 			}
 			continue
@@ -125,16 +160,20 @@ func (rb *RetryBackend) Invoke(ctx context.Context, req backend.Request) ([]back
 		}
 		// Any retryable per-instance failures left?
 		retryNeeded := false
+		var retryErr error
 		for i := range final {
 			if final[i].Err != nil && rb.retryableErr(final[i].Err) {
 				retryNeeded = true
+				retryErr = final[i].Err
 				break
 			}
 		}
 		if !retryNeeded || attempt == p.MaxAttempts {
 			break
 		}
-		if serr := Sleep(ctx, p.Delay(attempt, rng)); serr != nil {
+		d := p.Delay(attempt, rng)
+		rb.emitRetry(req, attempt, d, retryErr)
+		if serr := Sleep(ctx, d); serr != nil {
 			break
 		}
 	}

@@ -57,6 +57,7 @@ func (r *SelfSimilarity) Add(x float64) {
 		r.reason = fmt.Sprintf("mean split KS %.4f < %.4f over %d splits (n=%d)",
 			r.current, r.Threshold, r.Splits, len(r.samples))
 	}
+	r.record(r.current, r.Threshold)
 }
 
 // MetaConfig tunes the meta-heuristic. Zero values take the documented
@@ -172,24 +173,30 @@ func (r *Meta) Add(x float64) {
 		r.profile = classify.ClassifyOpts(r.samples, r.cfg.Classifier)
 		r.lastClass = r.profile.Class
 	}
-	stop, why := r.evaluate()
+	stop, why, stat, threshold := r.evaluate()
 	if stop {
 		r.done = true
 		r.reason = fmt.Sprintf("[%s] %s (n=%d)", r.lastClass, why, n)
 	}
+	r.record(stat, threshold)
 }
 
 // evaluate applies the family-appropriate criterion to the current samples,
-// answering each from the incremental accumulators maintained by Add.
-func (r *Meta) evaluate() (bool, string) {
+// answering each from the incremental accumulators maintained by Add. It
+// also reports the convergence statistic and threshold it compared (NaN
+// statistic when the family criterion produced none this check), which Add
+// records for observability.
+func (r *Meta) evaluate() (stop bool, why string, stat, threshold float64) {
 	s := r.samples
+	stat = math.NaN()
 	switch r.lastClass {
 	case classify.Constant:
-		return true, "constant distribution"
+		return true, "constant distribution", 0, 0
 	case classify.Normal, classify.Uniform, classify.Logistic:
 		w := stats.RelativeCIHalfWidthFromMoments(r.mom.N(), r.mom.Mean(), r.mom.StdErr(), r.cfg.CILevel)
+		stat, threshold = w, r.cfg.CIThreshold
 		if w < r.cfg.CIThreshold {
-			return true, fmt.Sprintf("relative CI %.4f < %.4f", w, r.cfg.CIThreshold)
+			return true, fmt.Sprintf("relative CI %.4f < %.4f", w, r.cfg.CIThreshold), stat, threshold
 		}
 	case classify.LogNormal, classify.LogUniform:
 		// logMom holds log(x) for every positive observation, so it covers
@@ -201,39 +208,48 @@ func (r *Meta) evaluate() (bool, string) {
 			ci := stats.MeanCIRightTailedFromMoments(r.logMom.N(), m, r.logMom.StdErr(), r.cfg.CILevel)
 			half := ci.High - m
 			sd := r.logMom.StdDev()
+			if sd > 0 {
+				stat, threshold = half/sd, r.cfg.CIThreshold*3
+			}
 			if sd > 0 && half/sd < r.cfg.CIThreshold*3 {
-				return true, fmt.Sprintf("log-CI half-width %.4f sd", half/sd)
+				return true, fmt.Sprintf("log-CI half-width %.4f sd", half/sd), stat, threshold
 			}
 		}
 	case classify.Multimodal:
 		ks := r.halves.KS()
+		stat, threshold = ks, r.cfg.KSThreshold
 		if ks < r.cfg.KSThreshold {
-			return true, fmt.Sprintf("half-vs-half KS %.4f < %.4f", ks, r.cfg.KSThreshold)
+			return true, fmt.Sprintf("half-vs-half KS %.4f < %.4f", ks, r.cfg.KSThreshold), stat, threshold
 		}
 	case classify.HeavyTailed:
 		n := len(s)
 		window := 30
 		if n < window+r.bounds.MinSamples {
-			return false, ""
+			return false, "", stat, r.cfg.MedianThreshold
 		}
 		all := r.order.Median()
 		tail := stats.Median(s[n-window:])
 		scale := math.Max(math.Abs(all), r.order.MAD())
+		if scale > 0 {
+			stat, threshold = math.Abs(tail-all)/scale, r.cfg.MedianThreshold
+		}
 		if scale > 0 && math.Abs(tail-all)/scale < r.cfg.MedianThreshold {
-			return true, fmt.Sprintf("median drift %.4f", math.Abs(tail-all)/scale)
+			return true, fmt.Sprintf("median drift %.4f", math.Abs(tail-all)/scale), stat, threshold
 		}
 	case classify.Autocorrelated:
 		ess := stats.EffectiveSampleSize(s)
+		stat, threshold = ess, r.cfg.ESSTarget
 		if ess >= r.cfg.ESSTarget {
-			return true, fmt.Sprintf("ESS %.1f >= %g", ess, r.cfg.ESSTarget)
+			return true, fmt.Sprintf("ESS %.1f >= %g", ess, r.cfg.ESSTarget), stat, threshold
 		}
 	default: // Unknown or not yet classified
 		ks := r.halves.KS()
+		stat, threshold = ks, r.cfg.SelfThreshold
 		if ks < r.cfg.SelfThreshold {
-			return true, fmt.Sprintf("self-similarity KS %.4f < %.4f", ks, r.cfg.SelfThreshold)
+			return true, fmt.Sprintf("self-similarity KS %.4f < %.4f", ks, r.cfg.SelfThreshold), stat, threshold
 		}
 	}
-	return false, ""
+	return false, "", stat, threshold
 }
 
 // NewNamed builds a rule from its configuration name, used by the CLI and

@@ -67,12 +67,37 @@ func (b Bounds) withDefaults() Bounds {
 	return b
 }
 
+// Eval is one convergence evaluation, recorded for observability: the
+// statistic the rule computed, the threshold it was compared against, and
+// the verdict. The launcher turns these into rule.eval trace events.
+type Eval struct {
+	// N is the sample count at evaluation time.
+	N int
+	// Statistic is the rule's convergence statistic (rule-specific; NaN when
+	// the rule has no numeric statistic for this check).
+	Statistic float64
+	// Threshold is the value Statistic was compared against.
+	Threshold float64
+	// Stopped is the verdict: true when the rule decided to stop.
+	Stopped bool
+}
+
+// Evaluated is implemented by rules that record their convergence checks.
+// All rules in this package implement it via base.
+type Evaluated interface {
+	// LastEval returns the most recent convergence evaluation; ok is false
+	// before the first check.
+	LastEval() (Eval, bool)
+}
+
 // base carries the sample buffer and guard-rail logic shared by rules.
 type base struct {
-	bounds  Bounds
-	samples []float64
-	done    bool
-	reason  string
+	bounds   Bounds
+	samples  []float64
+	done     bool
+	reason   string
+	lastEval Eval
+	hasEval  bool
 }
 
 func newBase(b Bounds) base { return base{bounds: b.withDefaults()} }
@@ -110,6 +135,21 @@ func (b *base) add(x float64) (check bool) {
 	return n%b.bounds.CheckEvery == 0
 }
 
+// record notes a completed convergence evaluation for observability. It is
+// pure bookkeeping: recording never changes a stop decision.
+func (b *base) record(statistic, threshold float64) {
+	b.lastEval = Eval{
+		N:         len(b.samples),
+		Statistic: statistic,
+		Threshold: threshold,
+		Stopped:   b.done,
+	}
+	b.hasEval = true
+}
+
+// LastEval implements Evaluated.
+func (b *base) LastEval() (Eval, bool) { return b.lastEval, b.hasEval }
+
 // Samples returns the observations collected so far (shared slice).
 func (b *base) Samples() []float64 { return b.samples }
 
@@ -140,11 +180,15 @@ func (r *Fixed) Name() string { return fmt.Sprintf("fixed-%d", r.N0) }
 
 // Add implements Rule.
 func (r *Fixed) Add(x float64) {
+	if r.done {
+		return
+	}
 	r.add(x)
 	if len(r.samples) >= r.N0 {
 		r.done = true
 		r.reason = fmt.Sprintf("fixed budget of %d runs exhausted", r.N0)
 	}
+	r.record(float64(len(r.samples)), float64(r.N0))
 }
 
 // --- 2. Confidence interval ---
@@ -186,6 +230,7 @@ func (r *CI) Add(x float64) {
 		r.done = true
 		r.reason = fmt.Sprintf("relative CI %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
 	}
+	r.record(r.current, r.Threshold)
 }
 
 // --- 3. Kolmogorov-Smirnov ---
@@ -227,6 +272,7 @@ func (r *KS) Add(x float64) {
 		r.done = true
 		r.reason = fmt.Sprintf("half-vs-half KS %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
 	}
+	r.record(r.current, r.Threshold)
 }
 
 // --- 4. Coefficient of variation convergence ---
@@ -279,6 +325,7 @@ func (r *CV) Add(x float64) {
 		r.done = true
 		r.reason = fmt.Sprintf("CV drift %.4f < %.4f after %d runs", r.current, r.Threshold, len(r.samples))
 	}
+	r.record(r.current, r.Threshold)
 }
 
 // --- 5. Mean stability ---
@@ -331,6 +378,7 @@ func (r *MeanStability) Add(x float64) {
 		r.done = true
 		r.reason = fmt.Sprintf("trailing mean drift %.4f < %.4f after %d runs", r.current, r.Threshold, n)
 	}
+	r.record(r.current, r.Threshold)
 }
 
 // --- 6. Median stability ---
@@ -380,6 +428,7 @@ func (r *MedianStability) Add(x float64) {
 	if scale == 0 {
 		r.done = true
 		r.reason = "degenerate (zero spread) sample"
+		r.record(0, r.Threshold)
 		return
 	}
 	r.current = math.Abs(tail-all) / scale
@@ -387,6 +436,7 @@ func (r *MedianStability) Add(x float64) {
 		r.done = true
 		r.reason = fmt.Sprintf("trailing median drift %.4f < %.4f after %d runs", r.current, r.Threshold, n)
 	}
+	r.record(r.current, r.Threshold)
 }
 
 // --- 7. Modality stability ---
@@ -443,6 +493,7 @@ func (r *ModalityStability) Add(x float64) {
 		r.done = true
 		r.reason = fmt.Sprintf("mode count stable at %d for %d checks (n=%d)", r.lastModes, r.streak, len(r.samples))
 	}
+	r.record(float64(r.streak), float64(r.StableChecks))
 }
 
 // --- 8. Effective sample size ---
@@ -481,6 +532,7 @@ func (r *ESS) Add(x float64) {
 		r.done = true
 		r.reason = fmt.Sprintf("effective sample size %.1f >= %g after %d runs", r.current, r.Target, len(r.samples))
 	}
+	r.record(r.current, r.Target)
 }
 
 // Drive feeds observations from next into rule until it reports Done, and

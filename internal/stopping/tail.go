@@ -80,4 +80,5 @@ func (r *TailStability) Add(x float64) {
 		r.reason = fmt.Sprintf("p%d drift %.4f < %.4f after %d runs",
 			int(r.Quantile*100), r.current, r.Threshold, n)
 	}
+	r.record(r.current, r.Threshold)
 }
