@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench experiments fuzz examples clean
+.PHONY: all build test vet race check bench bench-short bench-check experiments fuzz examples clean
 
 all: build vet test
 
@@ -27,12 +27,20 @@ check:
 
 # One testing.B target per paper table/figure plus ablations and substrate
 # micro-benchmarks. BENCH_baseline.json snapshots the pre-parallel-engine
-# seed for comparison; bench-short is the CI smoke variant.
+# seed for comparison (BENCH_pr4.json the density-engine rework); bench-short
+# is the CI smoke variant and bench-check additionally gates the
+# deterministic ReportMetric columns against the baseline via
+# cmd/sharp-benchdiff — the reproduction targets must not drift no matter
+# how the analysis path is optimized.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 bench-short:
 	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./...
+
+bench-check:
+	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./... | \
+		$(GO) run ./cmd/sharp-benchdiff -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%'
 
 # Regenerate every paper table and figure into results/.
 experiments:

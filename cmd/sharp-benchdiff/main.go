@@ -1,0 +1,223 @@
+// Command sharp-benchdiff parses `go test -bench` output and either
+// snapshots it into the repo's benchmark-JSON schema (BENCH_baseline.json,
+// BENCH_pr4.json) or gates it against a baseline snapshot.
+//
+// Snapshot mode:
+//
+//	go test -bench . -benchmem ./... | sharp-benchdiff -snapshot BENCH_pr4.json -description "..."
+//
+// Gate mode (CI): compare the deterministic ReportMetric columns — the
+// reproduction targets, which must not drift no matter how the code is
+// optimized — and exit non-zero on any mismatch:
+//
+//	sharp-benchdiff -in bench_current.txt -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%'
+//
+// Timings (ns/op, B/op, allocs/op) are machine-dependent and never gated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the on-disk schema shared with BENCH_baseline.json.
+type Snapshot struct {
+	Description string             `json:"description"`
+	Environment map[string]string  `json:"environment"`
+	Benchmarks  []*BenchmarkResult `json:"benchmarks"`
+}
+
+// BenchmarkResult is one benchmark line.
+type BenchmarkResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// procSuffix strips the -<GOMAXPROCS> suffix go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` text: header lines (goos/goarch/pkg/cpu)
+// and benchmark result lines of (value, unit) pairs.
+func parseBench(r io.Reader) (env map[string]string, results []*BenchmarkResult, err error) {
+	env = map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				if _, seen := env[key]; !seen { // keep the first package header
+					env[key] = v
+				}
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		b := &BenchmarkResult{
+			Name:       procSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "MB/s":
+				// throughput is machine-dependent; skip
+			default:
+				b.Metrics[unit] = v
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		results = append(results, b)
+	}
+	return env, results, sc.Err()
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// gate compares the named deterministic metric columns of current against
+// the baseline and returns the list of violations.
+func gate(baseline *Snapshot, current []*BenchmarkResult, metrics []string, tol float64) []string {
+	byName := map[string]*BenchmarkResult{}
+	for _, b := range current {
+		byName[b.Name] = b
+	}
+	want := map[string]bool{}
+	for _, m := range metrics {
+		want[strings.TrimSpace(m)] = true
+	}
+	var violations []string
+	for _, base := range baseline.Benchmarks {
+		for metric, bv := range base.Metrics {
+			if !want[metric] {
+				continue
+			}
+			cur, ok := byName[base.Name]
+			if !ok {
+				violations = append(violations,
+					fmt.Sprintf("%s: benchmark missing from current run (baseline %s=%g)", base.Name, metric, bv))
+				continue
+			}
+			cv, ok := cur.Metrics[metric]
+			if !ok {
+				violations = append(violations,
+					fmt.Sprintf("%s: metric %s missing from current run (baseline %g)", base.Name, metric, bv))
+				continue
+			}
+			if !withinTol(bv, cv, tol) {
+				violations = append(violations,
+					fmt.Sprintf("%s: %s drifted: baseline %g, current %g", base.Name, metric, bv, cv))
+			}
+		}
+	}
+	return violations
+}
+
+// withinTol reports |a-b| <= tol * max(1, |a|): relative for large values,
+// absolute near zero.
+func withinTol(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Abs(a))
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output file (- for stdin)")
+	snapshot := flag.String("snapshot", "", "write a snapshot JSON to this path")
+	description := flag.String("description", "", "snapshot description")
+	baseline := flag.String("baseline", "", "baseline snapshot JSON to gate against")
+	metrics := flag.String("metrics", "multimodal_%,savings_%", "comma-separated deterministic metric columns to gate")
+	tol := flag.Float64("tol", 1e-6, "relative drift tolerance")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	env, results, err := parseBench(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "sharp-benchdiff: no benchmark lines found in input")
+		os.Exit(2)
+	}
+
+	if *snapshot != "" {
+		s := Snapshot{Description: *description, Environment: env, Benchmarks: results}
+		data, err := json.MarshalIndent(&s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*snapshot, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *snapshot, len(results))
+	}
+
+	if *baseline != "" {
+		base, err := loadSnapshot(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cols := strings.Split(*metrics, ",")
+		violations := gate(base, results, cols, *tol)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "DRIFT: "+v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %s columns match %s\n", *metrics, *baseline)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sharp/internal/stats
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig4Distributions-8   	       1	58640588 ns/op	 3408856 B/op	    1477 allocs/op	      70.0 multimodal_%
+BenchmarkFig1bAutoStopping-8   	       1	52675136 ns/op	 8436464 B/op	   99960 allocs/op	   0.06561 KS_to_truth	     87.22 savings_%
+PASS
+ok  	sharp	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	env, results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["goos"] != "linux" || env["pkg"] != "sharp/internal/stats" {
+		t.Fatalf("env = %v", env)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	fig4 := results[0]
+	if fig4.Name != "BenchmarkFig4Distributions" {
+		t.Fatalf("proc suffix not stripped: %q", fig4.Name)
+	}
+	if fig4.NsPerOp != 58640588 || fig4.AllocsPerOp != 1477 {
+		t.Fatalf("timings misparsed: %+v", fig4)
+	}
+	if fig4.Metrics["multimodal_%"] != 70.0 {
+		t.Fatalf("metrics misparsed: %+v", fig4.Metrics)
+	}
+	if results[1].Metrics["savings_%"] != 87.22 {
+		t.Fatalf("metrics misparsed: %+v", results[1].Metrics)
+	}
+}
+
+func TestGate(t *testing.T) {
+	_, results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Snapshot{Benchmarks: []*BenchmarkResult{
+		{Name: "BenchmarkFig4Distributions", Metrics: map[string]float64{"multimodal_%": 70.0}},
+		{Name: "BenchmarkFig1bAutoStopping", Metrics: map[string]float64{"savings_%": 87.22, "KS_to_truth": 0.06561}},
+	}}
+	cols := []string{"multimodal_%", "savings_%"}
+	if v := gate(base, results, cols, 1e-6); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Drift in a gated column fails.
+	base.Benchmarks[0].Metrics["multimodal_%"] = 65.0
+	if v := gate(base, results, cols, 1e-6); len(v) != 1 {
+		t.Fatalf("expected 1 violation, got %v", v)
+	}
+	// Drift in a non-gated column (timing-adjacent metric) passes.
+	base.Benchmarks[0].Metrics["multimodal_%"] = 70.0
+	base.Benchmarks[1].Metrics["KS_to_truth"] = 0.9
+	if v := gate(base, results, cols, 1e-6); len(v) != 0 {
+		t.Fatalf("non-gated column should not fail: %v", v)
+	}
+	// Missing benchmark fails.
+	base.Benchmarks = append(base.Benchmarks,
+		&BenchmarkResult{Name: "BenchmarkGone", Metrics: map[string]float64{"savings_%": 1}})
+	if v := gate(base, results, cols, 1e-6); len(v) != 1 {
+		t.Fatalf("expected missing-benchmark violation, got %v", v)
+	}
+}

@@ -559,11 +559,14 @@ func cmdDays(args []string) error {
 		fmt.Printf("day %d: mean %.4fs median %.4fs modes %d\n",
 			d, sum.Mean, sum.Median, res.Modes())
 	}
-	namd, err := similarity.Matrix(similarity.MetricNAMD, groups)
+	// Both heatmaps share one set of prepared groups (each day sorted once)
+	// and fan the upper-triangle pairs across --parallel workers.
+	gs := similarity.NewGroups(groups)
+	namd, err := similarity.MatrixGroups(similarity.MetricNAMD, gs, rf.parallel)
 	if err != nil {
 		return err
 	}
-	ks, err := similarity.Matrix(similarity.MetricKS, groups)
+	ks, err := similarity.MatrixGroups(similarity.MetricKS, gs, rf.parallel)
 	if err != nil {
 		return err
 	}

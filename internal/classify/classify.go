@@ -154,7 +154,7 @@ func ClassifyOpts(xs []float64, o Options) Profile {
 	// (log-normal, log-uniform) produces spurious KDE peaks on the linear
 	// scale, so for that shape we count modes on the log scale and try the
 	// log families before declaring multimodality.
-	p.Modes = len(stats.NewKDE(xs).Modes(256, o.ModeProminence, o.ModeDip))
+	p.Modes = stats.CountModesParams(xs, o.ModeProminence, o.ModeDip)
 	var logs []float64
 	if stats.Min(xs) > 0 && p.Skewness > 0.8 {
 		logs = make([]float64, len(xs))

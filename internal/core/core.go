@@ -740,11 +740,34 @@ type Comparison struct {
 }
 
 // Compare computes the full similarity comparison between two sample sets.
+// The six similarity metrics all consume sorted views, so the Group cache
+// sorts each sample once instead of once per metric; every value is
+// identical to calling the metric functions on the raw samples.
 func Compare(nameA string, a []float64, nameB string, b []float64) (Comparison, error) {
 	if len(a) == 0 || len(b) == 0 {
 		return Comparison{}, errors.New("core: cannot compare empty sample sets")
 	}
-	namd, err := similarity.NAMDTrimmed(a, b)
+	ga, gb := similarity.NewGroup(a), similarity.NewGroup(b)
+	metric := func(m similarity.Metric) (float64, error) {
+		return similarity.ComputeGroups(m, ga, gb)
+	}
+	namd, err := metric(similarity.MetricNAMD)
+	if err != nil {
+		return Comparison{}, err
+	}
+	ks, err := metric(similarity.MetricKS)
+	if err != nil {
+		return Comparison{}, err
+	}
+	w1, err := metric(similarity.MetricWasserstein)
+	if err != nil {
+		return Comparison{}, err
+	}
+	jsd, err := metric(similarity.MetricJSD)
+	if err != nil {
+		return Comparison{}, err
+	}
+	overlap, err := metric(similarity.MetricOverlap)
 	if err != nil {
 		return Comparison{}, err
 	}
@@ -755,11 +778,11 @@ func Compare(nameA string, a []float64, nameB string, b []float64) (Comparison, 
 		MeanA: meanA, MeanB: meanB,
 		Speedup:     meanA / meanB,
 		NAMD:        namd,
-		KS:          similarity.KS(a, b),
-		KSTest:      stats.KSTest(a, b),
-		W1:          similarity.Wasserstein1(a, b),
-		JSD:         similarity.JensenShannon(a, b, 0),
-		Overlap:     similarity.OverlapCoefficient(a, b, 0),
+		KS:          ks,
+		KSTest:      stats.KSTestSorted(ga.Sorted(), gb.Sorted()),
+		W1:          w1,
+		JSD:         jsd,
+		Overlap:     overlap,
 		MannWhitney: stats.MannWhitneyU(a, b),
 		ModesA:      stats.CountModes(a),
 		ModesB:      stats.CountModes(b),

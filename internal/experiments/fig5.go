@@ -61,17 +61,24 @@ func Fig5a(seed uint64) (*Fig5aResult, error) {
 			}
 			days[d] = s
 		}
+		// Each day participates in four pairs; the Group cache sorts it once
+		// instead of once per pair.
+		gs := similarity.NewGroups(days)
 		pairs := make([]PairComparison, 0, 10)
 		for a := 1; a <= 5; a++ {
 			for bday := a + 1; bday <= 5; bday++ {
-				namd, err := similarity.NAMDSorted(days[a], days[bday])
+				namd, err := similarity.ComputeGroups(similarity.MetricNAMD, gs[a], gs[bday])
+				if err != nil {
+					return err
+				}
+				ks, err := similarity.ComputeGroups(similarity.MetricKS, gs[a], gs[bday])
 				if err != nil {
 					return err
 				}
 				pairs = append(pairs, PairComparison{
 					Benchmark: c.bench, Machine: c.mach.Name,
 					DayA: a, DayB: bday,
-					NAMD: namd, KS: similarity.KS(days[a], days[bday]),
+					NAMD: namd, KS: ks,
 					MeanA: stats.Mean(days[a]), MeanB: stats.Mean(days[bday]),
 				})
 			}
@@ -137,22 +144,22 @@ func Fig5b(seed uint64) (*Fig5bResult, error) {
 		}
 		days[d] = s
 	}
-	res := &Fig5bResult{
-		NAMD: make([][]float64, 5),
-		KS:   make([][]float64, 5),
+	// Both heatmaps share one set of prepared groups: each day is sorted
+	// once, each unordered pair is computed once (the matrices are exactly
+	// symmetric) and the pairs fan out over the worker pool.
+	gs := similarity.NewGroups(days[1:])
+	res := &Fig5bResult{}
+	var err error
+	res.NAMD, err = similarity.MatrixGroups(similarity.MetricNAMD, gs, Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	res.KS, err = similarity.MatrixGroups(similarity.MetricKS, gs, Parallelism())
+	if err != nil {
+		return nil, err
 	}
 	for a := 1; a <= 5; a++ {
-		res.NAMD[a-1] = make([]float64, 5)
-		res.KS[a-1] = make([]float64, 5)
 		res.days = append(res.days, fmt.Sprintf("day%d", a))
-		for bday := 1; bday <= 5; bday++ {
-			namd, err := similarity.NAMDSorted(days[a], days[bday])
-			if err != nil {
-				return nil, err
-			}
-			res.NAMD[a-1][bday-1] = namd
-			res.KS[a-1][bday-1] = similarity.KS(days[a], days[bday])
-		}
 	}
 	return res, nil
 }

@@ -97,11 +97,20 @@ func Fig6(seed uint64) (*Fig6Result, error) {
 		for j := range truth {
 			truth[j] = next()
 		}
+		// The truth sample is compared against every rule's partial run;
+		// wrapping it in a Group sorts (and quantile-resamples) it once
+		// instead of once per rule.
+		truthG := similarity.NewGroup(truth)
 		outs := make([]RuleOutcome, 0, len(names))
 		for _, rn := range names {
 			rule := makeRule[rn]()
 			partial := stopping.Drive(faasStream(bench.Name, seed), rule)
-			namd, err := similarity.NAMDTrimmed(partial, truth)
+			partialG := similarity.NewGroup(partial)
+			namd, err := similarity.ComputeGroups(similarity.MetricNAMD, partialG, truthG)
+			if err != nil {
+				return err
+			}
+			ks, err := similarity.ComputeGroups(similarity.MetricKS, partialG, truthG)
 			if err != nil {
 				return err
 			}
@@ -110,7 +119,7 @@ func Fig6(seed uint64) (*Fig6Result, error) {
 				Rule:      rn,
 				Runs:      len(partial),
 				NAMD:      namd,
-				KS:        similarity.KS(partial, truth),
+				KS:        ks,
 			})
 		}
 		outsBy[i] = outs

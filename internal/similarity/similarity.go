@@ -23,6 +23,18 @@ import (
 // assumption: the datasets have the same number of observations").
 var ErrLengthMismatch = errors.New("similarity: NAMD requires equal-length samples")
 
+// errEmptyNAMD is the shared empty-input error of the NAMD variants.
+var errEmptyNAMD = errors.New("similarity: NAMD of empty samples")
+
+// nan is shorthand for the error-path metric value.
+func nan() float64 { return math.NaN() }
+
+// errUnknownMetric is the shared unknown-metric error of Compute and
+// ComputeGroups.
+func errUnknownMetric(m Metric) error {
+	return fmt.Errorf("similarity: unknown metric %q", m)
+}
+
 // NAMD computes the Normalized Absolute Mean Difference exactly as defined
 // in the paper:
 //
@@ -37,7 +49,7 @@ func NAMD(x, y []float64) (float64, error) {
 		return math.NaN(), ErrLengthMismatch
 	}
 	if len(x) == 0 {
-		return math.NaN(), errors.New("similarity: NAMD of empty samples")
+		return math.NaN(), errEmptyNAMD
 	}
 	mx := stats.Mean(x)
 	my := stats.Mean(y)
@@ -68,7 +80,7 @@ func NAMDSorted(x, y []float64) (float64, error) {
 // against a longer ground-truth run (Fig. 6's NAMD panel).
 func NAMDTrimmed(x, y []float64) (float64, error) {
 	if len(x) == 0 || len(y) == 0 {
-		return math.NaN(), errors.New("similarity: NAMD of empty samples")
+		return math.NaN(), errEmptyNAMD
 	}
 	if len(x) == len(y) {
 		return NAMDSorted(x, y)
@@ -77,12 +89,19 @@ func NAMDTrimmed(x, y []float64) (float64, error) {
 	if len(y) < n {
 		n = len(y)
 	}
-	return NAMD(quantileResample(x, n), quantileResample(y, n))
+	// Sort each input once up front; quantileResampleSorted used to hide a
+	// second sort per call.
+	return NAMD(quantileResampleSorted(stats.SortedCopy(x), n), quantileResampleSorted(stats.SortedCopy(y), n))
 }
 
 // quantileResample maps xs to n evenly spaced sample quantiles.
 func quantileResample(xs []float64, n int) []float64 {
-	s := stats.SortedCopy(xs)
+	return quantileResampleSorted(stats.SortedCopy(xs), n)
+}
+
+// quantileResampleSorted maps an ascending-sorted sample to n evenly spaced
+// sample quantiles without re-sorting.
+func quantileResampleSorted(s []float64, n int) []float64 {
 	out := make([]float64, n)
 	if n == 1 {
 		out[0] = stats.QuantileSorted(s, 0.5)
@@ -110,9 +129,13 @@ func Wasserstein1(x, y []float64) float64 {
 	if len(x) == 0 || len(y) == 0 {
 		return math.NaN()
 	}
-	if len(x) == len(y) {
-		a := stats.SortedCopy(x)
-		b := stats.SortedCopy(y)
+	return wasserstein1Sorted(stats.SortedCopy(x), stats.SortedCopy(y))
+}
+
+// wasserstein1Sorted computes the 1-Wasserstein distance of two non-empty
+// ascending-sorted samples without re-sorting.
+func wasserstein1Sorted(a, b []float64) float64 {
+	if len(a) == len(b) {
 		sum := 0.0
 		for i := range a {
 			sum += math.Abs(a[i] - b[i])
@@ -120,8 +143,6 @@ func Wasserstein1(x, y []float64) float64 {
 		return sum / float64(len(a))
 	}
 	// General case: integrate |F1^{-1}(p) - F2^{-1}(p)| over a fine grid.
-	a := stats.SortedCopy(x)
-	b := stats.SortedCopy(y)
 	const grid = 2048
 	sum := 0.0
 	for i := 0; i < grid; i++ {
@@ -257,7 +278,7 @@ func Compute(m Metric, x, y []float64) (float64, error) {
 	case MetricAD:
 		return AndersonDarling(x, y), nil
 	default:
-		return math.NaN(), fmt.Errorf("similarity: unknown metric %q", m)
+		return nan(), errUnknownMetric(m)
 	}
 }
 
@@ -270,23 +291,66 @@ func All() []Metric {
 // given metric: out[i][j] = metric(groups[i], groups[j]). This is the
 // day-to-day comparison structure behind the paper's Fig. 5b heatmaps,
 // usable for any grouping (days, machines, code versions).
+//
+// Each group is preprocessed (sorted, resampled) exactly once via the Group
+// cache, and for the symmetric metrics (all but Anderson-Darling) only the
+// upper triangle is computed, with out[j][i] mirrored from out[i][j].
+// Values are identical to calling Compute on every ordered pair.
 func Matrix(m Metric, groups [][]float64) ([][]float64, error) {
-	n := len(groups)
+	return MatrixParallel(m, groups, 1)
+}
+
+// MatrixParallel is Matrix with the pairwise computations fanned out over at
+// most workers goroutines (workers <= 1 means sequential), following the
+// repo's --parallel convention. The result is independent of workers.
+func MatrixParallel(m Metric, groups [][]float64, workers int) ([][]float64, error) {
+	return MatrixGroups(m, NewGroups(groups), workers)
+}
+
+// MatrixGroups is MatrixParallel over pre-wrapped groups, letting callers
+// that evaluate several metrics on the same grouping (the Fig. 5b NAMD/KS
+// heatmap pair) share one set of sorted views and resample caches.
+func MatrixGroups(m Metric, gs []*Group, workers int) ([][]float64, error) {
+	n := len(gs)
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, n)
-		for j := range out[i] {
-			if i == j {
-				// Exact self-similarity without numerical noise.
-				out[i][j] = selfValue(m)
-				continue
-			}
-			v, err := Compute(m, groups[i], groups[j])
-			if err != nil {
-				return nil, err
-			}
-			out[i][j] = v
+		out[i][i] = selfValue(m) // exact self-similarity without numerical noise
+	}
+	// Prepare each group once, in parallel: every pair below reuses the
+	// sorted views instead of re-sorting per pair.
+	if err := fanPairs(n, workers, func(i int) error {
+		if gs[i].Len() > 0 {
+			gs[i].Sorted()
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sym := symmetric(m)
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+			if !sym {
+				pairs = append(pairs, pair{j, i})
+			}
+		}
+	}
+	if err := fanPairs(len(pairs), workers, func(k int) error {
+		p := pairs[k]
+		v, err := ComputeGroups(m, gs[p.i], gs[p.j])
+		if err != nil {
+			return err
+		}
+		out[p.i][p.j] = v
+		if sym {
+			out[p.j][p.i] = v
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -29,9 +29,43 @@ func BenchmarkKSStatistic1k(b *testing.B) {
 
 func BenchmarkCountModes1k(b *testing.B) {
 	x := benchData(1000)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		CountModes(x)
 	}
+}
+
+// benchBimodal draws a bimodal sample — the shape the Fig. 4 census and the
+// modality stopping rule spend most of their time on.
+func benchBimodal(n int) []float64 {
+	r := rand.New(rand.NewPCG(7, 9))
+	out := make([]float64, n)
+	for i := range out {
+		mu := 10.0
+		if r.Float64() < 0.4 {
+			mu = 14
+		}
+		out[i] = mu + 0.3*r.NormFloat64()
+	}
+	return out
+}
+
+// BenchmarkCountModes10k pits the linear-binned fast path against the exact
+// KDE grid on census-sized samples (Fig. 4 draws 5000-run distributions).
+func BenchmarkCountModes10k(b *testing.B) {
+	x := benchBimodal(10000)
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CountModes(x)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CountModesExact(x)
+		}
+	})
 }
 
 func BenchmarkQuantile1k(b *testing.B) {

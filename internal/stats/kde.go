@@ -90,17 +90,61 @@ func (k *KDE) Grid(m int) (xs, ys []float64) {
 	if m < 2 {
 		m = 2
 	}
-	xs = make([]float64, m)
-	ys = make([]float64, m)
+	return k.GridInto(make([]float64, m), make([]float64, m))
+}
+
+// GridInto is Grid writing into caller-provided buffers (len(xs) must equal
+// len(ys) and be >= 2). Instead of a binary search per grid point it sweeps
+// the sorted data once with a two-pointer sliding window: the grid abscissae
+// are non-decreasing, so both window bounds only ever move right. The window
+// bounds land on exactly the indices sort.SearchFloat64s would return and
+// the per-point summation visits the same elements in the same order, so the
+// densities are bit-identical to per-point Eval. It returns xs, ys.
+func (k *KDE) GridInto(xs, ys []float64) ([]float64, []float64) {
+	m := len(xs)
+	if m != len(ys) || m < 2 {
+		panic("stats: GridInto requires equal-length buffers of at least 2")
+	}
 	if len(k.data) == 0 {
+		for i := range xs {
+			xs[i], ys[i] = 0, 0
+		}
 		return xs, ys
 	}
+	const norm = 0.3989422804014327 // 1/sqrt(2*pi)
+	n := len(k.data)
 	lo := k.data[0] - 3*k.Bandwidth
-	hi := k.data[len(k.data)-1] + 3*k.Bandwidth
+	hi := k.data[n-1] + 3*k.Bandwidth
 	step := (hi - lo) / float64(m-1)
+	inv := 1 / k.Bandwidth
+	nf := float64(n)
+	wLo, wHi := 0, 0
 	for i := range xs {
-		xs[i] = lo + float64(i)*step
-		ys[i] = k.Eval(xs[i])
+		x := lo + float64(i)*step
+		xs[i] = x
+		// Advance to the first index with data >= x-9bw / x+9bw: identical
+		// to the binary searches in Eval because both targets increase with x.
+		xl := x - 9*k.Bandwidth
+		xr := x + 9*k.Bandwidth
+		for wLo < n && k.data[wLo] < xl {
+			wLo++
+		}
+		if wHi < wLo {
+			wHi = wLo
+		}
+		for wHi < n && k.data[wHi] < xr {
+			wHi++
+		}
+		sum := 0.0
+		for _, xi := range k.data[wLo:wHi] {
+			u := (x - xi) * inv
+			if u > 8 || u < -8 {
+				continue
+			}
+			sum += math.Exp(-0.5 * u * u)
+		}
+		// Same expression (and rounding) as Eval's return.
+		ys[i] = sum * norm * inv / nf
 	}
 	return xs, ys
 }
@@ -127,16 +171,43 @@ func (k *KDE) Modes(gridSize int, minProm, minDip float64) []Mode {
 	return findPeaks(xs, ys, minProm, minDip)
 }
 
-// CountModes is a convenience wrapper around Modes with SHARP's default
-// detection parameters.
+// CountModes is a convenience wrapper around mode detection with SHARP's
+// default parameters. It runs on the Analyzer fast path (linear-binned
+// convolution with an exact-grid fallback, see kdefast.go); CountModesExact
+// preserves the direct KDE-grid evaluation for differential testing.
 func CountModes(data []float64) int {
+	return CountModesParams(data, modeMinProm, modeMinDip)
+}
+
+// CountModesParams is CountModes with explicit peak-detection parameters
+// (the classifier's tunable prominence/dip thresholds).
+func CountModesParams(data []float64, minProm, minDip float64) int {
 	if len(data) == 0 {
 		return 0
 	}
 	if Min(data) == Max(data) {
 		return 1
 	}
-	return len(NewKDE(data).Modes(256, 0.15, 0.25))
+	sorted := SortedCopy(data)
+	bw := SilvermanFromStats(len(data), StdDev(data),
+		QuantileSorted(sorted, 0.75)-QuantileSorted(sorted, 0.25))
+	a := getAnalyzer()
+	defer putAnalyzer(a)
+	return a.CountModesSortedParams(sorted, bw, minProm, minDip)
+}
+
+// CountModesExact is the reference mode counter: the direct Gaussian-KDE
+// grid evaluation (no binning). The fast path in CountModes is differential-
+// and property-tested against it; use it when bit-exact densities matter
+// more than speed.
+func CountModesExact(data []float64) int {
+	if len(data) == 0 {
+		return 0
+	}
+	if Min(data) == Max(data) {
+		return 1
+	}
+	return len(NewKDE(data).Modes(modeGridSize, modeMinProm, modeMinDip))
 }
 
 // CountModesSortedBandwidth is CountModes over already ascending-sorted data
@@ -150,7 +221,9 @@ func CountModesSortedBandwidth(sorted []float64, bw float64) int {
 	if sorted[0] == sorted[len(sorted)-1] {
 		return 1
 	}
-	return len(NewKDESorted(sorted, bw).Modes(256, 0.15, 0.25))
+	a := getAnalyzer()
+	defer putAnalyzer(a)
+	return a.CountModesSorted(sorted, bw)
 }
 
 // findPeaks locates prominent local maxima in a sampled curve. A candidate

@@ -1,0 +1,229 @@
+package stats
+
+// Property and equivalence tests for the density-analysis fast path:
+//   - GridInto's two-pointer sweep must be bit-identical to per-point Eval;
+//   - the linear-binned Analyzer must report the same mode counts as the
+//     exact KDE grid (CountModesExact) across randomized distribution shapes;
+//   - countPeaks must agree with findPeaks on arbitrary curves;
+//   - the Analyzer must be allocation-free at steady state.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// gridSample draws one randomized sample of the named shape.
+func gridSample(rng *rand.Rand, shape string, n int) []float64 {
+	xs := make([]float64, n)
+	switch shape {
+	case "unimodal":
+		mu := 50 + 200*rng.Float64()
+		sigma := 0.5 + 5*rng.Float64()
+		for i := range xs {
+			xs[i] = mu + sigma*rng.NormFloat64()
+		}
+	case "bimodal":
+		mu1 := 50 + 100*rng.Float64()
+		mu2 := mu1 * (1.5 + rng.Float64())
+		sigma := 1 + 3*rng.Float64()
+		w := 0.25 + 0.5*rng.Float64()
+		for i := range xs {
+			mu := mu1
+			if rng.Float64() < w {
+				mu = mu2
+			}
+			xs[i] = mu + sigma*rng.NormFloat64()
+		}
+	case "trimodal":
+		base := 40 + 60*rng.Float64()
+		sep := 30 + 40*rng.Float64()
+		sigma := 1 + 2*rng.Float64()
+		for i := range xs {
+			mu := base + float64(rng.IntN(3))*sep
+			xs[i] = mu + sigma*rng.NormFloat64()
+		}
+	case "heavytailed":
+		for i := range xs {
+			// Pareto-like with occasional huge excursions.
+			xs[i] = 20 + 4/math.Pow(1-rng.Float64(), 0.8)
+		}
+	case "uniform":
+		lo := 10 + 50*rng.Float64()
+		span := 5 + 40*rng.Float64()
+		for i := range xs {
+			xs[i] = lo + span*rng.Float64()
+		}
+	case "lognormal":
+		mu := 3 + 2*rng.Float64()
+		sigma := 0.3 + 0.5*rng.Float64()
+		for i := range xs {
+			xs[i] = math.Exp(mu + sigma*rng.NormFloat64())
+		}
+	default:
+		panic("unknown shape " + shape)
+	}
+	return xs
+}
+
+var gridShapes = []string{"unimodal", "bimodal", "trimodal", "heavytailed", "uniform", "lognormal"}
+
+// TestGridIntoMatchesEval asserts the two-pointer sweep is bit-identical to
+// the binary-search Eval at every grid node — the exact-path contract.
+func TestGridIntoMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	for _, shape := range gridShapes {
+		for _, n := range []int{2, 3, 17, 100, 1000} {
+			data := gridSample(rng, shape, n)
+			k := NewKDE(data)
+			xs, ys := k.Grid(256)
+			for i := range xs {
+				if want := k.Eval(xs[i]); ys[i] != want {
+					t.Fatalf("%s/n=%d: grid[%d]=%x != Eval=%x", shape, n, i, ys[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestCountModesFastMatchesExact is the property test: across randomized
+// unimodal, bimodal, trimodal, heavy-tailed, uniform and lognormal samples,
+// the binned fast path must report exactly the mode count of the exact KDE
+// grid.
+func TestCountModesFastMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for _, shape := range gridShapes {
+		for trial := 0; trial < trials; trial++ {
+			n := 30 + rng.IntN(2000)
+			data := gridSample(rng, shape, n)
+			want := CountModesExact(data)
+			if got := CountModes(data); got != want {
+				t.Fatalf("%s/trial=%d/n=%d: fast CountModes=%d exact=%d", shape, trial, n, got, want)
+			}
+			sorted := SortedCopy(data)
+			bw := SilvermanBandwidth(data)
+			if got := CountModesSortedBandwidth(sorted, bw); got != want {
+				t.Fatalf("%s/trial=%d/n=%d: CountModesSortedBandwidth=%d exact=%d", shape, trial, n, got, want)
+			}
+		}
+	}
+}
+
+// TestCountModesDegenerate pins the guard behavior shared by the fast and
+// exact counters.
+func TestCountModesDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		data []float64
+		want int
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3.5}, 1},
+		{"constant", []float64{2, 2, 2, 2, 2}, 1},
+		// Two well-separated points: the Silverman bandwidth is narrow
+		// enough that the KDE shows both spikes.
+		{"two-distinct", []float64{1, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := CountModes(c.data); got != c.want {
+			t.Errorf("%s: CountModes=%d want %d", c.name, got, c.want)
+		}
+		if got := CountModesExact(c.data); got != c.want {
+			t.Errorf("%s: CountModesExact=%d want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCountPeaksMatchesFindPeaks drives the streaming peak counter against
+// the slice-building reference on randomized curves, including plateaus and
+// zero stretches.
+func TestCountPeaksMatchesFindPeaks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 99))
+	xs := make([]float64, 128)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	for trial := 0; trial < 500; trial++ {
+		ys := make([]float64, len(xs))
+		// Mixture of a few random bumps plus quantized noise (quantization
+		// produces exact plateaus).
+		bumps := 1 + rng.IntN(5)
+		for b := 0; b < bumps; b++ {
+			c := rng.Float64() * 128
+			w := 2 + 10*rng.Float64()
+			h := 0.1 + rng.Float64()
+			for i := range ys {
+				d := (float64(i) - c) / w
+				ys[i] += h * math.Exp(-0.5*d*d)
+			}
+		}
+		if trial%3 == 0 {
+			for i := range ys {
+				ys[i] = math.Floor(ys[i]*8) / 8 // force plateaus and zeros
+			}
+		}
+		want := len(findPeaks(xs, ys, modeMinProm, modeMinDip))
+		if got := countPeaks(ys, modeMinProm, modeMinDip); got != want {
+			t.Fatalf("trial %d: countPeaks=%d findPeaks=%d (ys=%v)", trial, got, want, ys)
+		}
+	}
+}
+
+// TestFastGridFallback forces the resolution cap (huge range, tiny
+// bandwidth): FastGridSorted must decline and GridSorted must produce the
+// exact-path densities.
+func TestFastGridFallback(t *testing.T) {
+	// A bandwidth many orders of magnitude below the data range: honoring
+	// binStep <= bw/2 would need far more than fastMaxBins bins.
+	data := make([]float64, 0, 64)
+	for i := 0; i < 32; i++ {
+		data = append(data, float64(i)*1e-6)
+		data = append(data, 1e9+float64(i)*1e-6)
+	}
+	sorted := SortedCopy(data)
+	const bw = 1e-3
+	var a Analyzer
+	if _, _, ok := a.FastGridSorted(sorted, bw, modeGridSize); ok {
+		t.Fatalf("FastGridSorted accepted bw=%g over range 1e9; expected fallback", bw)
+	}
+	gx, gy := a.GridSorted(sorted, bw, modeGridSize)
+	ex, ey := NewKDESorted(sorted, bw).Grid(modeGridSize)
+	for i := range gx {
+		if gx[i] != ex[i] || gy[i] != ey[i] {
+			t.Fatalf("fallback grid differs at %d: (%x,%x) != (%x,%x)", i, gx[i], gy[i], ex[i], ey[i])
+		}
+	}
+}
+
+// TestAnalyzerSteadyStateAllocs asserts the zero-allocation contract of the
+// warm Analyzer: once the grid, bin and stencil buffers exist, repeated mode
+// counts allocate nothing.
+func TestAnalyzerSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	data := gridSample(rng, "bimodal", 800)
+	sorted := SortedCopy(data)
+	bw := SilvermanBandwidth(data)
+	var a Analyzer
+	a.CountModesSorted(sorted, bw) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		if n := a.CountModesSorted(sorted, bw); n < 1 {
+			t.Fatalf("unexpected mode count %d", n)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Analyzer.CountModesSorted allocates %.1f/op; want 0", allocs)
+	}
+	// Bandwidth drift (stencil rebuild without regrowth) must stay
+	// allocation-free too.
+	allocs = testing.AllocsPerRun(100, func() {
+		a.CountModesSorted(sorted, bw*1.01)
+		a.CountModesSorted(sorted, bw)
+	})
+	if allocs != 0 {
+		t.Fatalf("stencil rebuild allocates %.1f/op; want 0", allocs)
+	}
+}

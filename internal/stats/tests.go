@@ -109,6 +109,21 @@ func KSTest(xs, ys []float64) TestResult {
 	return TestResult{Statistic: d, PValue: KolmogorovQ(lambda)}
 }
 
+// KSTestSorted is KSTest for already ascending-sorted samples: it skips the
+// O(n log n) copies, so cached-similarity callers (similarity.Group) pay
+// only the O(n+m) merge walk. The result is identical to KSTest on the same
+// multisets.
+func KSTestSorted(a, b []float64) TestResult {
+	d := KSStatisticSorted(a, b)
+	na, nb := float64(len(a)), float64(len(b))
+	if na == 0 || nb == 0 {
+		return TestResult{Statistic: d, PValue: math.NaN()}
+	}
+	ne := na * nb / (na + nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return TestResult{Statistic: d, PValue: KolmogorovQ(lambda)}
+}
+
 // KSTestOneSample tests xs against a theoretical CDF.
 func KSTestOneSample(xs []float64, cdf func(float64) float64) TestResult {
 	s := SortedCopy(xs)

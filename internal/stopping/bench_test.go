@@ -1,0 +1,54 @@
+package stopping
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// benchStream returns a bimodal observation sequence of length n — the
+// workload class the modality rule exists for.
+func benchStream(n int) []float64 {
+	rng := rand.New(rand.NewPCG(13, 37))
+	xs := make([]float64, n)
+	for i := range xs {
+		mu := 100.0
+		if rng.Float64() < 0.4 {
+			mu = 130
+		}
+		xs[i] = mu + 2*rng.NormFloat64()
+	}
+	return xs
+}
+
+// BenchmarkModalityRuleIncremental measures one full rule lifetime (all Adds
+// until the cap) for the incremental accumulator path versus the recompute
+// reference (full sort-copy + exact KDE grid per check). Both see the same
+// stream and reach the same decision; the delta is the cost of the density
+// analysis engine.
+func BenchmarkModalityRuleIncremental(b *testing.B) {
+	xs := benchStream(1000)
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := NewModalityStability(3, Bounds{})
+			for _, x := range xs {
+				if r.Done() {
+					break
+				}
+				r.Add(x)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := &refModalityStability{base: newBase(Bounds{}), StableChecks: 3}
+			for _, x := range xs {
+				if r.Done() {
+					break
+				}
+				r.Add(x)
+			}
+		}
+	})
+}

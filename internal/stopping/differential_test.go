@@ -185,11 +185,15 @@ func (r *refModalityStability) Name() string {
 	return fmt.Sprintf("modality-stability-%d", r.StableChecks)
 }
 
+// Add preserves the pre-incremental recompute path: a full sort-copy plus
+// exact (unbinned) KDE grid evaluation at every check. The incremental rule
+// runs the linear-binned fast path, so this differential doubles as the
+// fast-vs-exact mode-count equivalence check on stopping-rule workloads.
 func (r *refModalityStability) Add(x float64) {
 	if !r.add(x) {
 		return
 	}
-	modes := stats.CountModes(r.samples)
+	modes := stats.CountModesExact(r.samples)
 	if modes == r.lastModes && modes > 0 {
 		r.streak++
 	} else {

@@ -450,7 +450,7 @@ type ModalityStability struct {
 	StableChecks int
 	lastModes    int
 	streak       int
-	order        stream.OrderStats
+	mod          stream.Modality
 }
 
 // NewModalityStability returns a modality-stability rule; stableChecks <= 0
@@ -467,22 +467,23 @@ func (r *ModalityStability) Name() string {
 	return fmt.Sprintf("modality-stability-%d", r.StableChecks)
 }
 
-// Add implements Rule. Mode counting reuses the incrementally sorted view
-// (no sort-copy per check); the Silverman bandwidth takes its IQR from the
-// same multiset and its standard deviation from the arrival-order prefix so
-// the count matches the recompute path bit for bit. The windowed KDE
-// evaluation then only scans points within kernel support of each grid node.
+// Add implements Rule. Mode counting runs on the incremental modality
+// accumulator: the sorted view is maintained across Adds (no sort-copy per
+// check), the Silverman bandwidth takes its IQR from the same multiset and
+// its standard deviation from the arrival-order prefix so the count matches
+// the recompute path, and the density evaluation reuses the accumulator's
+// grid/bin/stencil buffers — zero allocations per check at steady state.
 func (r *ModalityStability) Add(x float64) {
 	if r.done {
 		return
 	}
 	check := r.add(x)
-	r.order.Add(x)
+	r.mod.Add(x)
 	if !check {
 		return
 	}
-	bw := stats.SilvermanFromStats(len(r.samples), stats.StdDev(r.samples), r.order.IQR())
-	modes := stats.CountModesSortedBandwidth(r.order.Sorted(), bw)
+	bw := stats.SilvermanFromStats(len(r.samples), stats.StdDev(r.samples), r.mod.IQR())
+	modes := r.mod.Count(bw)
 	if modes == r.lastModes && modes > 0 {
 		r.streak++
 	} else {

@@ -1,0 +1,71 @@
+package stopping
+
+// Full-suite differential: the incremental modality rule (linear-binned
+// density fast path) must reproduce the recompute/exact-KDE reference's stop
+// decisions over every benchmark in the perfmodel suite — the actual
+// workloads the experiments run, on every testbed machine. This is the
+// acceptance check for the fast-vs-exact equivalence claim: identical mode
+// counts would not matter if the stop schedules could still diverge.
+
+import (
+	"fmt"
+	"testing"
+
+	"sharp/internal/machine"
+	"sharp/internal/perfmodel"
+)
+
+func TestModalityRuleMatchesExactAcrossSuite(t *testing.T) {
+	const seed = 7
+	machines := machine.Testbed()
+	if testing.Short() {
+		machines = machines[:1]
+	}
+	for _, model := range perfmodel.All() {
+		for _, mach := range machines {
+			if model.CUDA && mach.GPU == nil {
+				continue
+			}
+			for _, day := range []int{1, 3} {
+				gen, err := model.Sampler(mach, day, seed)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", model.Bench, mach.Name, err)
+				}
+				xs := make([]float64, 1200)
+				for i := range xs {
+					xs[i] = gen.Next()
+				}
+				label := fmt.Sprintf("%s/%s/day%d", model.Bench, mach.Name, day)
+				var b Bounds
+				driveLockstep(t, label,
+					NewModalityStability(3, b),
+					&refModalityStability{base: newBase(b), StableChecks: 3}, xs)
+			}
+		}
+	}
+}
+
+// TestMetaRuleMatchesRecomputeAcrossSuite runs the same full-suite
+// differential for the meta-heuristic, whose classifier also rides the fast
+// mode counter.
+func TestMetaRuleMatchesRecomputeAcrossSuite(t *testing.T) {
+	const seed = 12
+	mach := machine.Testbed()[0]
+	for _, model := range perfmodel.All() {
+		if model.CUDA && mach.GPU == nil {
+			continue
+		}
+		gen, err := model.Sampler(mach, 2, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", model.Bench, err)
+		}
+		xs := make([]float64, 1200)
+		for i := range xs {
+			xs[i] = gen.Next()
+		}
+		var b Bounds
+		driveLockstep(t, model.Bench+"/meta",
+			NewMeta(MetaConfig{}, b),
+			&refMeta{base: newBase(b), cfg: MetaConfig{}.withDefaults()}, xs)
+	}
+}
