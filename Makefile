@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-short bench-check experiments fuzz examples clean
+.PHONY: all build test vet race check crash-test bench bench-short bench-check experiments fuzz examples clean
 
 all: build vet test
 
@@ -24,6 +24,15 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) test -shuffle=on ./...
+
+# Durability suite under the race detector: torn-log repair, flush-policy
+# visibility, checkpoint truncation, and the resume-equals-uninterrupted
+# differentials (core replay and CLI end to end). These are the tests that
+# guard against silent data loss; run them before touching the recording or
+# resume paths.
+crash-test:
+	$(GO) test -race -run 'Crash|Torn|Truncate|Flush|OpenAppend|Resume|Interrupt|RowSink|CloseAlways|Checkpoint|Atomic' \
+		./internal/record/ ./internal/core/ ./cmd/sharp/
 
 # One testing.B target per paper table/figure plus ablations and substrate
 # micro-benchmarks. BENCH_baseline.json snapshots the pre-parallel-engine

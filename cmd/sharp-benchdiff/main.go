@@ -26,6 +26,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"sharp/internal/fsx"
 )
 
 // Snapshot is the on-disk schema shared with BENCH_baseline.json.
@@ -197,7 +199,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if err := os.WriteFile(*snapshot, append(data, '\n'), 0o644); err != nil {
+		// Atomic: a crash mid-snapshot must not tear the repo's baseline.
+		if err := fsx.WriteFile(*snapshot, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -9,15 +9,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"sharp/internal/experiments"
+	"sharp/internal/fsx"
 	"sharp/internal/obs"
 )
 
@@ -27,10 +31,16 @@ var metrics *obs.Registry
 func main() {
 	seed := flag.Uint64("seed", 2024, "experiment seed (results are deterministic per seed)")
 	out := flag.String("out", "", "also write each result to <out>/<id>.md")
+	resume := flag.Bool("resume", false, "skip experiments whose <out>/<id>.md already exists (continue an interrupted regeneration)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines fanning each experiment's benchmarks/machines/days (1 = sequential; output is byte-identical at any value)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while regenerating")
 	flag.Parse()
+	// SIGINT/SIGTERM stop the regeneration between experiments; every
+	// completed experiment's file is already atomically in place, so
+	// re-running with --resume picks up exactly where it stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	experiments.SetParallelism(*parallel)
 	if *metricsAddr != "" {
 		srv, err := obs.ServeMetrics(*metricsAddr, obs.NewRegistry())
@@ -52,7 +62,7 @@ func main() {
 	if args[0] == "all" {
 		ids = experiments.IDs()
 	}
-	if err := execute(os.Stdout, ids, *seed, *out); err != nil {
+	if err := execute(ctx, os.Stdout, ids, *seed, *out, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "sharp-experiments:", err)
 		os.Exit(1)
 	}
@@ -68,9 +78,12 @@ func printList(w io.Writer) {
 }
 
 // execute regenerates each experiment, printing results to w and optionally
-// writing per-experiment files under outDir. The first failure is returned
-// after all ids have been attempted.
-func execute(w io.Writer, ids []string, seed uint64, outDir string) error {
+// writing per-experiment files under outDir (atomically: an interrupt or
+// crash never leaves a half-written result file). With resume, experiments
+// whose output file already exists are skipped. The first failure is
+// returned after all ids have been attempted; a cancelled context stops
+// between experiments.
+func execute(ctx context.Context, w io.Writer, ids []string, seed uint64, outDir string, resume bool) error {
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -78,6 +91,16 @@ func execute(w io.Writer, ids []string, seed uint64, outDir string) error {
 	}
 	var firstErr error
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(w, "interrupted; rerun with --resume to continue\n")
+			return err
+		}
+		if resume && outDir != "" {
+			if _, err := os.Stat(filepath.Join(outDir, id+".md")); err == nil {
+				fmt.Fprintf(w, "skip %s: %s/%s.md exists\n", id, outDir, id)
+				continue
+			}
+		}
 		start := time.Now()
 		rep, err := experiments.Run(id, seed)
 		if metrics != nil {
@@ -105,7 +128,7 @@ func execute(w io.Writer, ids []string, seed uint64, outDir string) error {
 			"────────────────────────────────────────────────────────────")
 		if outDir != "" {
 			path := filepath.Join(outDir, id+".md")
-			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			if err := fsx.WriteFile(path, []byte(text), 0o644); err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}

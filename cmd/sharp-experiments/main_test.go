@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ func TestExecuteWritesFiles(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
 	// Fast experiments only; the heavy figures run under the bench harness.
-	err := execute(&buf, []string{"table4", "table5", "fig5c"}, 2024, dir)
+	err := execute(context.Background(), &buf, []string{"table4", "table5", "fig5c"}, 2024, dir, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestExecuteWritesFiles(t *testing.T) {
 
 func TestExecuteUnknownID(t *testing.T) {
 	var buf bytes.Buffer
-	if err := execute(&buf, []string{"nope"}, 1, ""); err == nil {
+	if err := execute(context.Background(), &buf, []string{"nope"}, 1, "", false); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 	if !strings.Contains(buf.String(), "ERROR nope") {
@@ -54,7 +55,7 @@ func TestExecuteUnknownID(t *testing.T) {
 func TestExecuteDeterministic(t *testing.T) {
 	render := func() string {
 		var buf bytes.Buffer
-		if err := execute(&buf, []string{"fig5c"}, 7, ""); err != nil {
+		if err := execute(context.Background(), &buf, []string{"fig5c"}, 7, "", false); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()

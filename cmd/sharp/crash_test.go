@@ -1,0 +1,126 @@
+package main
+
+// End-to-end crash/resume tests through the CLI: a campaign whose log is
+// torn mid-row (kill -9) or checkpointed at a run boundary (SIGINT) must,
+// after `run --resume` with the same flags, produce a CSV byte-identical to
+// the uninterrupted campaign. SHARP_CLOCK freezes timestamps so the
+// comparison covers every column.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharp/internal/record"
+)
+
+func TestResumeReproducesInterruptedCampaign(t *testing.T) {
+	t.Setenv("SHARP_CLOCK", "2026-07-04T12:00:00Z")
+	dir := t.TempDir()
+	fullCSV := filepath.Join(dir, "full.csv")
+	fullMeta := filepath.Join(dir, "full.md")
+	base := []string{"run", "--workload", "srad", "--machine", "machine1",
+		"--rule", "fixed", "--threshold", "40", "--min", "10", "--quiet"}
+
+	// Uninterrupted reference campaign.
+	args := append(append([]string{}, base...), "--csv", fullCSV, "--meta", fullMeta)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(fullCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeta, err := os.ReadFile(fullMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("hard crash leaves a torn log, no checkpoint", func(t *testing.T) {
+		// Simulate kill -9 mid-flush: a prefix of the log ending mid-line.
+		lines := strings.SplitAfter(string(want), "\n")
+		cut := len(lines) / 2
+		torn := strings.Join(lines[:cut], "") + lines[cut][:len(lines[cut])/2]
+		crashCSV := filepath.Join(dir, "crash.csv")
+		if err := os.WriteFile(crashCSV, []byte(torn), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args := append(append([]string{}, base...), "--csv", crashCSV, "--resume")
+		if err := run(context.Background(), args); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(crashCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("resumed log differs from uninterrupted (%d vs %d bytes)", len(got), len(want))
+		}
+	})
+
+	t.Run("graceful interrupt resumes from the metadata checkpoint", func(t *testing.T) {
+		rows, err := record.ReadFile(fullCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := rows[len(rows)-1].Run / 2
+		var prefix []record.Row
+		for _, r := range rows {
+			if r.Run <= k {
+				prefix = append(prefix, r)
+			}
+		}
+		graceCSV := filepath.Join(dir, "grace.csv")
+		if err := record.WriteRowsAtomic(graceCSV, prefix); err != nil {
+			t.Fatal(err)
+		}
+		md, err := record.ParseMetadataFile(fullMeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md.SetCheckpoint(k, len(prefix))
+		graceMeta := filepath.Join(dir, "grace.md")
+		if err := md.WriteFile(graceMeta); err != nil {
+			t.Fatal(err)
+		}
+		args := append(append([]string{}, base...),
+			"--csv", graceCSV, "--meta", graceMeta, "--resume")
+		if err := run(context.Background(), args); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(graceCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("checkpoint-resumed log differs from uninterrupted (%d vs %d bytes)", len(got), len(want))
+		}
+		// The completed campaign's metadata clears the checkpoint and matches
+		// the uninterrupted run's record exactly.
+		gotMeta, err := os.ReadFile(graceMeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := record.ParseMetadataFile(graceMeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := back.Checkpoint(); ok {
+			t.Error("completed resume left a checkpoint in the metadata")
+		}
+		if !bytes.Equal(gotMeta, wantMeta) {
+			t.Errorf("resumed metadata differs from uninterrupted")
+		}
+	})
+
+	t.Run("resume without a csv is rejected", func(t *testing.T) {
+		args := append(append([]string{}, base...), "--resume")
+		if err := run(context.Background(), args); err == nil ||
+			!strings.Contains(err.Error(), "--csv") {
+			t.Fatalf("want --csv requirement error, got %v", err)
+		}
+	})
+}

@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sharp/internal/backend"
@@ -31,6 +33,7 @@ import (
 	"sharp/internal/core"
 	"sharp/internal/duet"
 	"sharp/internal/faas"
+	"sharp/internal/fsx"
 	"sharp/internal/kernels"
 	"sharp/internal/machine"
 	"sharp/internal/microbench"
@@ -48,36 +51,41 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the context instead of killing the process, so
+	// campaigns stop at a run boundary, flush their logs, checkpoint their
+	// metadata, and leave a resumable state behind (sharp run --resume).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sharp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return nil
 	}
 	switch args[0] {
 	case "run":
-		return cmdRun(args[1:])
+		return cmdRun(ctx, args[1:])
 	case "compare":
-		return cmdCompare(args[1:])
+		return cmdCompare(ctx, args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "classify":
 		return cmdClassify(args[1:])
 	case "recreate":
-		return cmdRecreate(args[1:])
+		return cmdRecreate(ctx, args[1:])
 	case "regress":
 		return cmdRegress(args[1:])
 	case "duet":
-		return cmdDuet(args[1:])
+		return cmdDuet(ctx, args[1:])
 	case "sweep":
-		return cmdSweep(args[1:])
+		return cmdSweep(ctx, args[1:])
 	case "days":
-		return cmdDays(args[1:])
+		return cmdDays(ctx, args[1:])
 	case "rules":
 		fmt.Println("Available stopping rules (use with --rule):")
 		for _, name := range stopping.Names() {
@@ -153,6 +161,9 @@ type runFlags struct {
 	chaos         float64
 	outCSV        string
 	outMeta       string
+	resume        bool
+	flushEvery    int
+	fsync         bool
 	quiet         bool
 	trace         string
 	progress      bool
@@ -179,8 +190,11 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.Float64Var(&rf.failureBudget, "failure-budget", 0, "abort past this failed-run fraction (0 = default 0.5, <0 disables)")
 	fs.IntVar(&rf.maxConsecFail, "max-consecutive-failures", 0, "abort after this many consecutive failed runs (0 = default 10, <0 disables)")
 	fs.Float64Var(&rf.chaos, "chaos", 0, "fault-injection rate in [0,1): deterministic errors (60%), timeouts (30%), latency spikes (10%)")
-	fs.StringVar(&rf.outCSV, "csv", "", "write tidy-data CSV log to this path")
+	fs.StringVar(&rf.outCSV, "csv", "", "stream the tidy-data CSV log to this path while the campaign runs")
 	fs.StringVar(&rf.outMeta, "meta", "", "write metadata record to this path")
+	fs.BoolVar(&rf.resume, "resume", false, "continue an interrupted campaign from --csv (and --meta's checkpoint if present); requires the same flags as the original run")
+	fs.IntVar(&rf.flushEvery, "flush-every", 1, "flush the CSV log every N rows (0 = buffer until close)")
+	fs.BoolVar(&rf.fsync, "fsync", false, "fsync the CSV log on every flush (crash-proof, slower)")
 	fs.BoolVar(&rf.quiet, "quiet", false, "suppress the report; print one summary line")
 	fs.StringVar(&rf.trace, "trace", "", "write a JSONL campaign event trace to this path ('-' = stderr)")
 	fs.BoolVar(&rf.progress, "progress", false, "render live campaign progress on stderr")
@@ -196,18 +210,28 @@ func (rf *runFlags) observability() (obs.Tracer, func(), error) {
 	var closers []func()
 	if rf.trace != "" {
 		var w io.Writer = struct{ io.Writer }{os.Stderr} // hide stderr's Close
+		var publish func() error
 		if rf.trace != "-" {
-			f, err := os.Create(rf.trace)
+			// Atomic trace export: events accumulate in a temp file that is
+			// renamed into place on clean shutdown (including SIGINT, which
+			// cancels the context and lets these closers run), so a crash
+			// mid-campaign never leaves a torn trace at the target path.
+			f, err := fsx.Create(rf.trace)
 			if err != nil {
 				return nil, nil, err
 			}
-			w = f
+			w, publish = f, f.Close
 		}
 		jt := obs.NewJSONL(w)
 		tracers = append(tracers, jt)
 		closers = append(closers, func() {
 			if err := obs.Close(jt); err != nil {
 				fmt.Fprintln(os.Stderr, "sharp: trace:", err)
+			}
+			if publish != nil {
+				if err := publish(); err != nil {
+					fmt.Fprintln(os.Stderr, "sharp: trace:", err)
+				}
 			}
 		})
 	}
@@ -336,7 +360,28 @@ func (rf *runFlags) experiment(machineName string) (core.Experiment, error) {
 	}, nil
 }
 
-func cmdRun(args []string) error {
+// newLauncher builds a Launcher, honoring the SHARP_CLOCK environment
+// variable (RFC3339 timestamp or integer Unix seconds): when set, the clock
+// is frozen at that instant, making row timestamps — and therefore whole
+// CSV logs — reproducible across processes. The crash-recovery end-to-end
+// test uses it to prove an interrupted-and-resumed campaign is byte-identical
+// to an uninterrupted one.
+func newLauncher() *core.Launcher {
+	l := core.NewLauncher()
+	if v := os.Getenv("SHARP_CLOCK"); v != "" {
+		if t, err := time.Parse(time.RFC3339, v); err == nil {
+			l.Clock = func() time.Time { return t }
+		} else if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+			t := time.Unix(secs, 0).UTC()
+			l.Clock = func() time.Time { return t }
+		} else {
+			fmt.Fprintf(os.Stderr, "sharp: ignoring unparseable SHARP_CLOCK %q\n", v)
+		}
+	}
+	return l
+}
+
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var rf runFlags
 	rf.register(fs)
@@ -379,37 +424,129 @@ func cmdRun(args []string) error {
 		return err
 	}
 	defer cleanup()
-	launcher := core.NewLauncher()
+	launcher := newLauncher()
 	launcher.Tracer = tracer
-	res, err := launcher.Run(context.Background(), exp)
-	if err != nil && !errors.Is(err, core.ErrFailureBudget) {
-		return err
+
+	var res *core.Result
+	var runErr error
+	if rf.resume {
+		res, runErr = rf.resumeCampaign(ctx, launcher, exp)
+	} else {
+		res, runErr = rf.streamCampaign(ctx, launcher, exp)
 	}
-	// A budget abort still yields a partial result: persist what we have
-	// (failures are data) and report; the abort error is returned at the end.
-	if rf.outCSV != "" {
-		if err := res.SaveCSV(rf.outCSV); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", rf.outCSV, len(res.Rows))
+	// Budget aborts and interrupts still yield a partial result: persist
+	// what we have (failures are data, interrupts are checkpoints) and
+	// report; the error is returned at the end.
+	if runErr != nil && !errors.Is(runErr, core.ErrFailureBudget) && !errors.Is(runErr, core.ErrInterrupted) {
+		return runErr
 	}
 	if rf.outMeta != "" {
-		if err := res.SaveMetadata(rf.outMeta); err != nil {
-			return err
+		md := res.Metadata()
+		if errors.Is(runErr, core.ErrInterrupted) {
+			md.SetCheckpoint(res.Runs, len(res.Rows))
+		}
+		if err := md.WriteFile(rf.outMeta); err != nil {
+			return errors.Join(runErr, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", rf.outMeta)
+	}
+	if errors.Is(runErr, core.ErrInterrupted) && rf.outCSV != "" {
+		fmt.Fprintf(os.Stderr, "interrupted after run %d; continue with the same flags plus --resume\n", res.Runs)
 	}
 	if rf.quiet {
 		sum, _ := res.Summary()
 		fmt.Printf("%s: n=%d mean=%.4g median=%.4g modes=%d (%s)\n",
 			exp.Name, sum.N, sum.Mean, sum.Median, res.Modes(), res.StopReason)
-		return err
+		return runErr
 	}
 	fmt.Print(report.Result(res, report.Options{}))
-	return err
+	return runErr
 }
 
-func cmdCompare(args []string) error {
+// csvOptions is the flush policy the --flush-every/--fsync flags select.
+func (rf *runFlags) csvOptions() record.Options {
+	return record.Options{FlushEvery: rf.flushEvery, Sync: rf.fsync}
+}
+
+// streamCampaign runs the experiment, streaming rows to --csv (when set)
+// through a durable writer as they are produced, so an interrupt or crash
+// preserves every flushed row. The writer is closed (and its tail flushed)
+// before returning, whatever the campaign outcome.
+func (rf *runFlags) streamCampaign(ctx context.Context, launcher *core.Launcher, exp core.Experiment) (*core.Result, error) {
+	var w *record.Writer
+	if rf.outCSV != "" {
+		var err error
+		w, err = record.CreateDurable(rf.outCSV, rf.csvOptions())
+		if err != nil {
+			return nil, err
+		}
+		launcher.Log = w
+	}
+	res, runErr := launcher.Run(ctx, exp)
+	if w != nil {
+		if err := w.Close(); err != nil {
+			return res, errors.Join(runErr, err)
+		}
+		if res != nil {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", rf.outCSV, len(res.Rows))
+		}
+	}
+	return res, runErr
+}
+
+// resumeCampaign continues an interrupted campaign from the --csv log.
+// Recovery first repairs the log: with a checkpoint in --meta (graceful
+// interrupt) the log is truncated to the checkpointed row count — normally
+// a no-op, since the interrupt flushed everything; without one (hard crash)
+// the possibly-incomplete trailing run block and any torn final line are
+// dropped and that run is re-executed. The repaired rows replay through the
+// stopping rule, the deterministic backends fast-forward past them, and the
+// campaign continues exactly where it stopped, appending to the same log.
+func (rf *runFlags) resumeCampaign(ctx context.Context, launcher *core.Launcher, exp core.Experiment) (*core.Result, error) {
+	if rf.outCSV == "" {
+		return nil, fmt.Errorf("run: --resume requires --csv (the log to continue)")
+	}
+	haveCheckpoint := false
+	if rf.outMeta != "" {
+		if md, err := record.ParseMetadataFile(rf.outMeta); err == nil {
+			if ckRun, ckRows, ok := md.Checkpoint(); ok {
+				haveCheckpoint = true
+				if err := record.TruncateRows(rf.outCSV, ckRows); err != nil {
+					return nil, fmt.Errorf("run: resume: %w", err)
+				}
+				fmt.Fprintf(os.Stderr, "resuming from checkpoint: run %d (%d rows)\n", ckRun, ckRows)
+			}
+		}
+	}
+	if !haveCheckpoint {
+		_, dropped, err := record.TruncateTrailingRun(rf.outCSV)
+		if err != nil {
+			return nil, fmt.Errorf("run: resume: %w", err)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "resuming without checkpoint: dropped trailing run %d for re-execution\n", dropped)
+		}
+	}
+	rows, err := record.ReadFile(rf.outCSV)
+	if err != nil {
+		return nil, fmt.Errorf("run: resume: %w", err)
+	}
+	w, _, err := record.OpenAppend(rf.outCSV, rf.csvOptions())
+	if err != nil {
+		return nil, fmt.Errorf("run: resume: %w", err)
+	}
+	launcher.Log = w
+	res, runErr := launcher.Resume(ctx, exp, rows)
+	if err := w.Close(); err != nil {
+		return res, errors.Join(runErr, err)
+	}
+	if res != nil {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d rows, %d replayed)\n", rf.outCSV, len(res.Rows), len(rows))
+	}
+	return res, runErr
+}
+
+func cmdCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	var rf runFlags
 	rf.register(fs)
@@ -431,7 +568,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	resA, err := launcher.Run(context.Background(), expA)
+	resA, err := launcher.Run(ctx, expA)
 	if err != nil {
 		return err
 	}
@@ -439,7 +576,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	resB, err := launcher.Run(context.Background(), expB)
+	resB, err := launcher.Run(ctx, expB)
 	if err != nil {
 		return err
 	}
@@ -522,7 +659,7 @@ func cmdRegress(args []string) error {
 	return nil
 }
 
-func cmdDays(args []string) error {
+func cmdDays(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("days", flag.ExitOnError)
 	var rf runFlags
 	rf.register(fs)
@@ -542,7 +679,7 @@ func cmdDays(args []string) error {
 	groups := make([][]float64, *nDays)
 	labels := make([]string, *nDays)
 	for d := 1; d <= *nDays; d++ {
-		res, err := launcher.Run(context.Background(), core.Experiment{
+		res, err := launcher.Run(ctx, core.Experiment{
 			Name:     fmt.Sprintf("%s-day%d", rf.workload, d),
 			Workload: rf.workload,
 			Backend:  backend.NewSim(m, rf.seed),
@@ -586,7 +723,7 @@ func cmdDays(args []string) error {
 	return nil
 }
 
-func cmdSweep(args []string) error {
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	workloads := fs.String("workloads", "", "comma-separated workloads (required)")
 	machines := fs.String("machines", "machine1,machine3", "comma-separated machines")
@@ -611,7 +748,7 @@ func cmdSweep(args []string) error {
 		}
 		dayList = append(dayList, n)
 	}
-	out, err := sweep.Run(context.Background(), sweep.Design{
+	out, err := sweep.Run(ctx, sweep.Design{
 		Name:      "cli-sweep",
 		Workloads: splitTrim(*workloads),
 		Machines:  splitTrim(*machines),
@@ -664,7 +801,7 @@ func splitTrim(s string) []string {
 	return out
 }
 
-func cmdDuet(args []string) error {
+func cmdDuet(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("duet", flag.ExitOnError)
 	var rf runFlags
 	rf.register(fs)
@@ -680,7 +817,7 @@ func cmdDuet(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := duet.Run(context.Background(), be, duet.Config{
+	res, err := duet.Run(ctx, be, duet.Config{
 		WorkloadA:      rf.workload,
 		WorkloadB:      *workloadB,
 		MaxPairs:       *pairs,
@@ -695,7 +832,7 @@ func cmdDuet(args []string) error {
 	return nil
 }
 
-func cmdRecreate(args []string) error {
+func cmdRecreate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("recreate", flag.ExitOnError)
 	outCSV := fs.String("csv", "", "write the reproduction's CSV log to this path")
 	if err := fs.Parse(args); err != nil {
@@ -716,7 +853,7 @@ func cmdRecreate(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "recreating experiment %q (workload %s, rule %s)\n",
 		exp.Name, exp.Workload, md.Get("rule"))
-	res, err := core.NewLauncher().Run(context.Background(), exp)
+	res, err := core.NewLauncher().Run(ctx, exp)
 	if err != nil {
 		return err
 	}

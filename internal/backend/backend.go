@@ -104,6 +104,39 @@ type RunOrdered interface {
 	SetRunOrdered(on bool)
 }
 
+// RunSkipper is implemented by stream-stateful backends (Sim, Chaos) that
+// can fast-forward their deterministic draw streams without executing runs.
+// Resume uses it: after a crash, the continued campaign must see exactly the
+// draws the uninterrupted campaign would have produced for the remaining
+// runs, so the draws consumed by the already-recorded runs are discarded in
+// the same order the original campaign consumed them.
+type RunSkipper interface {
+	// SkipRuns discards the draws that n measured runs of the workload/day
+	// stream at the given concurrency would consume, advancing the stream
+	// (and the run-ordered synthesis cursor) past them.
+	SkipRuns(workload string, day, conc, n int) error
+}
+
+// SkipRuns fast-forwards the backend's deterministic streams past n measured
+// runs. It calls the outermost RunSkipper in the decorator chain (that layer
+// delegates inward itself: Chaos must interleave its fault draws with the
+// decorated backend's value draws exactly as live execution would — a panic
+// fault consumes no inner draws). It reports whether any layer skipped;
+// false means the backend is stateless per run (InProcess hashes the run
+// index) or remote, where there is nothing to fast-forward.
+func SkipRuns(b Backend, workload string, day, conc, n int) (bool, error) {
+	for {
+		if rs, ok := b.(RunSkipper); ok {
+			return true, rs.SkipRuns(workload, day, conc, n)
+		}
+		u, ok := b.(interface{ Unwrap() Backend })
+		if !ok {
+			return false, nil
+		}
+		b = u.Unwrap()
+	}
+}
+
 // TraceSink is implemented by backends and decorators that emit
 // observability events (Chaos injections, resilience.Wrap retry attempts).
 // The launcher threads its tracer down the decorator chain via SetTracer so

@@ -203,6 +203,39 @@ func (c *Chaos) draw(run, conc int) (panicNow bool, faults []fault) {
 	return p.panicNow, p.faults
 }
 
+// SkipRuns implements RunSkipper for the fault stream, delegating inward
+// per run: each skipped run consumes one fault plan, and — exactly as live
+// execution would — skips the decorated backend's draws only when the plan
+// is not a panic (a panic fires before the inner invocation, so the inner
+// stream never advances for that run). The injected-fault counters are
+// restored afterwards: skipped plans replay history, they are not new
+// faults.
+func (c *Chaos) SkipRuns(workload string, day, conc, n int) error {
+	if conc < 1 {
+		conc = 1
+	}
+	c.mu.Lock()
+	saved := make(map[string]int, len(c.injected))
+	for k, v := range c.injected {
+		saved[k] = v
+	}
+	nonPanic := 0
+	for r := 0; r < n; r++ {
+		if !c.drawOne(conc).panicNow {
+			nonPanic++
+		}
+	}
+	c.injected = saved
+	c.next += n
+	c.mu.Unlock()
+	if nonPanic > 0 {
+		if _, err := SkipRuns(c.inner, workload, day, conc, nonPanic); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Invoke implements Backend: it draws a deterministic fault plan, then
 // perturbs the inner backend's results accordingly. A drawn panic fires
 // before the inner invocation (modelling a crash in the execution layer).

@@ -148,6 +148,31 @@ func (s *simStream) drawRun(run, conc int, runOrdered bool) []map[string]float64
 	return d
 }
 
+// SkipRuns implements RunSkipper: it consumes (and discards) the draws that
+// n measured runs at the given concurrency would take from the workload/day
+// stream, in the same order live sequential execution would, and advances
+// the run-ordered synthesis cursor past them. Resume uses it so the
+// continued campaign's runs draw exactly the values the uninterrupted
+// campaign would have produced.
+func (b *Sim) SkipRuns(workload string, day, conc, n int) error {
+	if conc < 1 {
+		conc = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, err := b.stream(workload, day)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < conc; i++ {
+			s.drawOne()
+		}
+	}
+	s.next += n
+	return nil
+}
+
 // Invoke implements Backend. Phase-decomposed workloads report per-phase
 // metrics alongside exec_time (the Fig. 7 fine-grained path).
 func (b *Sim) Invoke(ctx context.Context, req Request) ([]Invocation, error) {

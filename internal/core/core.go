@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -190,6 +191,16 @@ type Result struct {
 	Started, Finished time.Time
 }
 
+// RowSink receives tidy-data rows as the campaign produces them. Wiring a
+// durable record.Writer here turns the in-memory log into a crash-safe
+// on-disk one: rows reach the file while the campaign runs instead of only
+// at SaveCSV time, so an interrupt or crash loses at most the writer's
+// unflushed tail (§IV-d: record distributions completely). record.Writer
+// implements the interface.
+type RowSink interface {
+	Write(r record.Row) error
+}
+
 // Launcher orchestrates experiments (the centerpiece component of Fig. 2).
 type Launcher struct {
 	// Clock is the time source (tests may override).
@@ -199,7 +210,18 @@ type Launcher struct {
 	// decorator chain (Chaos, resilience.Wrap, FaaS client), so one sink
 	// collects the whole execution stack's event stream.
 	Tracer obs.Tracer
+	// Log streams every recorded row to a sink as it is produced (nil
+	// disables streaming; rows always accumulate in Result.Rows regardless).
+	// A sink write error aborts the campaign: losing the record silently is
+	// the one failure mode the Logger must not have.
+	Log RowSink
 }
+
+// ErrInterrupted marks a campaign stopped by context cancellation (SIGINT,
+// SIGTERM, deadline) at a run boundary. The returned *Result carries every
+// completed run's rows and samples; together with a flushed CSV log and a
+// checkpointed metadata file it is the state Resume continues from.
+var ErrInterrupted = errors.New("core: campaign interrupted")
 
 // NewLauncher returns a Launcher.
 func NewLauncher() *Launcher { return &Launcher{Clock: time.Now} }
@@ -261,6 +283,39 @@ func (l *Launcher) traceRuleEval(rule stopping.Rule) {
 // finite reports whether x is representable in JSON.
 func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
+// logRow records one tidy-data row: always into the in-memory log, and —
+// when a sink is wired — through the streaming sink too. A sink failure is
+// returned (and aborts the campaign): the Logger must never lose data
+// silently.
+func (l *Launcher) logRow(res *Result, row record.Row) error {
+	res.Rows = append(res.Rows, row)
+	if l.Log != nil {
+		if err := l.Log.Write(row); err != nil {
+			return fmt.Errorf("core: row sink: %w", err)
+		}
+	}
+	return nil
+}
+
+// interrupted finalizes a partial result at a run boundary after context
+// cancellation: lastRun runs are fully merged, nothing is half-recorded.
+// The campaign.checkpoint event and the ErrInterrupted-wrapped error tell
+// callers the result is resumable.
+func (l *Launcher) interrupted(e Experiment, res *Result, lastRun int, cause error) (*Result, error) {
+	res.Runs = lastRun
+	res.StopReason = fmt.Sprintf("interrupted after run %d", lastRun)
+	res.Finished = l.Clock()
+	if l.Tracer != nil {
+		l.trace(obs.EventCampaignCheckpoint, map[string]any{
+			"experiment": e.Name,
+			"run":        lastRun,
+			"rows":       len(res.Rows),
+		})
+	}
+	l.traceStop(e, res)
+	return res, fmt.Errorf("%w after run %d: %v", ErrInterrupted, lastRun, cause)
+}
+
 // Run executes the experiment until its stopping rule is satisfied and
 // returns the full Result.
 //
@@ -307,13 +362,21 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 		}
 	}
 	if e.Parallel > 1 {
-		return l.runParallel(ctx, e, res)
+		return l.runParallel(ctx, e, res, 0, 0)
 	}
-	run := 0
-	consecutiveFailed := 0
+	return l.runSequential(ctx, e, res, 0, 0)
+}
+
+// runSequential executes measured runs startRun+1, startRun+2, ... until the
+// rule stops, folding each into res. consecutiveFailed seeds the failure
+// budget's consecutive-failure counter (non-zero when resuming a campaign
+// whose tail runs failed). Context cancellation finalizes res as a
+// resumable partial result (ErrInterrupted) rather than discarding it.
+func (l *Launcher) runSequential(ctx context.Context, e Experiment, res *Result, startRun, consecutiveFailed int) (*Result, error) {
+	run := startRun
 	for !e.Rule.Done() {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return l.interrupted(e, res, run, err)
 		}
 		run++
 		if l.Tracer != nil {
@@ -323,6 +386,11 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 		if err := l.processRun(ctx, e, res, run, invs, invErr, &consecutiveFailed); err != nil {
 			if errors.Is(err, ErrFailureBudget) {
 				return res, err
+			}
+			if ctx.Err() != nil {
+				// The run was cut short by cancellation; it produced no
+				// merged observation, so the checkpoint is the previous run.
+				return l.interrupted(e, res, run-1, ctx.Err())
 			}
 			return nil, err
 		}
@@ -353,17 +421,29 @@ func (l *Launcher) processRun(ctx context.Context, e Experiment, res *Result, ru
 		}
 		// Whole-run failure: record it as data and keep going.
 		res.Errors++
-		res.Rows = append(res.Rows, l.errorRow(e, now, run, backend.Invocation{}, invErr))
+		if err := l.logRow(res, l.errorRow(e, now, run, backend.Invocation{}, invErr)); err != nil {
+			return err
+		}
 	}
 	sum, ok := 0.0, 0
 	for _, inv := range invs {
 		if inv.Err != nil {
 			res.Errors++
-			res.Rows = append(res.Rows, l.errorRow(e, now, run, inv, inv.Err))
+			if err := l.logRow(res, l.errorRow(e, now, run, inv, inv.Err)); err != nil {
+				return err
+			}
 			continue
 		}
-		for metricName, v := range inv.Metrics {
-			res.Rows = append(res.Rows, record.Row{
+		// Deterministic row order: metrics sorted by name, not map order —
+		// byte-identical logs are what make crash recovery and resume
+		// differential-testable.
+		names := make([]string, 0, len(inv.Metrics))
+		for metricName := range inv.Metrics {
+			names = append(names, metricName)
+		}
+		sort.Strings(names)
+		for _, metricName := range names {
+			err := l.logRow(res, record.Row{
 				Timestamp:  now,
 				Experiment: e.Name,
 				Workload:   e.Workload,
@@ -373,11 +453,14 @@ func (l *Launcher) processRun(ctx context.Context, e Experiment, res *Result, ru
 				Run:        run,
 				Instance:   inv.Instance,
 				Metric:     metricName,
-				Value:      v,
+				Value:      inv.Metrics[metricName],
 				Unit:       unitFor(metricName),
 				Status:     record.StatusOK,
 				Attempt:    attempts(inv),
 			})
+			if err != nil {
+				return err
+			}
 		}
 		if v, has := inv.Metrics[e.Metric]; has {
 			sum += v
@@ -498,17 +581,10 @@ func (r *Result) MetricSamples(metric string) []float64 {
 	return out
 }
 
-// SaveCSV writes the tidy-data log to path.
+// SaveCSV writes the tidy-data log to path atomically (temp file + rename):
+// a crash mid-save can never leave a torn log where a previous good one was.
 func (r *Result) SaveCSV(path string) error {
-	w, err := record.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := w.WriteAll(r.Rows); err != nil {
-		w.Close()
-		return err
-	}
-	return w.Close()
+	return record.WriteRowsAtomic(path, r.Rows)
 }
 
 // Metadata builds the experiment's metadata record, sufficient for

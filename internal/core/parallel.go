@@ -43,10 +43,12 @@ import (
 // ruleBounds exposes the guard rails of rules built on stopping's base.
 type ruleBounds interface{ Bounds() stopping.Bounds }
 
-// runParallel executes the measurement loop with e.Parallel workers.
-// Warm-up runs were already executed (sequentially, preserving backend
-// stream order) by Run.
-func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result) (*Result, error) {
+// runParallel executes the measurement loop with e.Parallel workers,
+// starting at run startRun+1 (non-zero when resuming). Warm-up runs were
+// already executed (sequentially, preserving backend stream order) by the
+// caller. consecutiveFailed seeds the failure budget's consecutive-failure
+// counter when resuming.
+func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result, startRun, consecutiveFailed int) (*Result, error) {
 	checkEvery, maxSamples := 10, 1000
 	if rb, ok := e.Rule.(ruleBounds); ok {
 		b := rb.Bounds()
@@ -65,11 +67,10 @@ func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result) (
 		panicked any
 	}
 
-	run := 0
-	consecutiveFailed := 0
+	run := startRun
 	for !e.Rule.Done() {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return l.interrupted(e, res, run, err)
 		}
 		// Batch size: up to the next check boundary (in samples), rounded up
 		// to a multiple of CheckEvery that keeps every worker busy, clamped
@@ -130,7 +131,7 @@ func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result) (
 		// Ordered merge: replay the sequential per-run processing.
 		for i := 0; i < batch && !e.Rule.Done(); i++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return l.interrupted(e, res, run, err)
 			}
 			run++
 			if p := outs[i].panicked; p != nil {
@@ -139,6 +140,9 @@ func (l *Launcher) runParallel(ctx context.Context, e Experiment, res *Result) (
 			if err := l.processRun(ctx, e, res, run, outs[i].invs, outs[i].err, &consecutiveFailed); err != nil {
 				if errors.Is(err, ErrFailureBudget) {
 					return res, err
+				}
+				if ctx.Err() != nil {
+					return l.interrupted(e, res, run-1, ctx.Err())
 				}
 				return nil, err
 			}

@@ -1,0 +1,174 @@
+package core
+
+// Campaign resume: continue an interrupted measurement campaign from its
+// tidy-data log without re-measuring or approximating the completed runs.
+//
+// The mechanism has two halves:
+//
+//  1. State replay. The stopping rules are incremental accumulators (built
+//     on stats/stream), so feeding them the per-run samples reconstructed
+//     from the log rebuilds the exact decision state the interrupted
+//     campaign had — in O(rows), no refitting. The per-run sample is
+//     recomputed precisely the way processRun computed it (plain sum/count
+//     of the primary metric over the run's OK instances, in row order), so
+//     replay is bit-exact, not merely statistically equivalent.
+//
+//  2. Stream fast-forward. SHARP's deterministic backends (Sim, Chaos) draw
+//     from seeded streams in arrival order. A fresh process re-executes the
+//     warm-up runs first (consuming exactly the draws warm-ups consumed
+//     originally), then backend.SkipRuns discards the draws the completed
+//     measured runs consumed. The next Invoke therefore sees the same
+//     stream position an uninterrupted campaign would have had, making
+//     resumed campaigns bit-identical to uninterrupted ones — CSV bytes
+//     included — under the same seed (differential-tested in
+//     resume_test.go, sequential and parallel, with chaos injection).
+//
+// Non-deterministic backends (FaaS, local exec) resume correctly too; they
+// simply continue measuring, without the bit-identity guarantee. The same
+// caveat as the parallel engine applies to retries: resilience.Wrap
+// consumes extra draws at arrival time, so campaigns with retries enabled
+// resume validly but not bit-identically.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sharp/internal/backend"
+	"sharp/internal/obs"
+	"sharp/internal/record"
+)
+
+// Resume continues an interrupted campaign. e must be the same experiment
+// configuration the campaign started with (same workload, backend kind,
+// seed, rule, concurrency); rows is the repaired tidy-data log of the
+// completed runs (see record.OpenAppend / record.TruncateTrailingRun for
+// crash repair). Replayed rows are NOT re-sent to the Launcher's Log sink —
+// they are already durable; only newly measured rows stream out.
+//
+// The returned Result spans the whole campaign: replayed rows and samples
+// plus the newly measured ones.
+func (l *Launcher) Resume(ctx context.Context, e Experiment, rows []record.Row) (*Result, error) {
+	e, err := e.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Experiment: e,
+		RuleName:   e.Rule.Name(),
+		Started:    l.Clock(),
+	}
+	lastRun, consecutiveFailed, err := l.replayRows(e, res, rows)
+	if err != nil {
+		return nil, err
+	}
+	if l.Tracer != nil {
+		backend.SetTracer(e.Backend, l.Tracer)
+		l.trace(obs.EventCampaignResume, map[string]any{
+			"experiment": e.Name,
+			"workload":   e.Workload,
+			"backend":    e.Backend.Name(),
+			"rule":       res.RuleName,
+			"seed":       e.Seed,
+			"from_run":   lastRun,
+			"rows":       len(rows),
+			"samples":    len(res.Samples),
+		})
+	}
+	// Budget parity: if the replayed prefix already exhausted the failure
+	// budget, the original campaign aborted — report the same outcome
+	// instead of measuring past it.
+	if over, why := e.FailureBudget.exceeded(consecutiveFailed, res.FailedRuns, lastRun); over {
+		res.Runs = lastRun
+		res.StopReason = "failure budget exceeded: " + why
+		res.Finished = l.Clock()
+		l.traceStop(e, res)
+		return res, fmt.Errorf("%w after run %d: %s", ErrFailureBudget, lastRun, why)
+	}
+	// Fast-forward the backend stream: warm-ups first (they consumed draws
+	// before run 1 originally), then skip the completed measured runs.
+	for w := 0; w < e.WarmupRuns; w++ {
+		if _, err := e.Backend.Invoke(ctx, l.request(e, -(w+1))); err != nil {
+			if errors.Is(err, backend.ErrUnknownWorkload) || ctx.Err() != nil {
+				return nil, fmt.Errorf("core: resume warmup run %d: %w", w+1, err)
+			}
+		}
+	}
+	if lastRun > 0 {
+		if _, err := backend.SkipRuns(e.Backend, e.Workload, e.Day, e.Concurrency, lastRun); err != nil {
+			return nil, fmt.Errorf("core: resume: fast-forward backend: %w", err)
+		}
+	}
+	if e.Rule.Done() {
+		// The interrupt landed exactly on the stop decision: nothing to do.
+		res.Runs = lastRun
+		res.StopReason = e.Rule.Explain()
+		res.Finished = l.Clock()
+		l.traceStop(e, res)
+		return res, nil
+	}
+	if e.Parallel > 1 {
+		return l.runParallel(ctx, e, res, lastRun, consecutiveFailed)
+	}
+	return l.runSequential(ctx, e, res, lastRun, consecutiveFailed)
+}
+
+// replayRows folds the recorded rows of runs 1..lastRun into res and the
+// stopping rule, reproducing processRun's folding exactly: per-instance
+// error rows count into res.Errors; the run's sample is the plain mean of
+// the primary metric over OK rows in row order; a run with no OK primary
+// rows is a failed run. Returns the last completed run index and the
+// consecutive-failure count at the cut, the two loop variables the
+// continuation needs.
+func (l *Launcher) replayRows(e Experiment, res *Result, rows []record.Row) (lastRun, consecutiveFailed int, err error) {
+	type runAcc struct {
+		sum    float64
+		ok     int
+		anyRow bool
+	}
+	flush := func(run int, acc runAcc) {
+		if !acc.anyRow {
+			return
+		}
+		if acc.ok == 0 {
+			res.FailedRuns++
+			consecutiveFailed++
+			return
+		}
+		consecutiveFailed = 0
+		v := acc.sum / float64(acc.ok)
+		res.Samples = append(res.Samples, v)
+		e.Rule.Add(v)
+	}
+	var acc runAcc
+	cur := 0
+	for i, row := range rows {
+		if row.Experiment != e.Name || row.Workload != e.Workload {
+			return 0, 0, fmt.Errorf("core: resume: row %d belongs to experiment %q workload %q, want %q %q",
+				i+1, row.Experiment, row.Workload, e.Name, e.Workload)
+		}
+		switch {
+		case row.Run == cur:
+			// same run, keep accumulating
+		case row.Run == cur+1:
+			flush(cur, acc)
+			acc = runAcc{}
+			cur = row.Run
+		default:
+			return 0, 0, fmt.Errorf("core: resume: log is not contiguous: row %d jumps from run %d to run %d",
+				i+1, cur, row.Run)
+		}
+		acc.anyRow = true
+		if row.Status == record.StatusError {
+			res.Errors++
+			continue
+		}
+		if row.Metric == e.Metric {
+			acc.sum += row.Value
+			acc.ok++
+		}
+	}
+	flush(cur, acc)
+	res.Rows = append(res.Rows, rows...)
+	return cur, consecutiveFailed, nil
+}

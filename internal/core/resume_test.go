@@ -1,0 +1,286 @@
+package core
+
+// Differential tests for campaign resume: a campaign interrupted at an
+// arbitrary run boundary and resumed with the same configuration must
+// reproduce the uninterrupted campaign exactly — samples, rows, stop
+// decision, and the bytes of the saved CSV — for every stopping rule, in
+// sequential and parallel mode, with and without chaos fault injection.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharp/internal/backend"
+	"sharp/internal/record"
+)
+
+// newFakeLauncherAt returns a launcher whose deterministic clock has already
+// ticked `skip` times. Resuming after k completed runs with skip = k puts
+// the continuation's timestamps exactly where the uninterrupted campaign's
+// would be (its clock had ticked once for Started plus once per run, and
+// Resume's own Started tick replays the original Started tick), so CSV
+// comparison is byte-exact.
+func newFakeLauncherAt(skip int) *Launcher {
+	l := newFakeLauncher()
+	for i := 0; i < skip; i++ {
+		l.Clock()
+	}
+	return l
+}
+
+// rowPrefix returns the rows of runs 1..k.
+func rowPrefix(rows []record.Row, k int) []record.Row {
+	var out []record.Row
+	for _, r := range rows {
+		if r.Run <= k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func readFileT(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	rules := []string{"fixed", "ks", "ci", "mean", "meta"}
+	dir := t.TempDir()
+	for _, ruleName := range rules {
+		for _, parallel := range []int{1, 4} {
+			for _, chaos := range []bool{false, true} {
+				name := fmt.Sprintf("%s-p%d-chaos%v", ruleName, parallel, chaos)
+				t.Run(name, func(t *testing.T) {
+					// Uninterrupted reference campaign.
+					fullPath := filepath.Join(dir, name+"-full.csv")
+					full, _ := runToCSV(t, buildExperiment(t, ruleName, parallel, chaos), fullPath)
+					if full.Runs < 4 {
+						t.Fatalf("campaign too short to cut: %d runs", full.Runs)
+					}
+					// Cut at several points, including run 1 and the
+					// penultimate run.
+					for _, cut := range []int{1, full.Runs / 2, full.Runs - 1} {
+						e := buildExperiment(t, ruleName, parallel, chaos)
+						l := newFakeLauncherAt(cut) // one tick per replayed run
+						res, err := l.Resume(context.Background(), e, rowPrefix(full.Rows, cut))
+						if err != nil && !errors.Is(err, ErrFailureBudget) {
+							t.Fatalf("cut %d: %v", cut, err)
+						}
+						if res.Runs != full.Runs {
+							t.Fatalf("cut %d: runs %d != %d", cut, res.Runs, full.Runs)
+						}
+						if res.StopReason != full.StopReason {
+							t.Errorf("cut %d: stop %q != %q", cut, res.StopReason, full.StopReason)
+						}
+						if len(res.Samples) != len(full.Samples) {
+							t.Fatalf("cut %d: %d samples != %d", cut, len(res.Samples), len(full.Samples))
+						}
+						for i := range res.Samples {
+							if res.Samples[i] != full.Samples[i] {
+								t.Fatalf("cut %d: sample %d: %v != %v", cut, i, res.Samples[i], full.Samples[i])
+							}
+						}
+						resPath := filepath.Join(dir, fmt.Sprintf("%s-cut%d.csv", name, cut))
+						if err := res.SaveCSV(resPath); err != nil {
+							t.Fatal(err)
+						}
+						if got, want := readFileT(t, resPath), readFileT(t, fullPath); got != want {
+							t.Errorf("cut %d: resumed CSV differs from uninterrupted", cut)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// cancelAfter cancels a context once n measured-run invocations have been
+// requested, simulating an operator interrupt mid-campaign.
+type cancelAfter struct {
+	backend.Backend
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (c *cancelAfter) Unwrap() backend.Backend { return c.Backend }
+
+func (c *cancelAfter) Invoke(ctx context.Context, req backend.Request) ([]backend.Invocation, error) {
+	if req.Run >= 1 {
+		c.seen++
+		if c.seen == c.after {
+			c.cancel()
+		}
+	}
+	return c.Backend.Invoke(ctx, req)
+}
+
+func TestInterruptThenResumeEqualsUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	// Reference: uninterrupted.
+	fullPath := filepath.Join(dir, "full.csv")
+	full, _ := runToCSV(t, buildExperiment(t, "ks", 1, false), fullPath)
+
+	// Interrupt during run 7's invocation: the cancelled run produces
+	// nothing, so the checkpoint is run 6.
+	e := buildExperiment(t, "ks", 1, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.Backend = &cancelAfter{Backend: e.Backend, cancel: cancel, after: 7}
+	l := newFakeLauncher()
+	partial, err := l.Run(ctx, e)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if partial == nil || partial.Runs != 6 {
+		t.Fatalf("partial result: runs=%d err=%v", partial.Runs, err)
+	}
+	if !strings.Contains(partial.StopReason, "interrupted after run 6") {
+		t.Errorf("stop reason %q", partial.StopReason)
+	}
+	// The partial rows must be exactly the uninterrupted prefix.
+	want := rowPrefix(full.Rows, 6)
+	if len(partial.Rows) != len(want) {
+		t.Fatalf("partial rows %d != prefix %d", len(partial.Rows), len(want))
+	}
+
+	// Resume from the partial log.
+	e2 := buildExperiment(t, "ks", 1, false)
+	l2 := newFakeLauncherAt(partial.Runs)
+	res, err := l2.Resume(context.Background(), e2, partial.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPath := filepath.Join(dir, "resumed.csv")
+	if err := res.SaveCSV(resPath); err != nil {
+		t.Fatal(err)
+	}
+	if got, wantCSV := readFileT(t, resPath), readFileT(t, fullPath); got != wantCSV {
+		t.Error("resumed CSV differs from uninterrupted")
+	}
+	if res.StopReason != full.StopReason || res.Runs != full.Runs {
+		t.Errorf("resume outcome %d %q != %d %q", res.Runs, res.StopReason, full.Runs, full.StopReason)
+	}
+}
+
+func TestResumeValidatesRows(t *testing.T) {
+	e := buildExperiment(t, "fixed", 1, false)
+	l := newFakeLauncher()
+	full, err := l.Run(context.Background(), buildExperiment(t, "fixed", 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong experiment", func(t *testing.T) {
+		rows := append([]record.Row(nil), full.Rows...)
+		rows[0].Experiment = "someone-else"
+		if _, err := newFakeLauncher().Resume(context.Background(), e, rows); err == nil {
+			t.Error("foreign rows accepted")
+		}
+	})
+	t.Run("non-contiguous runs", func(t *testing.T) {
+		rows := rowPrefix(full.Rows, 3)
+		rows[len(rows)-1].Run = 9
+		if _, err := newFakeLauncher().Resume(context.Background(), e, rows); err == nil {
+			t.Error("gap in run sequence accepted")
+		}
+	})
+	t.Run("empty log resumes from scratch", func(t *testing.T) {
+		e2 := buildExperiment(t, "fixed", 1, false)
+		res, err := newFakeLauncher().Resume(context.Background(), e2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Runs != full.Runs {
+			t.Errorf("runs %d != %d", res.Runs, full.Runs)
+		}
+	})
+}
+
+// failingSink fails after accepting n rows.
+type failingSink struct {
+	n    int
+	rows []record.Row
+}
+
+func (s *failingSink) Write(r record.Row) error {
+	if len(s.rows) >= s.n {
+		return errors.New("disk full")
+	}
+	s.rows = append(s.rows, r)
+	return nil
+}
+
+func TestRowSinkStreamsAndAborts(t *testing.T) {
+	t.Run("sink receives every row", func(t *testing.T) {
+		sink := &failingSink{n: 1 << 20}
+		l := newFakeLauncher()
+		l.Log = sink
+		res, err := l.Run(context.Background(), buildExperiment(t, "fixed", 1, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sink.rows) != len(res.Rows) {
+			t.Fatalf("sink saw %d rows, result has %d", len(sink.rows), len(res.Rows))
+		}
+		for i := range sink.rows {
+			if sink.rows[i] != res.Rows[i] {
+				t.Fatalf("row %d diverges", i)
+			}
+		}
+	})
+	t.Run("sink failure aborts the campaign", func(t *testing.T) {
+		l := newFakeLauncher()
+		l.Log = &failingSink{n: 5}
+		_, err := l.Run(context.Background(), buildExperiment(t, "fixed", 1, false))
+		if err == nil || !strings.Contains(err.Error(), "row sink") {
+			t.Fatalf("want row-sink error, got %v", err)
+		}
+	})
+	t.Run("resume does not replay rows into the sink", func(t *testing.T) {
+		full, err := newFakeLauncher().Run(context.Background(), buildExperiment(t, "fixed", 1, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := full.Runs / 2
+		sink := &failingSink{n: 1 << 20}
+		l := newFakeLauncherAt(cut)
+		l.Log = sink
+		res, err := l.Resume(context.Background(), buildExperiment(t, "fixed", 1, false), rowPrefix(full.Rows, cut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := len(res.Rows) - len(rowPrefix(full.Rows, cut)); len(sink.rows) != want {
+			t.Errorf("sink saw %d rows, want only the %d new ones", len(sink.rows), want)
+		}
+	})
+}
+
+// TestResumeAtStopBoundary resumes a log that already satisfies the rule.
+func TestResumeAtStopBoundary(t *testing.T) {
+	full, err := newFakeLauncher().Run(context.Background(), buildExperiment(t, "fixed", 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := newFakeLauncherAt(full.Runs).Resume(
+		context.Background(), buildExperiment(t, "fixed", 1, false), full.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != full.Runs || res.StopReason != full.StopReason {
+		t.Errorf("boundary resume: %d %q != %d %q", res.Runs, res.StopReason, full.Runs, full.StopReason)
+	}
+	if len(res.Samples) != len(full.Samples) {
+		t.Errorf("samples %d != %d", len(res.Samples), len(full.Samples))
+	}
+}

@@ -80,6 +80,15 @@ const (
 	// EventFaasInvoke marks one FaaS platform dispatch
 	// (worker, workload, status, cold).
 	EventFaasInvoke = "faas.invoke"
+	// EventCampaignCheckpoint marks a campaign interrupted at a run
+	// boundary with its durable state flushed
+	// (experiment, runs, rows, samples) — the handoff point --resume
+	// continues from.
+	EventCampaignCheckpoint = "campaign.checkpoint"
+	// EventCampaignResume marks a campaign continuing from a recorded log
+	// (experiment, resumed_runs, resumed_rows, resumed_samples, errors,
+	// failed_runs).
+	EventCampaignResume = "campaign.resume"
 )
 
 // Tracer consumes campaign events. Implementations must be safe for

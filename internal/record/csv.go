@@ -6,13 +6,18 @@
 package record
 
 import (
+	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
+
+	"sharp/internal/fsx"
 )
 
 // Row is one tidy-data observation: exactly one metric value for one
@@ -154,12 +159,30 @@ func parseRow(fields []string) (Row, error) {
 	return row, nil
 }
 
-// Writer streams tidy rows to CSV.
+// Options tunes a Writer's durability/latency trade-off (§IV-d: a crash
+// must not silently lose the recorded distribution). The zero value is the
+// legacy policy: buffer everything, flush only on Close.
+type Options struct {
+	// FlushEvery flushes the CSV buffer to the OS after every N rows
+	// (1 = per row). 0 keeps the legacy flush-on-Close-only policy.
+	FlushEvery int
+	// Sync additionally fsyncs the underlying file on every flush, making
+	// each flushed row durable against power loss (not just process death).
+	// It has no effect on writers not backed by an *os.File.
+	Sync bool
+}
+
+// Writer streams tidy rows to CSV, optionally flushing (and fsyncing) at a
+// configurable row cadence so a crash loses at most the last unflushed rows
+// instead of the whole buffered log.
 type Writer struct {
 	w           *csv.Writer
 	c           io.Closer
+	f           *os.File // non-nil when file-backed (enables Sync)
+	opts        Options
 	wroteHeader bool
 	rows        int
+	unflushed   int
 }
 
 // NewWriter wraps an io.Writer; the CSV header is emitted with the first
@@ -167,13 +190,18 @@ type Writer struct {
 func NewWriter(w io.Writer) *Writer { return &Writer{w: csv.NewWriter(w)} }
 
 // Create opens path for writing (truncating) and returns a Writer that
-// closes the file on Close.
-func Create(path string) (*Writer, error) {
+// closes the file on Close, with the legacy buffer-until-Close policy.
+func Create(path string) (*Writer, error) { return CreateDurable(path, Options{}) }
+
+// CreateDurable opens path for writing (truncating) with an explicit flush
+// policy, so rows reach the OS (and optionally the disk) while the campaign
+// is still running.
+func CreateDurable(path string, o Options) (*Writer, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{w: csv.NewWriter(f), c: f}, nil
+	return &Writer{w: csv.NewWriter(f), c: f, f: f, opts: o}, nil
 }
 
 // Write appends one row. Rows counts only successful writes: the counter is
@@ -190,6 +218,10 @@ func (w *Writer) Write(r Row) error {
 		return err
 	}
 	w.rows++
+	w.unflushed++
+	if w.opts.FlushEvery > 0 && w.unflushed >= w.opts.FlushEvery {
+		return w.Flush()
+	}
 	return nil
 }
 
@@ -203,66 +235,375 @@ func (w *Writer) WriteAll(rows []Row) error {
 	return nil
 }
 
-// Rows returns the number of data rows written.
+// Rows returns the number of data rows in the log: rows written through this
+// Writer plus, for writers from OpenAppend, the valid rows already on disk.
 func (w *Writer) Rows() int { return w.rows }
 
-// Close flushes and closes the underlying file if any.
-func (w *Writer) Close() error {
-	if !w.wroteHeader { // ensure even empty logs have a header
-		if err := w.w.Write(Header); err != nil {
-			return err
-		}
-		w.wroteHeader = true
-	}
+// Flush pushes buffered rows to the underlying writer and, when the Sync
+// option is set on a file-backed writer, fsyncs them to stable storage. It
+// is called automatically per the FlushEvery policy and may be called
+// explicitly at checkpoints.
+func (w *Writer) Flush() error {
 	w.w.Flush()
 	if err := w.w.Error(); err != nil {
 		return err
 	}
+	w.unflushed = 0
+	if w.opts.Sync && w.f != nil {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file if any. The file is closed
+// unconditionally — a flush error must not leak the descriptor — and flush
+// and close errors are joined.
+func (w *Writer) Close() error {
+	var err error
+	if !w.wroteHeader { // ensure even empty logs have a header
+		err = w.w.Write(Header)
+		w.wroteHeader = true
+	}
+	if err == nil {
+		err = w.Flush()
+	}
 	if w.c != nil {
-		return w.c.Close()
+		err = errors.Join(err, w.c.Close())
+	}
+	return err
+}
+
+// validateHeader checks a parsed header record against Header, accepting
+// the legacy pre-resilience prefix.
+func validateHeader(rec []string) error {
+	if len(rec) != len(Header) && len(rec) != legacyHeaderLen {
+		return fmt.Errorf("record: unexpected header %v", rec)
+	}
+	for i, col := range rec {
+		if Header[i] != col {
+			return fmt.Errorf("record: unexpected header %v", rec)
+		}
 	}
 	return nil
 }
 
 // Read parses tidy rows from r; the first record must be the Header (the
 // legacy pre-resilience header, lacking the status/attempt/error columns,
-// is also accepted).
+// is also accepted). Records are streamed with a reused field buffer rather
+// than materialized via ReadAll, so reading a multi-million-row log costs
+// one Row slice, not a second [][]string copy of the whole file.
 func Read(r io.Reader) ([]Row, error) {
+	return readInto(r, nil)
+}
+
+// readInto streams rows from r, appending to dst (which may carry
+// preallocated capacity).
+func readInto(r io.Reader, dst []Row) ([]Row, error) {
 	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
+	cr.ReuseRecord = true // parseRow copies what it keeps
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("record: missing header")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("record: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("record: missing header")
+	if err := validateHeader(header); err != nil {
+		return nil, err
 	}
-	if len(records[0]) != len(Header) && len(records[0]) != legacyHeaderLen {
-		return nil, fmt.Errorf("record: unexpected header %v", records[0])
-	}
-	for i, col := range records[0] {
-		if Header[i] != col {
-			return nil, fmt.Errorf("record: unexpected header %v", records[0])
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return dst, nil
 		}
-	}
-	rows := make([]Row, 0, len(records)-1)
-	for _, rec := range records[1:] {
+		if err != nil {
+			return nil, fmt.Errorf("record: %w", err)
+		}
 		row, err := parseRow(rec)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, row)
+		dst = append(dst, row)
 	}
-	return rows, nil
 }
 
-// ReadFile parses a CSV log file.
+// ReadFile parses a CSV log file. The row slice is preallocated from the
+// file size (tidy rows are ~100 bytes), so resuming a large campaign does
+// not grow-and-copy its way through millions of appends.
 func ReadFile(path string) ([]Row, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	var dst []Row
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		const approxRowBytes = 100
+		dst = make([]Row, 0, st.Size()/approxRowBytes+1)
+	}
+	return readInto(bufio.NewReaderSize(f, 1<<16), dst)
+}
+
+// WriteRowsAtomic writes a complete tidy-data log to path atomically: the
+// CSV is rendered to a temp file in path's directory and renamed into place
+// on success, so a crash mid-write never leaves a torn log where a complete
+// one (or nothing) should be. The bytes are identical to Create+WriteAll.
+func WriteRowsAtomic(path string, rows []Row) error {
+	f, err := fsx.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		w.Close()
+		f.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil { // flush the csv buffer into the temp file
+		f.Abort()
+		return err
+	}
+	return f.Close() // sync + atomic rename into place
+}
+
+// scanResult describes the on-disk state of a log examined by scanLog.
+type scanResult struct {
+	// rows is the number of complete, parseable data rows.
+	rows int
+	// end is the byte offset just past the last complete row (or the
+	// header); everything after it is a torn tail from an interrupted write.
+	end int64
+	// torn reports whether bytes past end were found.
+	torn bool
+	// lastRun is the run index of the final complete row (0 when empty).
+	lastRun int
+	// runStart is the byte offset where the rows of lastRun's run index
+	// begin — the truncation point that drops the final (possibly
+	// incomplete) run.
+	runStart int64
+	// runStartRows is the row count up to runStart.
+	runStartRows int
+}
+
+// scanLog streams a log file, validating the header and every row, and
+// locates the crash-consistent truncation points. A partial trailing line
+// (no terminating newline, or an unparsable final line — the signature of a
+// process killed mid-flush) is reported as a torn tail; an unparsable line
+// in the interior is a hard corruption error. The scan is line-based, which
+// is sound for SHARP logs: the Writer never emits a field containing a raw
+// newline (error messages are sanitized before logging).
+func scanLog(r io.Reader) (scanResult, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var res scanResult
+	var off int64
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if line == "" && err == io.EOF {
+			return res, nil
+		}
+		if err != nil && err != io.EOF {
+			return res, fmt.Errorf("record: %w", err)
+		}
+		complete := strings.HasSuffix(line, "\n")
+		start := off
+		off += int64(len(line))
+		lineNo++
+		if lineNo == 1 {
+			if !complete {
+				// A torn header means no complete row survived; there is
+				// nothing to continue from.
+				return res, fmt.Errorf("record: missing header")
+			}
+			rec, perr := parseLine(line)
+			if perr != nil || validateHeader(rec) != nil {
+				return res, fmt.Errorf("record: unexpected header %v", strings.TrimSuffix(line, "\n"))
+			}
+			res.end = off
+			res.runStart = off
+			continue
+		}
+		row, perr := func() (Row, error) {
+			rec, perr := parseLine(line)
+			if perr != nil {
+				return Row{}, perr
+			}
+			return parseRow(rec)
+		}()
+		if perr != nil || !complete {
+			if err == io.EOF {
+				// Torn tail: the final line is incomplete or unparsable —
+				// exactly what a crash mid-write leaves behind.
+				res.torn = true
+				return res, nil
+			}
+			if perr == nil {
+				perr = errors.New("incomplete line")
+			}
+			return res, fmt.Errorf("record: corrupt row at line %d: %v", lineNo, perr)
+		}
+		if row.Run != res.lastRun {
+			res.lastRun = row.Run
+			res.runStart = start
+			res.runStartRows = res.rows
+		}
+		res.rows++
+		res.end = off
+		if err == io.EOF {
+			return res, nil
+		}
+	}
+}
+
+// parseLine parses a single CSV line into fields.
+func parseLine(line string) ([]string, error) {
+	cr := csv.NewReader(strings.NewReader(line))
+	rec, err := cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	// A line with trailing garbage after a closing quote etc. yields a
+	// second record; reject it.
+	if _, err := cr.Read(); err != io.EOF {
+		return nil, errors.New("trailing data")
+	}
+	return rec, nil
+}
+
+// ScanFile examines a log file without modifying it, returning the number
+// of complete rows, the run index of the last complete row, and whether a
+// torn tail (crash signature) is present.
+func ScanFile(path string) (rows, lastRun int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	res, err := scanLog(f)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return res.rows, res.lastRun, res.torn, nil
+}
+
+// OpenAppend opens an existing log for continuation: it validates that the
+// file starts with the current Header, truncates any torn trailing line
+// left by a crash, positions the writer at the end, and returns the number
+// of complete rows already on disk. Appending to a legacy pre-resilience
+// log is refused (its rows have a different column count).
+func OpenAppend(path string, o Options) (w *Writer, rows int, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := scanLog(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	// Re-check the header width: scanLog accepts the legacy prefix for
+	// reading, but appending 14-column rows under an 11-column header would
+	// produce a log no reader accepts.
+	if err := checkAppendHeader(f); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if res.torn {
+		if err := f.Truncate(res.end); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("record: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(res.end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return &Writer{
+		w: csv.NewWriter(f), c: f, f: f, opts: o,
+		wroteHeader: true, rows: res.rows,
+	}, res.rows, nil
+}
+
+// checkAppendHeader verifies the file's header has the current column count
+// (seeking from the start; the caller restores the offset afterwards).
+func checkAppendHeader(f *os.File) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReader(f)
+	line, err := br.ReadString('\n')
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("record: %w", err)
+	}
+	rec, perr := parseLine(line)
+	if perr != nil {
+		return fmt.Errorf("record: unexpected header %v", strings.TrimSuffix(line, "\n"))
+	}
+	if len(rec) != len(Header) {
+		return fmt.Errorf("record: cannot append to legacy %d-column log (current header has %d columns)", len(rec), len(Header))
+	}
+	return nil
+}
+
+// TruncateTrailingRun truncates the log at path so that the final run's
+// rows — which may be incomplete if the process died mid-run — are removed
+// along with any torn trailing line. It returns the remaining row count and
+// the run index that was dropped (0 if the log had no data rows). This is
+// the hard-crash recovery primitive: without a checkpoint marker there is
+// no way to know whether the last run's row block is complete, so resume
+// re-executes it from its backend draws instead.
+func TruncateTrailingRun(path string) (rows, droppedRun int, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	res, err := scanLog(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	if res.lastRun == 0 {
+		if res.torn {
+			if err := f.Truncate(res.end); err != nil {
+				return 0, 0, err
+			}
+		}
+		return res.rows, 0, nil
+	}
+	if err := f.Truncate(res.runStart); err != nil {
+		return 0, 0, err
+	}
+	return res.runStartRows, res.lastRun, nil
+}
+
+// TruncateRows truncates the log at path to exactly its first n complete
+// rows (plus header). It is used when a checkpoint records how many rows
+// were durably part of the campaign: anything past them is discarded before
+// the campaign continues. n larger than the available rows is an error.
+func TruncateRows(path string, n int) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	rows := -1 // header is line 0
+	for rows < n {
+		line, err := br.ReadString('\n')
+		if line == "" && err == io.EOF {
+			return fmt.Errorf("record: truncate to %d rows: only %d available", n, rows)
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("record: %w", err)
+		}
+		if !strings.HasSuffix(line, "\n") {
+			return fmt.Errorf("record: truncate to %d rows: only %d available", n, rows)
+		}
+		off += int64(len(line))
+		rows++
+	}
+	return f.Truncate(off)
 }
 
 // Filter returns the rows matching all non-zero criteria of the selector.

@@ -29,7 +29,7 @@ func (w *failWriter) Write(p []byte) (int, error) {
 func TestRowsCountsOnlySuccessfulWrites(t *testing.T) {
 	w := NewWriter(&failWriter{okBytes: 0})
 	row := Row{
-		Timestamp: time.Unix(0, 0).UTC(),
+		Timestamp:  time.Unix(0, 0).UTC(),
 		Experiment: "e", Workload: "w", Backend: "sim", Machine: "machine1",
 		Day: 1, Run: 1, Instance: 1,
 		Metric: MetricError, Value: 1, Unit: "count",

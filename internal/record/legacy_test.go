@@ -34,7 +34,7 @@ func TestNewColumnsRoundTrip(t *testing.T) {
 	var sb strings.Builder
 	w := NewWriter(&sb)
 	in := Row{
-		Timestamp: time.Date(2024, 1, 2, 3, 4, 5, 0, time.UTC),
+		Timestamp:  time.Date(2024, 1, 2, 3, 4, 5, 0, time.UTC),
 		Experiment: "exp", Workload: "w", Backend: "sim", Machine: "m1",
 		Day: 1, Run: 2, Instance: 0,
 		Metric: MetricError, Value: 1, Unit: "",

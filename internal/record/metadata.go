@@ -6,9 +6,11 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"sharp/internal/fsx"
 	"sharp/internal/sysinfo"
 )
 
@@ -95,17 +97,47 @@ func (m *Metadata) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// WriteFile writes the metadata file at path.
+// WriteFile writes the metadata file at path atomically (temp file +
+// rename): an interrupted write leaves the previous metadata intact instead
+// of a torn, unparsable record.
 func (m *Metadata) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return fsx.WriteTo(path, 0o644, func(w io.Writer) error {
+		_, err := m.WriteTo(w)
 		return err
+	})
+}
+
+// Checkpoint parameter keys. A checkpoint line marks a cleanly interrupted
+// campaign: checkpoint_run is the last fully recorded run index and
+// checkpoint_rows the number of CSV rows belonging to it, so resume can
+// trust the log up to exactly that row and continue at the next run.
+const (
+	ParamCheckpointRun  = "checkpoint_run"
+	ParamCheckpointRows = "checkpoint_rows"
+)
+
+// SetCheckpoint records the interrupt checkpoint (last completed run and
+// its cumulative row count) in the metadata parameters.
+func (m *Metadata) SetCheckpoint(run, rows int) {
+	m.Set(ParamCheckpointRun, run)
+	m.Set(ParamCheckpointRows, rows)
+}
+
+// ClearCheckpoint removes the checkpoint marker (set again only if the
+// resumed campaign is itself interrupted).
+func (m *Metadata) ClearCheckpoint() {
+	delete(m.Params, ParamCheckpointRun)
+	delete(m.Params, ParamCheckpointRows)
+}
+
+// Checkpoint returns the interrupt checkpoint, if one is recorded.
+func (m *Metadata) Checkpoint() (run, rows int, ok bool) {
+	r, err1 := strconv.Atoi(m.Get(ParamCheckpointRun))
+	n, err2 := strconv.Atoi(m.Get(ParamCheckpointRows))
+	if err1 != nil || err2 != nil || r < 0 || n < 0 {
+		return 0, 0, false
 	}
-	if _, err := m.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return r, n, true
 }
 
 // ParseMetadata reads a metadata Markdown file back into a Metadata.

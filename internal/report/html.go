@@ -3,9 +3,10 @@ package report
 import (
 	"fmt"
 	"html"
-	"os"
 	"regexp"
 	"strings"
+
+	"sharp/internal/fsx"
 )
 
 // The paper's Reporter exports to PDF, DOCX, LaTeX, HTML, and PPTX via the
@@ -211,7 +212,8 @@ func replacePairs(s, delim, open, close string) string {
 	return b.String()
 }
 
-// WriteHTMLFile exports a Markdown report as a standalone HTML file.
+// WriteHTMLFile exports a Markdown report as a standalone HTML file
+// (atomically: temp file + rename).
 func WriteHTMLFile(path, title, markdown string) error {
-	return os.WriteFile(path, []byte(ToHTML(title, markdown)), 0o644)
+	return fsx.WriteFile(path, []byte(ToHTML(title, markdown)), 0o644)
 }

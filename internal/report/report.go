@@ -9,10 +9,10 @@ package report
 import (
 	"fmt"
 	"math/rand/v2"
-	"os"
 	"strings"
 
 	"sharp/internal/core"
+	"sharp/internal/fsx"
 	"sharp/internal/stats"
 	"sharp/internal/textplot"
 )
@@ -178,9 +178,10 @@ func truncate(s string, n int) string {
 	return s[:n]
 }
 
-// WriteFile writes a rendered report to path.
+// WriteFile writes a rendered report to path atomically (temp file +
+// rename), so an interrupted export never leaves a truncated report.
 func WriteFile(path, content string) error {
-	return os.WriteFile(path, []byte(content), 0o644)
+	return fsx.WriteFile(path, []byte(content), 0o644)
 }
 
 // Suite renders an overview of multiple results: a summary table plus

@@ -208,17 +208,10 @@ func (o *Outcome) Rows() []record.Row {
 	return rows
 }
 
-// SaveCSV writes the combined tidy log.
+// SaveCSV writes the combined tidy log atomically (temp file + rename):
+// an interrupted save never leaves a torn log at path.
 func (o *Outcome) SaveCSV(path string) error {
-	w, err := record.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := w.WriteAll(o.Rows()); err != nil {
-		w.Close()
-		return err
-	}
-	return w.Close()
+	return record.WriteRowsAtomic(path, o.Rows())
 }
 
 // FactorEffect summarizes the response per level of one factor, pooling
