@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check crash-test bench bench-short bench-check experiments fuzz examples clean
+.PHONY: all build test vet race check crash-test soak bench bench-short bench-check experiments fuzz examples clean
 
 all: build vet test
 
@@ -33,6 +33,18 @@ check:
 crash-test:
 	$(GO) test -race -run 'Crash|Torn|Truncate|Flush|OpenAppend|Resume|Interrupt|RowSink|CloseAlways|Checkpoint|Atomic' \
 		./internal/record/ ./internal/core/ ./cmd/sharp/
+
+# Campaign-service chaos soak under the race detector: multi-tenant
+# campaigns sharded across a worker fleet while workers are randomly
+# murdered and respawned (seeded via SHARP_SOAK_SEED for reproducibility),
+# plus the worker-death / coordinator-crash / drain differentials. Every
+# campaign must finish byte-identical to its sequential reference. The
+# timeout is a hard ceiling: a scheduling deadlock fails fast instead of
+# hanging the build.
+soak:
+	$(GO) test -race -timeout 300s -count=1 \
+		-run 'TestServiceSoak|TestWorkerDeathReassignsExactly|TestCoordinatorCrashRestart|TestDrainCheckpointsAndResumes' \
+		./internal/service/
 
 # One testing.B target per paper table/figure plus ablations and substrate
 # micro-benchmarks. BENCH_baseline.json snapshots the pre-parallel-engine

@@ -43,7 +43,7 @@ func main() {
 	defer stop()
 	experiments.SetParallelism(*parallel)
 	if *metricsAddr != "" {
-		srv, err := obs.ServeMetrics(*metricsAddr, obs.NewRegistry())
+		srv, err := obs.ServeMetrics(ctx, *metricsAddr, obs.NewRegistry())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sharp-experiments:", err)
 			os.Exit(1)

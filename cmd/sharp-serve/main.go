@@ -1,0 +1,125 @@
+// Command sharp-serve runs SHARP's fault-tolerant campaign coordinator: an
+// HTTP service that accepts campaign submissions from multiple tenants,
+// shards their measured runs across leased workers, and survives worker
+// death, admission pressure, and its own restarts with byte-identical
+// result CSVs (see internal/service and DESIGN.md §11).
+//
+//	sharp-serve -addr :8099 -data ./campaigns -workers 4
+//
+// SIGINT/SIGTERM triggers a graceful drain: no new campaigns or leases,
+// in-flight batches land, remaining campaigns checkpoint; restarting
+// sharp-serve over the same -data directory resumes them bit-identically.
+//
+// The SHARP_CLOCK environment variable (RFC3339 or Unix seconds) freezes
+// row timestamps, making service CSVs reproducible across restarts — the
+// e2e crash tests depend on it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"sharp/internal/obs"
+	"sharp/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sharp-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("sharp-serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8099", "HTTP listen address")
+	data := fs.String("data", "sharp-campaigns", "journal directory (specs, row logs, metadata)")
+	workers := fs.Int("workers", 2, "in-process workers to start (0 = external workers only)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "lease lifetime without a heartbeat")
+	batch := fs.Int("batch", 4, "max runs per lease")
+	maxRunning := fs.Int("max-running", 4, "campaigns executing concurrently")
+	maxTenant := fs.Int("max-tenant", 4, "active campaigns allowed per tenant")
+	drainGrace := fs.Duration("drain-grace", 5*time.Second, "how long drain waits for in-flight leases")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	cfg := service.Config{
+		DataDir:      *data,
+		Clock:        clockFromEnv(),
+		LeaseTTL:     *leaseTTL,
+		BatchSize:    *batch,
+		MaxRunning:   *maxRunning,
+		MaxPerTenant: *maxTenant,
+		DrainGrace:   *drainGrace,
+		Tracer:       obs.NewMetricsSink(reg),
+		Registry:     reg,
+	}
+	coord, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for i := 0; i < *workers; i++ {
+		w := &service.Worker{ID: fmt.Sprintf("w%d", i+1), API: coord, Poll: 50 * time.Millisecond}
+		go w.Run(ctx)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.Handler(coord)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	fmt.Fprintf(os.Stderr, "sharp-serve: listening on %s, journal in %s\n", lis.Addr(), *data)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "sharp-serve: draining...")
+		if err := coord.Drain(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "sharp-serve: drain:", err)
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		fmt.Fprintln(os.Stderr, "sharp-serve: drained; restart with the same -data to resume")
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// clockFromEnv honors SHARP_CLOCK (RFC3339 or Unix seconds): a frozen row
+// clock makes CSVs byte-comparable across service restarts.
+func clockFromEnv() func() time.Time {
+	v := os.Getenv("SHARP_CLOCK")
+	if v == "" {
+		return nil
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return func() time.Time { return t }
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		t := time.Unix(secs, 0).UTC()
+		return func() time.Time { return t }
+	}
+	fmt.Fprintf(os.Stderr, "sharp-serve: ignoring unparseable SHARP_CLOCK %q\n", v)
+	return nil
+}

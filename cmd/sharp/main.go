@@ -144,6 +144,7 @@ type runFlags struct {
 	backendName   string
 	machineName   string
 	faasURL       string
+	invokeTimeout time.Duration
 	rule          string
 	threshold     float64
 	maxRuns       int
@@ -175,6 +176,7 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&rf.backendName, "backend", "sim", "backend: sim | kernel | faas")
 	fs.StringVar(&rf.machineName, "machine", "machine1", "simulated machine (sim backend)")
 	fs.StringVar(&rf.faasURL, "url", "http://127.0.0.1:8080", "FaaS platform URL (faas backend)")
+	fs.DurationVar(&rf.invokeTimeout, "invoke-timeout", 0, "faas backend: per-invoke deadline when neither --timeout nor the context sets one (0 = 30s default, <0 = none)")
 	fs.StringVar(&rf.rule, "rule", "meta", "stopping rule (see 'sharp rules')")
 	fs.Float64Var(&rf.threshold, "threshold", 0, "rule threshold (0 = rule default)")
 	fs.IntVar(&rf.maxRuns, "max", 1000, "maximum runs")
@@ -203,9 +205,11 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 
 // observability assembles the campaign tracer requested by --trace,
 // --progress and --metrics-addr. The returned cleanup flushes the trace file
-// and shuts the metrics sidecar down; it is safe to call when no sink was
-// requested (the tracer is nil then, which disables tracing).
-func (rf *runFlags) observability() (obs.Tracer, func(), error) {
+// and shuts the metrics sidecar down; cancelling ctx (SIGINT/SIGTERM) also
+// shuts the sidecar down, so the listener never outlives the signal. It is
+// safe to call when no sink was requested (the tracer is nil then, which
+// disables tracing).
+func (rf *runFlags) observability(ctx context.Context) (obs.Tracer, func(), error) {
 	var tracers []obs.Tracer
 	var closers []func()
 	if rf.trace != "" {
@@ -239,7 +243,7 @@ func (rf *runFlags) observability() (obs.Tracer, func(), error) {
 		tracers = append(tracers, obs.NewProgress(os.Stderr))
 	}
 	if rf.metricsAddr != "" {
-		srv, err := obs.ServeMetrics(rf.metricsAddr, obs.NewRegistry())
+		srv, err := obs.ServeMetrics(ctx, rf.metricsAddr, obs.NewRegistry())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -272,7 +276,9 @@ func (rf *runFlags) buildBackend(machineName string) (backend.Backend, error) {
 	case "kernel", "inprocess":
 		b = kernelBackend()
 	case "faas":
-		b = faas.NewClient(rf.faasURL)
+		fc := faas.NewClient(rf.faasURL)
+		fc.InvokeTimeout = rf.invokeTimeout
+		b = fc
 	default:
 		return nil, fmt.Errorf("unknown backend %q (sim | kernel | faas)", rf.backendName)
 	}
@@ -337,6 +343,16 @@ func (rf *runFlags) experiment(machineName string) (core.Experiment, error) {
 	if err != nil {
 		return core.Experiment{}, err
 	}
+	retry := resilience.Policy{
+		MaxAttempts: rf.retries,
+		BaseDelay:   rf.retryBackoff,
+		Seed:        rf.seed,
+	}
+	if rf.backendName == "faas" {
+		// Transport-aware retry classification: refused/reset/timeout and
+		// 5xx are transient; 4xx are configuration errors, never retried.
+		retry.Retryable = faas.RetryableError
+	}
 	return core.Experiment{
 		Name:        fmt.Sprintf("%s@%s", rf.workload, machineName),
 		Workload:    rf.workload,
@@ -348,11 +364,7 @@ func (rf *runFlags) experiment(machineName string) (core.Experiment, error) {
 		WarmupRuns:  rf.warmup,
 		Day:         rf.day,
 		Seed:        rf.seed,
-		Retry: resilience.Policy{
-			MaxAttempts: rf.retries,
-			BaseDelay:   rf.retryBackoff,
-			Seed:        rf.seed,
-		},
+		Retry:       retry,
 		FailureBudget: core.FailureBudget{
 			MaxFraction:    rf.failureBudget,
 			MaxConsecutive: rf.maxConsecFail,
@@ -419,7 +431,7 @@ func cmdRun(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	tracer, cleanup, err := rf.observability()
+	tracer, cleanup, err := rf.observability(ctx)
 	if err != nil {
 		return err
 	}
@@ -557,7 +569,7 @@ func cmdCompare(ctx context.Context, args []string) error {
 	if rf.workload == "" {
 		return fmt.Errorf("compare: --workload is required")
 	}
-	tracer, cleanup, err := rf.observability()
+	tracer, cleanup, err := rf.observability(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,156 @@
+package faas
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sharp/internal/backend"
+	"sharp/internal/resilience"
+)
+
+// TestClientClassifies4xxPermanent: client errors are configuration
+// mistakes — no retry policy should burn attempts on them.
+func TestClientClassifies4xxPermanent(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "unknown workload", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	_, err := c.Invoke(context.Background(), backend.Request{Workload: "nope"})
+	if err == nil {
+		t.Fatal("want error for 400 response")
+	}
+	if !resilience.IsPermanent(err) {
+		t.Errorf("4xx error not marked permanent: %v", err)
+	}
+	if RetryableError(err) {
+		t.Errorf("RetryableError(4xx) = true, want false: %v", err)
+	}
+	if got := StatusCode(err); got != http.StatusBadRequest {
+		t.Errorf("StatusCode = %d, want 400", got)
+	}
+}
+
+// TestClientClassifies5xxRetryable: server-side failures are transient.
+func TestClientClassifies5xxRetryable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "worker crashed", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	_, err := c.Invoke(context.Background(), backend.Request{Workload: "w"})
+	if err == nil {
+		t.Fatal("want error for 500 response")
+	}
+	if resilience.IsPermanent(err) {
+		t.Errorf("5xx error marked permanent: %v", err)
+	}
+	if !RetryableError(err) {
+		t.Errorf("RetryableError(5xx) = false, want true: %v", err)
+	}
+}
+
+// TestClientConnectionRefusedRetryable: a dead platform is a transient
+// condition (it may restart), so connection errors stay retryable.
+func TestClientConnectionRefusedRetryable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+	srv.Close() // bound then closed: the port actively refuses
+
+	c := NewClient(srv.URL)
+	_, err := c.Invoke(context.Background(), backend.Request{Workload: "w"})
+	if err == nil {
+		t.Fatal("want error for refused connection")
+	}
+	if !RetryableError(err) {
+		t.Errorf("RetryableError(connection refused) = false, want true: %v", err)
+	}
+}
+
+// TestClientHonorsContextDeadline: a caller-supplied context deadline must
+// bound the request — the old hard-coded 30 s http.Client timeout would
+// have ignored it entirely on the short side's complement (and capped
+// longer deadlines silently).
+func TestClientHonorsContextDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server detects the client abandoning the
+		// request, then hang until it does.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Invoke(ctx, backend.Request{Workload: "w"})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want deadline error")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Invoke took %v; context deadline (50ms) not honored", elapsed)
+	}
+	if !RetryableError(err) {
+		t.Errorf("RetryableError(timeout) = false, want true: %v", err)
+	}
+}
+
+// TestClientInvokeTimeoutFallback: with neither a request timeout nor a
+// context deadline, InvokeTimeout bounds the call.
+func TestClientInvokeTimeoutFallback(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server detects the client abandoning the
+		// request, then hang until it does.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.InvokeTimeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := c.Invoke(context.Background(), backend.Request{Workload: "w"})
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Invoke took %v; InvokeTimeout (50ms) not applied", elapsed)
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "timeout") {
+		t.Logf("note: timeout surfaced as %v", err)
+	}
+}
+
+// TestClientRequestTimeoutWins: an explicit backend.Request.Timeout takes
+// precedence over both the context deadline and InvokeTimeout.
+func TestClientRequestTimeoutWins(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server detects the client abandoning the
+		// request, then hang until it does.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.InvokeTimeout = time.Hour
+	start := time.Now()
+	_, err := c.Invoke(context.Background(), backend.Request{
+		Workload: "w",
+		Timeout:  50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Invoke took %v; request timeout (50ms) not honored", elapsed)
+	}
+}

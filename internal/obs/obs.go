@@ -89,6 +89,31 @@ const (
 	// (experiment, resumed_runs, resumed_rows, resumed_samples, errors,
 	// failed_runs).
 	EventCampaignResume = "campaign.resume"
+	// EventCampaignAccepted marks a campaign admitted by the service
+	// coordinator (campaign, tenant, rule, queued).
+	EventCampaignAccepted = "campaign.accepted"
+	// EventCampaignRejected marks a submission refused by admission control
+	// (tenant, reason).
+	EventCampaignRejected = "campaign.rejected"
+	// EventLeaseGranted marks a run batch leased to a worker
+	// (lease, token, worker, campaign, runs, deadline_ms).
+	EventLeaseGranted = "lease.granted"
+	// EventLeaseExpired marks a lease whose worker missed its heartbeat
+	// (lease, token, worker, campaign, unacked).
+	EventLeaseExpired = "lease.expired"
+	// EventLeaseReassigned marks unacknowledged runs of a dead lease
+	// returned to the queue for deterministic re-execution
+	// (lease, worker, campaign, runs).
+	EventLeaseReassigned = "lease.reassigned"
+	// EventWorkerEvicted marks a worker removed from lease rotation after
+	// its breaker opened (worker, failures).
+	EventWorkerEvicted = "worker.evicted"
+	// EventServiceDrain marks the coordinator entering graceful drain
+	// (active_campaigns, outstanding_leases).
+	EventServiceDrain = "service.drain"
+	// EventServiceRecovered marks a campaign journal replayed after a
+	// coordinator restart (campaign, tenant, state, rows).
+	EventServiceRecovered = "service.recovered"
 )
 
 // Tracer consumes campaign events. Implementations must be safe for

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCounterGaugeHistogram(t *testing.T) {
@@ -126,7 +129,7 @@ func TestMetricsSinkFoldsEvents(t *testing.T) {
 
 func TestServeMetricsEndpoint(t *testing.T) {
 	reg := NewRegistry()
-	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	srv, err := ServeMetrics(context.Background(), "127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,5 +174,45 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("GET /debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}
+
+// TestServeMetricsReleasesPortOnCancel is the regression test for the
+// sidecar lifecycle: cancelling the context must shut the server down via
+// http.Server.Shutdown and release the port — no listener goroutine may
+// outlive the signal that stopped the campaign.
+func TestServeMetricsReleasesPortOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := ServeMetrics(ctx, "127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	// Serving before cancellation.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	// The shutdown runs in a goroutine watching ctx; poll until the port is
+	// rebindable (bounded by the test deadline, typically instant).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lis, err := net.Listen("tcp", addr)
+		if err == nil {
+			lis.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("port %s not released after context cancellation: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Close after cancellation is idempotent and must not panic or error.
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after cancel: %v", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -19,13 +20,19 @@ type Server struct {
 	reg *Registry
 	srv *http.Server
 	lis net.Listener
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
 }
 
 // ServeMetrics starts the sidecar on addr (e.g. ":9090" or "127.0.0.1:0")
 // serving GET /metrics from reg plus the net/http/pprof handlers under
 // /debug/pprof/. It returns once the listener is bound; serving continues in
-// the background until Close.
-func ServeMetrics(addr string, reg *Registry) (*Server, error) {
+// the background until ctx is cancelled or Close is called, whichever comes
+// first. Cancellation shuts the server down via http.Server.Shutdown, so the
+// port is released promptly (no listener goroutine outlives SIGINT).
+func ServeMetrics(ctx context.Context, addr string, reg *Registry) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -41,11 +48,24 @@ func ServeMetrics(addr string, reg *Registry) (*Server, error) {
 		rw.WriteHeader(http.StatusOK)
 	})
 	s := &Server{
-		reg: reg,
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		lis: lis,
+		reg:  reg,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis:  lis,
+		done: make(chan struct{}),
 	}
-	go func() { _ = s.srv.Serve(lis) }()
+	go func() {
+		_ = s.srv.Serve(lis)
+		close(s.done)
+	}()
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.Close()
+			case <-s.done:
+			}
+		}()
+	}
 	return s, nil
 }
 
@@ -55,9 +75,15 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 // Registry returns the served registry.
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Close shuts the sidecar down gracefully.
+// Close shuts the sidecar down gracefully and waits for the serve goroutine
+// to exit, so the port is free for rebinding when Close returns. It is
+// idempotent and safe to race with context cancellation.
 func (s *Server) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	return s.srv.Shutdown(ctx)
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.closeErr = s.srv.Shutdown(ctx)
+		<-s.done
+	})
+	return s.closeErr
 }

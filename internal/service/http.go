@@ -1,0 +1,334 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Handler mounts the coordinator's HTTP API:
+//
+//	POST /campaigns                 submit a CampaignSpec → 202 {"id": ...}
+//	GET  /campaigns                 list campaign statuses
+//	GET  /campaigns/{id}            one campaign's status
+//	GET  /campaigns/{id}/result.csv the durable tidy-data row log
+//	POST /lease                     {"worker": ...} → Lease (204 = no work)
+//	POST /leases/{id}/heartbeat     {"token": ...}
+//	POST /leases/{id}/complete      {"token": ..., "result": RunResult}
+//	GET  /healthz                   Health snapshot
+//	GET  /metrics                   Prometheus exposition (when a Registry
+//	                                is configured)
+//
+// Admission pressure maps to transport-visible backpressure: quota
+// rejections are 429 with Retry-After, drain is 503, stale leases are 409.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec CampaignSpec
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := c.Submit(spec)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/campaigns/"+id)
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Campaigns())
+	})
+
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := c.Status(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown campaign", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /campaigns/{id}/result.csv", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := c.Status(id); !ok {
+			http.Error(w, "unknown campaign", http.StatusNotFound)
+			return
+		}
+		data, err := os.ReadFile(c.ResultCSVPath(id))
+		if err != nil {
+			http.Error(w, "no result log yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Write(data)
+	})
+
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Worker == "" {
+			http.Error(w, "bad request: worker required", http.StatusBadRequest)
+			return
+		}
+		l, err := c.Lease(r.Context(), req.Worker)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, l)
+		case errors.Is(err, ErrNoWork):
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, ErrDraining):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, ErrWorkerEvicted):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("POST /leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Token uint64 `json:"token"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if err := c.Heartbeat(r.Context(), r.PathValue("id"), req.Token); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Token  uint64    `json:"token"`
+			Result RunResult `json:"result"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if err := c.Complete(r.Context(), r.PathValue("id"), req.Token, req.Result); err != nil {
+			if errors.Is(err, ErrStaleLease) {
+				http.Error(w, err.Error(), http.StatusConflict)
+			} else {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := c.Healthz()
+		code := http.StatusOK
+		if h.Draining {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+
+	if c.cfg.Registry != nil {
+		mux.Handle("GET /metrics", c.cfg.Registry.Handler())
+	}
+	return mux
+}
+
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrTenantSaturated), errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client talks to a sharp-serve coordinator over HTTP. It implements
+// WorkerAPI, so the same Worker type serves in-process and remote fleets.
+type Client struct {
+	// BaseURL is the coordinator endpoint, e.g. "http://127.0.0.1:8099".
+	BaseURL string
+	// HTTPClient is the transport (nil = a default client; deadlines come
+	// from the caller's context).
+	HTTPClient *http.Client
+}
+
+// NewHTTPClient returns a coordinator client.
+func NewHTTPClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{}}
+}
+
+func (cl *Client) client() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return &http.Client{}
+}
+
+func (cl *Client) doJSON(ctx context.Context, method, path string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.BaseURL+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return resp.StatusCode, remoteError(resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("service: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// remoteError maps HTTP statuses back onto the protocol's sentinel errors,
+// so code written against the in-process WorkerAPI behaves identically over
+// the wire.
+func remoteError(code int, msg string) error {
+	base := fmt.Errorf("service: remote: status %d: %s", code, msg)
+	switch code {
+	case http.StatusConflict:
+		return fmt.Errorf("%w (%v)", ErrStaleLease, base)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%v)", ErrDraining, base)
+	case http.StatusTooManyRequests:
+		if strings.Contains(msg, ErrWorkerEvicted.Error()) {
+			return fmt.Errorf("%w (%v)", ErrWorkerEvicted, base)
+		}
+		return fmt.Errorf("%w (%v)", ErrTenantSaturated, base)
+	default:
+		return base
+	}
+}
+
+// Submit submits a campaign and returns its ID.
+func (cl *Client) Submit(ctx context.Context, spec CampaignSpec) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if _, err := cl.doJSON(ctx, http.MethodPost, "/campaigns", spec, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Status fetches one campaign's status.
+func (cl *Client) Status(ctx context.Context, id string) (CampaignStatus, error) {
+	var st CampaignStatus
+	_, err := cl.doJSON(ctx, http.MethodGet, "/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// WaitDone polls until the campaign reaches a terminal state.
+func (cl *Client) WaitDone(ctx context.Context, id string, poll time.Duration) (CampaignStatus, error) {
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	for {
+		st, err := cl.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "failed", "interrupted":
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// ResultCSV fetches the campaign's tidy-data row log bytes.
+func (cl *Client) ResultCSV(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL+"/campaigns/"+id+"/result.csv", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, remoteError(resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Lease implements WorkerAPI over HTTP.
+func (cl *Client) Lease(ctx context.Context, workerID string) (*Lease, error) {
+	var l Lease
+	code, err := cl.doJSON(ctx, http.MethodPost, "/lease",
+		map[string]string{"worker": workerID}, &l)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusNoContent {
+		return nil, ErrNoWork
+	}
+	return &l, nil
+}
+
+// Heartbeat implements WorkerAPI over HTTP.
+func (cl *Client) Heartbeat(ctx context.Context, leaseID string, token uint64) error {
+	_, err := cl.doJSON(ctx, http.MethodPost, "/leases/"+leaseID+"/heartbeat",
+		map[string]uint64{"token": token}, nil)
+	return err
+}
+
+// Complete implements WorkerAPI over HTTP.
+func (cl *Client) Complete(ctx context.Context, leaseID string, token uint64, res RunResult) error {
+	body := struct {
+		Token  uint64    `json:"token"`
+		Result RunResult `json:"result"`
+	}{Token: token, Result: res}
+	_, err := cl.doJSON(ctx, http.MethodPost, "/leases/"+leaseID+"/complete", body, nil)
+	return err
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestServiceSoak is the chaos soak exercised by `make soak` (and CI) under
+// -race: three tenants submit a mixed bag of campaigns — sequential and
+// parallel, clean and chaos-injected, rule-driven and fixed-count — while a
+// fleet of mortal workers is randomly murdered and respawned throughout.
+// Every campaign must still finish with a CSV byte-identical to its
+// undisturbed sequential reference.
+//
+// The kill schedule is seeded (SHARP_SOAK_SEED, default 1) so a failing
+// fleet history is reproducible; randomness decides only WHEN workers die,
+// never what the data looks like — that is the property being soaked.
+func TestServiceSoak(t *testing.T) {
+	seed := int64(1)
+	if v := os.Getenv("SHARP_SOAK_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			seed = n
+		}
+	}
+	t.Logf("soak seed %d (override with SHARP_SOAK_SEED)", seed)
+
+	specs := []CampaignSpec{
+		{Tenant: "t1", Workload: "hotspot", Machine: "machine1", Rule: "fixed", Threshold: 10, Seed: 42, Concurrency: 2, WarmupRuns: 2},
+		{Tenant: "t1", Workload: "hotspot", Machine: "machine1", Rule: "fixed", Threshold: 12, Seed: 7, Parallel: 3, WarmupRuns: 1, Chaos: chaosOn},
+		{Tenant: "t2", Workload: "hotspot", Machine: "machine1", Rule: "ks", Threshold: 0.15, MaxRuns: 30, Seed: 11, Concurrency: 2},
+		{Tenant: "t2", Workload: "hotspot", Machine: "machine1", Rule: "fixed", Threshold: 8, Seed: 13, Parallel: 4, Chaos: chaosOn},
+		{Tenant: "t3", Workload: "hotspot", Machine: "machine1", Rule: "ks", Threshold: 0.2, MaxRuns: 25, Seed: 17, Parallel: 2, WarmupRuns: 2, Chaos: chaosOn},
+		{Tenant: "t3", Workload: "hotspot", Machine: "machine1", Rule: "fixed", Threshold: 15, Seed: 19, Concurrency: 3},
+	}
+	refs := make([][]byte, len(specs))
+	for i, spec := range specs {
+		refs[i], _ = referenceCSV(t, spec)
+	}
+
+	cfg := testConfig(t.TempDir())
+	cfg.MaxRunning = 3 // force campaigns to queue for slots too
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// One immortal worker guarantees liveness even when every mortal chain
+	// happens to be dead (or breaker-evicted) at once.
+	spawnWorker(ctx, &Worker{ID: "immortal", API: coord})
+
+	// Three mortal worker chains: each runs a worker with a random kill
+	// point, waits for its murder, and respawns a successor under a fresh
+	// identity (fresh breaker, fresh warmed backends).
+	for chain := 0; chain < 3; chain++ {
+		go func(chain int) {
+			rng := rand.New(rand.NewSource(seed + int64(chain)))
+			for gen := 0; ; gen++ {
+				if ctx.Err() != nil {
+					return
+				}
+				w := &Worker{
+					ID:        fmt.Sprintf("mortal-%d-%d", chain, gen),
+					API:       coord,
+					KillAfter: 1 + rng.Intn(6),
+				}
+				done := spawnWorker(ctx, w)
+				select {
+				case <-ctx.Done():
+					return
+				case <-done:
+					// murdered (or ctx ended); respawn after a beat
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Duration(rng.Intn(20)) * time.Millisecond):
+				}
+			}
+		}(chain)
+	}
+
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		id, err := coord.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		st := waitDone(t, coord, id)
+		if st.State != "done" && st.State != "failed" {
+			t.Errorf("campaign %d (%s) state = %q (%s)", i, id, st.State, st.Error)
+			continue
+		}
+		got := readCSV(t, coord.ResultCSVPath(id))
+		if !bytes.Equal(got, refs[i]) {
+			t.Errorf("campaign %d (%s): soak CSV differs from reference (%d vs %d bytes)", i, id, len(got), len(refs[i]))
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package service is SHARP's fault-tolerant campaign coordinator: a
+// multi-tenant HTTP service (cmd/sharp-serve) that accepts campaign
+// submissions, shards their measured runs across a fleet of FaaS-style
+// workers under leases, and is engineered around failure as the normal
+// case — worker death, coordinator crashes, injected chaos — while keeping
+// the merged row stream byte-identical to an undisturbed sequential run.
+//
+// The determinism story stands on two earlier pillars:
+//
+//   - Run-addressable backends. Sim and Chaos in run-ordered mode synthesize
+//     draws as a function of the run index alone, so a FRESH backend that
+//     first replays the campaign's warm-up requests can compute ANY measured
+//     run bit-identically to the sequential campaign. Workers exploit this:
+//     they hold no transferable state, and a kill -9'd worker's unfinished
+//     runs are simply recomputed elsewhere with identical results.
+//
+//   - Resume accounting. The coordinator journals accepted campaigns and
+//     streams every merged row to a durable CSV; after a coordinator crash,
+//     record.ScanFile/TruncateTrailingRun repair the log and
+//     core.Launcher.Resume replays it through the stopping rule, continuing
+//     the campaign exactly where the row stream ends.
+//
+// Together: campaigns survive worker murder, lease expiry, admission
+// pressure, graceful drain, and coordinator restarts with byte-identical
+// result CSVs (differential-tested in service_test.go).
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"sharp/internal/backend"
+	"sharp/internal/core"
+	"sharp/internal/machine"
+	"sharp/internal/perfmodel"
+	"sharp/internal/stopping"
+)
+
+// ChaosSpec configures deterministic fault injection for a campaign. Rates
+// follow backend.ChaosConfig; the seed defaults to the campaign seed.
+// PanicRate is deliberately absent: an injected panic would kill the
+// sequential reference launcher, so panics are not part of the service's
+// byte-identity contract (workers still recover them defensively).
+type ChaosSpec struct {
+	Seed         uint64  `json:"seed,omitempty"`
+	ErrorRate    float64 `json:"error_rate,omitempty"`
+	TimeoutRate  float64 `json:"timeout_rate,omitempty"`
+	LatencyRate  float64 `json:"latency_rate,omitempty"`
+	LatencySpike float64 `json:"latency_spike,omitempty"`
+}
+
+// CampaignSpec is a campaign submission: everything a tenant provides, and
+// everything a worker needs to rebuild the campaign's deterministic backend
+// from scratch. It is the journal record, the wire format, and the lease
+// payload all at once — one serializable source of truth.
+type CampaignSpec struct {
+	// Tenant identifies the submitting tenant (admission control is
+	// per-tenant). Empty means the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Name labels the experiment in rows and reports (default
+	// "<workload>@<machine>").
+	Name string `json:"name,omitempty"`
+	// Workload is the benchmark to measure (must be known to perfmodel).
+	Workload string `json:"workload"`
+	// Machine is the simulated machine executing runs.
+	Machine string `json:"machine"`
+	// Rule is the stopping rule name (see stopping.Names()); empty = meta.
+	Rule string `json:"rule,omitempty"`
+	// Threshold is the rule threshold (0 = rule default).
+	Threshold float64 `json:"threshold,omitempty"`
+	// MinRuns/MaxRuns bound the campaign (0 = rule defaults).
+	MinRuns int `json:"min_runs,omitempty"`
+	MaxRuns int `json:"max_runs,omitempty"`
+	// Seed is the experiment seed (0 = 42, the CLI default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Day is the measurement-day coordinate (0 = 1).
+	Day int `json:"day,omitempty"`
+	// Concurrency is parallel instances per run (0 = 1).
+	Concurrency int `json:"concurrency,omitempty"`
+	// WarmupRuns are executed (and discarded) by every worker when it
+	// builds its fresh backend, reproducing the sequential campaign's
+	// stream position.
+	WarmupRuns int `json:"warmup_runs,omitempty"`
+	// Parallel is the coordinator-side speculative batch width (the
+	// launcher's parallel engine); results are byte-identical at any value.
+	Parallel int `json:"parallel,omitempty"`
+	// Chaos optionally injects deterministic faults.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+}
+
+// withDefaults normalizes the spec the way the CLI defaults its flags, so a
+// service campaign and a `sharp run` campaign with the same inputs measure
+// the same thing.
+func (s CampaignSpec) withDefaults() CampaignSpec {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Machine == "" {
+		s.Machine = "machine1"
+	}
+	if s.Rule == "" {
+		s.Rule = "meta"
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Day == 0 {
+		s.Day = 1
+	}
+	if s.Concurrency < 1 {
+		s.Concurrency = 1
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("%s@%s", s.Workload, s.Machine)
+	}
+	if s.Chaos != nil && s.Chaos.Seed == 0 {
+		c := *s.Chaos
+		c.Seed = s.Seed
+		s.Chaos = &c
+	}
+	return s
+}
+
+// Validate rejects malformed specs at admission time, so tenants get a 400
+// instead of a campaign that is doomed to abort.
+func (s CampaignSpec) Validate() error {
+	if s.Workload == "" {
+		return errors.New("service: spec needs a workload")
+	}
+	if _, ok := perfmodel.For(s.Workload); !ok {
+		return fmt.Errorf("service: unknown workload %q", s.Workload)
+	}
+	if _, err := machine.ByName(s.Machine); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := s.rule(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if s.Chaos != nil {
+		c := s.Chaos
+		for _, r := range []float64{c.ErrorRate, c.TimeoutRate, c.LatencyRate} {
+			if r < 0 || r >= 1 {
+				return fmt.Errorf("service: chaos rate %v out of range [0,1)", r)
+			}
+		}
+	}
+	return nil
+}
+
+// rule builds a fresh stopping rule (rules are stateful accumulators; every
+// experiment needs its own).
+func (s CampaignSpec) rule() (stopping.Rule, error) {
+	return stopping.NewNamed(s.Rule, s.Threshold, stopping.Bounds{
+		MinSamples: s.MinRuns,
+		MaxSamples: s.MaxRuns,
+	})
+}
+
+// WorkerBackend builds the fresh deterministic backend a worker uses to
+// compute measured runs of this campaign: a run-ordered Sim (plus Chaos when
+// configured) with the spec's warm-up requests already replayed, putting the
+// stream exactly where the sequential campaign's stream was when run 1
+// began. Any measured run the worker is subsequently leased draws values
+// bit-identical to the sequential campaign's — regardless of arrival order,
+// other workers' progress, or how many earlier leases died.
+func (s CampaignSpec) WorkerBackend() (backend.Backend, error) {
+	s = s.withDefaults()
+	m, err := machine.ByName(s.Machine)
+	if err != nil {
+		return nil, err
+	}
+	var b backend.Backend = backend.NewSim(m, s.Seed)
+	if c := s.Chaos; c != nil {
+		b = backend.NewChaos(b, backend.ChaosConfig{
+			Seed:         c.Seed,
+			ErrorRate:    c.ErrorRate,
+			TimeoutRate:  c.TimeoutRate,
+			LatencyRate:  c.LatencyRate,
+			LatencySpike: c.LatencySpike,
+		})
+	}
+	backend.SetRunOrdered(b, true)
+	return b, nil
+}
+
+// ReferenceExperiment assembles the undisturbed sequential ground truth for
+// this spec: the same campaign run by a plain core.Launcher over a local
+// backend, no service involved. The differential tests compare service
+// output bytes against it; operators can use it to audit a service result.
+func (s CampaignSpec) ReferenceExperiment() (core.Experiment, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return core.Experiment{}, err
+	}
+	m, err := machine.ByName(s.Machine)
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	var b backend.Backend = backend.NewSim(m, s.Seed)
+	if c := s.Chaos; c != nil {
+		b = backend.NewChaos(b, backend.ChaosConfig{
+			Seed:         c.Seed,
+			ErrorRate:    c.ErrorRate,
+			TimeoutRate:  c.TimeoutRate,
+			LatencyRate:  c.LatencyRate,
+			LatencySpike: c.LatencySpike,
+		})
+	}
+	rule, err := s.rule()
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	return core.Experiment{
+		Name:        s.Name,
+		Workload:    s.Workload,
+		Backend:     b,
+		Rule:        rule,
+		Concurrency: s.Concurrency,
+		WarmupRuns:  s.WarmupRuns,
+		Day:         s.Day,
+		Seed:        s.Seed,
+		SUT:         m.SUT(),
+	}, nil
+}
+
+// dispatchExperiment assembles the coordinator-side experiment: the same
+// campaign, but executed over a dispatch backend that hands runs to leased
+// workers. Launcher-level WarmupRuns is zero on purpose — warm-ups belong to
+// each worker's fresh backend (WorkerBackend), not to the dispatch stream;
+// dispatching them would desynchronize every worker's draw position.
+func (s CampaignSpec) dispatchExperiment(b backend.Backend) (core.Experiment, error) {
+	s = s.withDefaults()
+	m, err := machine.ByName(s.Machine)
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	rule, err := s.rule()
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	return core.Experiment{
+		Name:        s.Name,
+		Workload:    s.Workload,
+		Backend:     b,
+		Rule:        rule,
+		Concurrency: s.Concurrency,
+		WarmupRuns:  0,
+		Day:         s.Day,
+		Seed:        s.Seed,
+		Parallel:    s.Parallel,
+		SUT:         m.SUT(),
+	}, nil
+}
