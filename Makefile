@@ -52,7 +52,9 @@ soak:
 # is the CI smoke variant and bench-check additionally gates the
 # deterministic ReportMetric columns against the baseline via
 # cmd/sharp-benchdiff — the reproduction targets must not drift no matter
-# how the analysis path is optimized.
+# how the analysis path is optimized. BENCH_pr7.json additionally gates the
+# binary record log: bin_bytes_per_row exactly and speedup_x as a floor
+# (binary record+replay must stay >=10x the CSV codec at 1e6 rows).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -60,8 +62,11 @@ bench-short:
 	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./...
 
 bench-check:
-	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./... | \
-		$(GO) run ./cmd/sharp-benchdiff -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%'
+	@tmp=$$(mktemp) && \
+	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./... | tee $$tmp | \
+		$(GO) run ./cmd/sharp-benchdiff -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%' && \
+	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr7.json -metrics 'bin_bytes_per_row' -min 'speedup_x'; \
+	rc=$$?; rm -f $$tmp; exit $$rc
 
 # Regenerate every paper table and figure into results/.
 experiments:
@@ -72,6 +77,7 @@ fuzz:
 	$(GO) test -run=XXX -fuzz=FuzzParseYAML -fuzztime=30s ./internal/config/
 	$(GO) test -run=XXX -fuzz=FuzzParseMetadata -fuzztime=30s ./internal/record/
 	$(GO) test -run=XXX -fuzz=FuzzCSVRows -fuzztime=30s ./internal/record/
+	$(GO) test -run=XXX -fuzz=FuzzScanBinary -fuzztime=30s ./internal/record/
 
 examples:
 	@for ex in quickstart gpu-compare concurrency finegrained stopping duet workflow; do \

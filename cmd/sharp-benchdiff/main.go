@@ -12,6 +12,9 @@
 //
 //	sharp-benchdiff -in bench_current.txt -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%'
 //
+// Floor metrics (-min 'speedup_x') gate one-sided: the current value must
+// meet or beat the baseline, for performance ratios that must not regress.
+//
 // Timings (ns/op, B/op, allocs/op) are machine-dependent and never gated.
 package main
 
@@ -120,8 +123,11 @@ func loadSnapshot(path string) (*Snapshot, error) {
 }
 
 // gate compares the named deterministic metric columns of current against
-// the baseline and returns the list of violations.
-func gate(baseline *Snapshot, current []*BenchmarkResult, metrics []string, tol float64) []string {
+// the baseline and returns the list of violations. Columns in metrics must
+// match the baseline exactly (within tol); columns in minMetrics are floors —
+// the baseline value is a minimum the current run must meet or beat, for
+// performance-ratio metrics that only ever get noisier upward.
+func gate(baseline *Snapshot, current []*BenchmarkResult, metrics, minMetrics []string, tol float64) []string {
 	byName := map[string]*BenchmarkResult{}
 	for _, b := range current {
 		byName[b.Name] = b
@@ -130,10 +136,14 @@ func gate(baseline *Snapshot, current []*BenchmarkResult, metrics []string, tol 
 	for _, m := range metrics {
 		want[strings.TrimSpace(m)] = true
 	}
+	floor := map[string]bool{}
+	for _, m := range minMetrics {
+		floor[strings.TrimSpace(m)] = true
+	}
 	var violations []string
 	for _, base := range baseline.Benchmarks {
 		for metric, bv := range base.Metrics {
-			if !want[metric] {
+			if !want[metric] && !floor[metric] {
 				continue
 			}
 			cur, ok := byName[base.Name]
@@ -148,7 +158,13 @@ func gate(baseline *Snapshot, current []*BenchmarkResult, metrics []string, tol 
 					fmt.Sprintf("%s: metric %s missing from current run (baseline %g)", base.Name, metric, bv))
 				continue
 			}
-			if !withinTol(bv, cv, tol) {
+			switch {
+			case floor[metric]:
+				if cv < bv {
+					violations = append(violations,
+						fmt.Sprintf("%s: %s below floor: baseline %g, current %g", base.Name, metric, bv, cv))
+				}
+			case !withinTol(bv, cv, tol):
 				violations = append(violations,
 					fmt.Sprintf("%s: %s drifted: baseline %g, current %g", base.Name, metric, bv, cv))
 			}
@@ -169,6 +185,7 @@ func main() {
 	description := flag.String("description", "", "snapshot description")
 	baseline := flag.String("baseline", "", "baseline snapshot JSON to gate against")
 	metrics := flag.String("metrics", "multimodal_%,savings_%", "comma-separated deterministic metric columns to gate")
+	min := flag.String("min", "", "comma-separated metric columns gated as floors (current >= baseline)")
 	tol := flag.Float64("tol", 1e-6, "relative drift tolerance")
 	flag.Parse()
 
@@ -214,7 +231,11 @@ func main() {
 			os.Exit(2)
 		}
 		cols := strings.Split(*metrics, ",")
-		violations := gate(base, results, cols, *tol)
+		var minCols []string
+		if *min != "" {
+			minCols = strings.Split(*min, ",")
+		}
+		violations := gate(base, results, cols, minCols, *tol)
 		if len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintln(os.Stderr, "DRIFT: "+v)

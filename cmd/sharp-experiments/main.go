@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"sharp/internal/cache"
 	"sharp/internal/experiments"
 	"sharp/internal/fsx"
 	"sharp/internal/obs"
@@ -35,6 +36,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines fanning each experiment's benchmarks/machines/days (1 = sequential; output is byte-identical at any value)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while regenerating")
+	cacheDir := flag.String("cache-dir", "", "content-addressed sample cache directory (re-regenerations replay cached draws bit-identically)")
 	flag.Parse()
 	// SIGINT/SIGTERM stop the regeneration between experiments; every
 	// completed experiment's file is already atomically in place, so
@@ -51,6 +53,15 @@ func main() {
 		defer srv.Close()
 		metrics = srv.Registry()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+	}
+	if *cacheDir != "" {
+		store, err := cache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sharp-experiments:", err)
+			os.Exit(1)
+		}
+		store.Registry = metrics // hit/miss rates on /metrics when both are on
+		experiments.SetCache(store)
 	}
 
 	args := flag.Args()

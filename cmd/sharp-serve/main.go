@@ -49,6 +49,7 @@ func run() error {
 	maxRunning := fs.Int("max-running", 4, "campaigns executing concurrently")
 	maxTenant := fs.Int("max-tenant", 4, "active campaigns allowed per tenant")
 	drainGrace := fs.Duration("drain-grace", 5*time.Second, "how long drain waits for in-flight leases")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (repeat submissions replay with zero dispatches)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -64,6 +65,7 @@ func run() error {
 		DrainGrace:   *drainGrace,
 		Tracer:       obs.NewMetricsSink(reg),
 		Registry:     reg,
+		CacheDir:     *cacheDir,
 	}
 	coord, err := service.New(cfg)
 	if err != nil {

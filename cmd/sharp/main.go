@@ -84,6 +84,10 @@ func run(ctx context.Context, args []string) error {
 		return cmdDuet(ctx, args[1:])
 	case "sweep":
 		return cmdSweep(ctx, args[1:])
+	case "convert":
+		return cmdConvert(args[1:])
+	case "cache":
+		return cmdCache(args[1:])
 	case "days":
 		return cmdDays(ctx, args[1:])
 	case "rules":
@@ -131,6 +135,8 @@ Commands:
   regress     regression-gate a new CSV log against a baseline log
   duet        paired (duet) comparison of two workloads on one backend
   sweep       run a factorial design over workloads x machines x days
+  convert     convert a tidy-data log between CSV and binary (.sharpb)
+  cache       inspect or prune a content-addressed result cache directory
   days        day-to-day reproducibility study (Fig. 5b-style heatmaps)
   rules       list stopping rules
   benchmarks  list the Rodinia suite (Table II)
@@ -162,6 +168,7 @@ type runFlags struct {
 	chaos         float64
 	outCSV        string
 	outMeta       string
+	format        string
 	resume        bool
 	flushEvery    int
 	fsync         bool
@@ -194,6 +201,7 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.Float64Var(&rf.chaos, "chaos", 0, "fault-injection rate in [0,1): deterministic errors (60%), timeouts (30%), latency spikes (10%)")
 	fs.StringVar(&rf.outCSV, "csv", "", "stream the tidy-data CSV log to this path while the campaign runs")
 	fs.StringVar(&rf.outMeta, "meta", "", "write metadata record to this path")
+	fs.StringVar(&rf.format, "format", "auto", "log encoding for --csv: csv | binary | auto (by extension: .sharpb = binary)")
 	fs.BoolVar(&rf.resume, "resume", false, "continue an interrupted campaign from --csv (and --meta's checkpoint if present); requires the same flags as the original run")
 	fs.IntVar(&rf.flushEvery, "flush-every", 1, "flush the CSV log every N rows (0 = buffer until close)")
 	fs.BoolVar(&rf.fsync, "fsync", false, "fsync the CSV log on every flush (crash-proof, slower)")
@@ -475,9 +483,14 @@ func cmdRun(ctx context.Context, args []string) error {
 	return runErr
 }
 
-// csvOptions is the flush policy the --flush-every/--fsync flags select.
-func (rf *runFlags) csvOptions() record.Options {
-	return record.Options{FlushEvery: rf.flushEvery, Sync: rf.fsync}
+// csvOptions is the flush policy and encoding the --flush-every/--fsync/
+// --format flags select.
+func (rf *runFlags) csvOptions() (record.Options, error) {
+	format, err := record.ParseFormat(rf.format)
+	if err != nil {
+		return record.Options{}, err
+	}
+	return record.Options{FlushEvery: rf.flushEvery, Sync: rf.fsync, Format: format}, nil
 }
 
 // streamCampaign runs the experiment, streaming rows to --csv (when set)
@@ -487,9 +500,11 @@ func (rf *runFlags) csvOptions() record.Options {
 func (rf *runFlags) streamCampaign(ctx context.Context, launcher *core.Launcher, exp core.Experiment) (*core.Result, error) {
 	var w *record.Writer
 	if rf.outCSV != "" {
-		var err error
-		w, err = record.CreateDurable(rf.outCSV, rf.csvOptions())
+		opts, err := rf.csvOptions()
 		if err != nil {
+			return nil, err
+		}
+		if w, err = record.CreateDurable(rf.outCSV, opts); err != nil {
 			return nil, err
 		}
 		launcher.Log = w
@@ -543,7 +558,11 @@ func (rf *runFlags) resumeCampaign(ctx context.Context, launcher *core.Launcher,
 	if err != nil {
 		return nil, fmt.Errorf("run: resume: %w", err)
 	}
-	w, _, err := record.OpenAppend(rf.outCSV, rf.csvOptions())
+	opts, err := rf.csvOptions()
+	if err != nil {
+		return nil, err
+	}
+	w, _, err := record.OpenAppend(rf.outCSV, opts)
 	if err != nil {
 		return nil, fmt.Errorf("run: resume: %w", err)
 	}
@@ -746,6 +765,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 42, "experiment seed")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "cells measured concurrently (1 = sequential; results identical either way)")
 	outCSV := fs.String("csv", "", "write the combined tidy log to this path")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache: completed cells are stored here and replayed on re-runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -770,6 +790,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 		MaxRuns:   *maxRuns,
 		Seed:      *seed,
 		Parallel:  *parallel,
+		CacheDir:  *cacheDir,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,312 @@
+// Package cache is a content-addressed store of completed campaign results.
+//
+// SHARP campaigns are deterministic functions of their configuration: a
+// seeded simulated backend, a stopping rule, a warm-up count and a factor
+// combination always reproduce the same tidy-data rows (the property the
+// resume differentials assert). That makes completed cells cacheable by
+// content address: the key is a hash of everything the outcome depends on
+// (backend config, rule, seed, warm-ups, factors), the value is the cell's
+// complete tidy-data log. A sweep, figure regeneration, or service campaign
+// that re-requests an already-measured cell replays the cached rows through
+// core.Launcher.ReplayLog — zero backend calls, bit-identical Result.
+//
+// On-disk layout (under the cache directory):
+//
+//	<key>.sharpb       the cell's rows (binary columnar log, atomic write)
+//	<key>.json         entry metadata — written last, so it is the commit
+//	                   point: an entry exists iff its .json does
+//	counters.json      persisted hit/miss/store counters
+//
+// Crash safety mirrors the record package: both files are written via fsx
+// (temp + rename), and the .json commit point is ordered after the rows, so
+// a crash mid-Put leaves at worst an orphaned rows file that the next Put
+// overwrites and Prune sweeps. Deletion inverts the order: Prune removes the
+// .json first, so a crash mid-prune never leaves a committed entry whose
+// rows are gone.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"sharp/internal/fsx"
+	"sharp/internal/obs"
+	"sharp/internal/record"
+)
+
+// Key derives a content address from a kind tag (a versioned namespace such
+// as "sweep-cell/v1" — bump it when the cached semantics change) and the
+// parts the result depends on. Parts are length-prefixed before hashing, so
+// ("ab","c") and ("a","bc") address different entries.
+func Key(kind string, parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	feed := func(s string) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	feed(kind)
+	for _, p := range parts {
+		feed(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Meta describes one committed cache entry.
+type Meta struct {
+	// Kind is the namespace tag the entry was stored under.
+	Kind string `json:"kind"`
+	// Experiment is the experiment name of the cached campaign.
+	Experiment string `json:"experiment"`
+	// Rows counts the cached tidy-data rows.
+	Rows int `json:"rows"`
+	// Created is the store time (UTC).
+	Created time.Time `json:"created"`
+}
+
+// Counters are the persisted lookup statistics.
+type Counters struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Stores uint64 `json:"stores"`
+}
+
+// Stats summarizes a cache directory.
+type Stats struct {
+	Entries  int
+	Bytes    int64
+	Oldest   time.Time // zero when empty
+	Counters Counters
+}
+
+// Store is a cache directory handle. The zero value is not usable; call
+// Open. Methods are safe for concurrent use within one process (the service
+// coordinator and parallel sweeps share a Store across goroutines).
+type Store struct {
+	// Tracer, when set, receives cache.hit / cache.miss / cache.store
+	// events.
+	Tracer obs.Tracer
+	// Registry, when set, counts lookups into
+	// sharp_cache_requests_total{result="hit"|"miss"|"store"}.
+	Registry *obs.Registry
+	// Clock supplies entry timestamps (defaults to time.Now; tests pin it).
+	Clock func() time.Time
+
+	dir      string
+	mu       sync.Mutex
+	counters Counters
+}
+
+const countersFile = "counters.json"
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	s := &Store{dir: dir, Clock: time.Now}
+	if data, err := os.ReadFile(filepath.Join(dir, countersFile)); err == nil {
+		// A corrupt counters file resets the statistics; it never fails the
+		// cache open, the counters are advisory.
+		_ = json.Unmarshal(data, &s.counters)
+	}
+	return s, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) rowsPath(key string) string { return filepath.Join(s.dir, key+record.BinaryExt) }
+func (s *Store) metaPath(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Get looks up a committed entry, returning its rows and metadata, or
+// (nil, nil, nil) on a miss. experiment labels the lookup in events. An
+// entry whose rows file is missing or unreadable (a torn prune or a damaged
+// disk) is self-healed: the commit point is removed and the lookup is a
+// miss, so the caller re-measures instead of failing.
+func (s *Store) Get(key, experiment string) ([]record.Row, *Meta, error) {
+	data, err := os.ReadFile(s.metaPath(key))
+	if errors.Is(err, os.ErrNotExist) {
+		s.count("miss", obs.EventCacheMiss, map[string]any{"key": key, "experiment": experiment})
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("cache: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, nil, fmt.Errorf("cache: entry %s: %w", key, err)
+	}
+	rows, err := record.ReadFile(s.rowsPath(key))
+	if err != nil || len(rows) != m.Rows {
+		// Orphaned or damaged entry: demote to a miss and drop the commit
+		// point so the next Put rebuilds it cleanly.
+		os.Remove(s.metaPath(key))
+		os.Remove(s.rowsPath(key))
+		os.Remove(s.rowsPath(key) + ".idx")
+		s.count("miss", obs.EventCacheMiss, map[string]any{"key": key, "experiment": experiment})
+		return nil, nil, nil
+	}
+	s.count("hit", obs.EventCacheHit, map[string]any{"key": key, "experiment": experiment, "rows": len(rows)})
+	return rows, &m, nil
+}
+
+// Put commits rows under key. The rows file lands first (atomically); the
+// metadata commit point last.
+func (s *Store) Put(key, kind, experiment string, rows []record.Row) error {
+	if err := record.WriteRowsAtomicFormat(s.rowsPath(key), rows, record.FormatBinary); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	m := Meta{Kind: kind, Experiment: experiment, Rows: len(rows), Created: s.Clock().UTC()}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := fsx.WriteFile(s.metaPath(key), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	s.count("store", obs.EventCacheStore, map[string]any{"key": key, "experiment": experiment, "rows": len(rows)})
+	return nil
+}
+
+// Stats walks the cache directory.
+func (s *Store) Stats() (Stats, error) {
+	entries, err := s.list()
+	if err != nil {
+		return Stats{}, err
+	}
+	s.mu.Lock()
+	st := Stats{Counters: s.counters}
+	s.mu.Unlock()
+	for _, e := range entries {
+		st.Entries++
+		if st.Oldest.IsZero() || e.meta.Created.Before(st.Oldest) {
+			st.Oldest = e.meta.Created
+		}
+		for _, p := range []string{s.metaPath(e.key), s.rowsPath(e.key), s.rowsPath(e.key) + ".idx"} {
+			if fi, err := os.Stat(p); err == nil {
+				st.Bytes += fi.Size()
+			}
+		}
+	}
+	return st, nil
+}
+
+// Prune removes committed entries created before cutoff and sweeps orphaned
+// rows files left by interrupted Puts or prunes. For each entry the
+// metadata commit point is deleted first, so a crash mid-prune leaves an
+// orphan (invisible to Get), never a committed entry without rows.
+func (s *Store) Prune(cutoff time.Time) (removed int, err error) {
+	entries, err := s.list()
+	if err != nil {
+		return 0, err
+	}
+	committed := map[string]bool{}
+	for _, e := range entries {
+		committed[e.key] = true
+		if !e.meta.Created.Before(cutoff) {
+			continue
+		}
+		if err := os.Remove(s.metaPath(e.key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return removed, fmt.Errorf("cache: %w", err)
+		}
+		os.Remove(s.rowsPath(e.key))
+		os.Remove(s.rowsPath(e.key) + ".idx")
+		committed[e.key] = false
+		removed++
+	}
+	// Sweep orphans: rows files with no commit point.
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return removed, fmt.Errorf("cache: %w", err)
+	}
+	for _, de := range names {
+		key, ok := strings.CutSuffix(de.Name(), record.BinaryExt)
+		if !ok || committed[key] {
+			continue
+		}
+		os.Remove(filepath.Join(s.dir, de.Name()))
+		os.Remove(filepath.Join(s.dir, de.Name()+".idx"))
+	}
+	return removed, nil
+}
+
+// Counters returns the persisted lookup statistics.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+type listedEntry struct {
+	key  string
+	meta Meta
+}
+
+// list returns the committed entries (those with a readable .json).
+func (s *Store) list() ([]listedEntry, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	var out []listedEntry
+	for _, de := range names {
+		name := de.Name()
+		if name == countersFile {
+			continue
+		}
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var m Meta
+		if err := json.Unmarshal(data, &m); err != nil {
+			continue
+		}
+		out = append(out, listedEntry{key: key, meta: m})
+	}
+	return out, nil
+}
+
+// count persists one counter bump and emits the event/metric.
+func (s *Store) count(result, event string, fields map[string]any) {
+	s.mu.Lock()
+	switch result {
+	case "hit":
+		s.counters.Hits++
+	case "miss":
+		s.counters.Misses++
+	case "store":
+		s.counters.Stores++
+	}
+	data, err := json.Marshal(&s.counters)
+	if err == nil {
+		// Advisory: a failed counters write never fails the lookup.
+		_ = fsx.WriteFile(filepath.Join(s.dir, countersFile), append(data, '\n'), 0o644)
+	}
+	s.mu.Unlock()
+	if s.Tracer != nil {
+		s.Tracer.Emit(event, fields)
+	}
+	if s.Registry != nil {
+		s.Registry.Counter("sharp_cache_requests_total",
+			"Result cache lookups and stores by outcome.", "result", result).Inc()
+	}
+}

@@ -113,6 +113,47 @@ func (l *Launcher) Resume(ctx context.Context, e Experiment, rows []record.Row) 
 	return l.runSequential(ctx, e, res, lastRun, consecutiveFailed)
 }
 
+// ReplayLog reconstructs the completed Result of a recorded campaign from
+// its tidy-data log with zero backend calls. e must be the configuration the
+// campaign ran with (same workload, metric, rule, failure budget) carrying a
+// fresh stopping rule; rows must be the complete log of a campaign that ran
+// to its stop decision. Replay folds the rows through the same accumulator
+// as Resume, so Samples, Errors, FailedRuns, Runs, and the stop decision are
+// reconstructed bit-exactly. If the rule is not satisfied after the final
+// run (the log belongs to an interrupted campaign) ReplayLog fails rather
+// than guess; a log that exhausted its failure budget reproduces the
+// original ErrFailureBudget outcome. Unlike Resume, nothing is traced and no
+// rows are re-sent to the Log sink — the caller (the result cache) decides
+// how to surface the replay.
+func (l *Launcher) ReplayLog(e Experiment, rows []record.Row) (*Result, error) {
+	e, err := e.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Experiment: e,
+		RuleName:   e.Rule.Name(),
+		Started:    l.Clock(),
+	}
+	lastRun, consecutiveFailed, err := l.replayRows(e, res, rows)
+	if err != nil {
+		return nil, err
+	}
+	res.Runs = lastRun
+	if over, why := e.FailureBudget.exceeded(consecutiveFailed, res.FailedRuns, lastRun); over {
+		res.StopReason = "failure budget exceeded: " + why
+		res.Finished = l.Clock()
+		return res, fmt.Errorf("%w after run %d: %s", ErrFailureBudget, lastRun, why)
+	}
+	if !e.Rule.Done() {
+		return nil, fmt.Errorf("core: replay: log is not a completed campaign: rule %q not satisfied after %d runs",
+			res.RuleName, lastRun)
+	}
+	res.StopReason = e.Rule.Explain()
+	res.Finished = l.Clock()
+	return res, nil
+}
+
 // replayRows folds the recorded rows of runs 1..lastRun into res and the
 // stopping rule, reproducing processRun's folding exactly: per-instance
 // error rows count into res.Errors; the run's sample is the plain mean of

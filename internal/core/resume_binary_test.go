@@ -1,0 +1,140 @@
+package core
+
+// Differential tests for campaign resume over the binary columnar log: the
+// resume contract (interrupted + resumed == uninterrupted, CSV bytes
+// included) must hold when the durable log prefix is persisted as .sharpb
+// instead of CSV — the format is a storage detail, never a semantic one.
+// Also covers Launcher.ReplayLog, the zero-execution reconstruction the
+// result cache builds on.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharp/internal/record"
+)
+
+// viaBinary round-trips rows through an on-disk .sharpb file, returning
+// exactly what a resuming process would read back from its durable log.
+func viaBinary(t *testing.T, dir, name string, rows []record.Row) []record.Row {
+	t.Helper()
+	path := filepath.Join(dir, name+record.BinaryExt)
+	if err := record.WriteRowsAtomicFormat(path, rows, record.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	got, err := record.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestResumeBinaryMatchesUninterrupted(t *testing.T) {
+	rules := []string{"fixed", "ks", "ci", "mean", "meta"}
+	dir := t.TempDir()
+	for _, ruleName := range rules {
+		for _, parallel := range []int{1, 4} {
+			for _, chaos := range []bool{false, true} {
+				name := fmt.Sprintf("%s-p%d-chaos%v", ruleName, parallel, chaos)
+				t.Run(name, func(t *testing.T) {
+					fullPath := filepath.Join(dir, name+"-full.csv")
+					full, _ := runToCSV(t, buildExperiment(t, ruleName, parallel, chaos), fullPath)
+					if full.Runs < 4 {
+						t.Fatalf("campaign too short to cut: %d runs", full.Runs)
+					}
+					for _, cut := range []int{1, full.Runs / 2, full.Runs - 1} {
+						prefix := viaBinary(t, dir, fmt.Sprintf("%s-cut%d", name, cut),
+							rowPrefix(full.Rows, cut))
+						e := buildExperiment(t, ruleName, parallel, chaos)
+						l := newFakeLauncherAt(cut)
+						res, err := l.Resume(context.Background(), e, prefix)
+						if err != nil && !errors.Is(err, ErrFailureBudget) {
+							t.Fatalf("cut %d: %v", cut, err)
+						}
+						if res.Runs != full.Runs || res.StopReason != full.StopReason {
+							t.Fatalf("cut %d: (%d, %q) != (%d, %q)", cut,
+								res.Runs, res.StopReason, full.Runs, full.StopReason)
+						}
+						if len(res.Samples) != len(full.Samples) {
+							t.Fatalf("cut %d: %d samples != %d", cut, len(res.Samples), len(full.Samples))
+						}
+						for i := range res.Samples {
+							if res.Samples[i] != full.Samples[i] {
+								t.Fatalf("cut %d: sample %d: %v != %v", cut, i, res.Samples[i], full.Samples[i])
+							}
+						}
+						// The regenerated CSV is byte-identical: resuming
+						// from a binary log leaves no trace in the exported
+						// artifact.
+						resPath := filepath.Join(dir, fmt.Sprintf("%s-cut%d.csv", name, cut))
+						if err := res.SaveCSV(resPath); err != nil {
+							t.Fatal(err)
+						}
+						if got, want := readFileT(t, resPath), readFileT(t, fullPath); got != want {
+							t.Errorf("cut %d: resumed-from-binary CSV differs from uninterrupted", cut)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestReplayLogReconstructsResult(t *testing.T) {
+	dir := t.TempDir()
+	for _, chaos := range []bool{false, true} {
+		name := fmt.Sprintf("chaos%v", chaos)
+		t.Run(name, func(t *testing.T) {
+			full, _ := runToCSV(t, buildExperiment(t, "ks", 1, chaos),
+				filepath.Join(dir, name+"-full.csv"))
+			rows := viaBinary(t, dir, name, full.Rows)
+
+			l := newFakeLauncher()
+			res, err := l.ReplayLog(buildExperiment(t, "ks", 1, chaos), rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Runs != full.Runs || res.StopReason != full.StopReason ||
+				res.RuleName != full.RuleName {
+				t.Fatalf("replayed (%d, %q, %q) != (%d, %q, %q)",
+					res.Runs, res.StopReason, res.RuleName,
+					full.Runs, full.StopReason, full.RuleName)
+			}
+			if res.Errors != full.Errors || res.FailedRuns != full.FailedRuns {
+				t.Fatalf("replayed errors/failed = %d/%d, want %d/%d",
+					res.Errors, res.FailedRuns, full.Errors, full.FailedRuns)
+			}
+			if len(res.Samples) != len(full.Samples) {
+				t.Fatalf("%d samples != %d", len(res.Samples), len(full.Samples))
+			}
+			for i := range res.Samples {
+				if res.Samples[i] != full.Samples[i] {
+					t.Fatalf("sample %d: %v != %v", i, res.Samples[i], full.Samples[i])
+				}
+			}
+			// The replayed rows regenerate the identical CSV.
+			p := filepath.Join(dir, name+"-replay.csv")
+			if err := res.SaveCSV(p); err != nil {
+				t.Fatal(err)
+			}
+			if readFileT(t, p) != readFileT(t, filepath.Join(dir, name+"-full.csv")) {
+				t.Error("replayed CSV differs")
+			}
+		})
+	}
+}
+
+func TestReplayLogRejectsIncompleteLog(t *testing.T) {
+	full, _ := runToCSV(t, buildExperiment(t, "fixed", 1, false),
+		filepath.Join(t.TempDir(), "full.csv"))
+	l := newFakeLauncher()
+	_, err := l.ReplayLog(buildExperiment(t, "fixed", 1, false),
+		rowPrefix(full.Rows, full.Runs-1))
+	if err == nil || !strings.Contains(err.Error(), "not a completed campaign") {
+		t.Fatalf("incomplete log replayed without error: %v", err)
+	}
+}

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"sharp/internal/cache"
 )
 
 const seed = 2024
@@ -293,5 +296,51 @@ func TestTuningAccuracyPass(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "Per-family accuracy") {
 		t.Error("render missing accuracy table")
+	}
+}
+
+func TestSampleBenchCache(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCache(store)
+	defer SetCache(nil)
+
+	m := mustMachine("machine1")
+	cold, err := sampleBench("bfs", m, 1, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sampleBench("bfs", m, 1, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cached samples differ from regenerated ones")
+	}
+	c := store.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Stores != 1 {
+		t.Fatalf("counters = %+v, want 1 hit / 1 miss / 1 store", c)
+	}
+	// Any key ingredient change misses.
+	if _, err := sampleBench("bfs", m, 2, 50, 7); err != nil {
+		t.Fatal(err)
+	}
+	if c := store.Counters(); c.Hits != 1 || c.Misses != 2 {
+		t.Fatalf("counters after day change = %+v", c)
+	}
+	// A full experiment regenerates identically with the cache on.
+	got, err := Run("fig4", 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCache(nil)
+	want, err := Run("fig4", 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Fatal("cached fig4 differs from uncached")
 	}
 }

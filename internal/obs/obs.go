@@ -114,6 +114,16 @@ const (
 	// EventServiceRecovered marks a campaign journal replayed after a
 	// coordinator restart (campaign, tenant, state, rows).
 	EventServiceRecovered = "service.recovered"
+	// EventCacheHit marks a completed campaign cell served from the
+	// content-addressed result cache with zero backend calls
+	// (key, experiment, rows).
+	EventCacheHit = "cache.hit"
+	// EventCacheMiss marks a cache lookup that found no entry (key,
+	// experiment).
+	EventCacheMiss = "cache.miss"
+	// EventCacheStore marks a completed cell written to the result cache
+	// (key, experiment, rows).
+	EventCacheStore = "cache.store"
 )
 
 // Tracer consumes campaign events. Implementations must be safe for

@@ -163,22 +163,30 @@ func parseRow(fields []string) (Row, error) {
 // must not silently lose the recorded distribution). The zero value is the
 // legacy policy: buffer everything, flush only on Close.
 type Options struct {
-	// FlushEvery flushes the CSV buffer to the OS after every N rows
+	// FlushEvery flushes the log buffer to the OS after every N rows
 	// (1 = per row). 0 keeps the legacy flush-on-Close-only policy.
 	FlushEvery int
 	// Sync additionally fsyncs the underlying file on every flush, making
 	// each flushed row durable against power loss (not just process death).
 	// It has no effect on writers not backed by an *os.File.
 	Sync bool
+	// Format selects the on-disk encoding for created logs. FormatAuto (the
+	// zero value) picks by path extension: ".sharpb" is the binary columnar
+	// format, everything else CSV. Read paths ignore it — they sniff the
+	// file's magic bytes instead.
+	Format Format
 }
 
-// Writer streams tidy rows to CSV, optionally flushing (and fsyncing) at a
+// Writer streams tidy rows to a log, optionally flushing (and fsyncing) at a
 // configurable row cadence so a crash loses at most the last unflushed rows
-// instead of the whole buffered log.
+// instead of the whole buffered log. The encoding behind it is either the
+// CSV tidy log or the binary columnar format (per Options.Format); the flush
+// policy, row accounting, and crash-repair contract are identical for both.
 type Writer struct {
 	w           *csv.Writer
 	c           io.Closer
-	f           *os.File // non-nil when file-backed (enables Sync)
+	f           *os.File   // non-nil when file-backed (enables Sync)
+	bin         *binWriter // non-nil for binary columnar logs
 	opts        Options
 	wroteHeader bool
 	rows        int
@@ -195,8 +203,16 @@ func Create(path string) (*Writer, error) { return CreateDurable(path, Options{}
 
 // CreateDurable opens path for writing (truncating) with an explicit flush
 // policy, so rows reach the OS (and optionally the disk) while the campaign
-// is still running.
+// is still running. The encoding follows Options.Format (by extension when
+// FormatAuto).
 func CreateDurable(path string, o Options) (*Writer, error) {
+	if o.resolve(path) == FormatBinary {
+		bw, err := createBinary(path, o)
+		if err != nil {
+			return nil, err
+		}
+		return &Writer{bin: bw, opts: o}, nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
@@ -208,6 +224,17 @@ func CreateDurable(path string, o Options) (*Writer, error) {
 // incremented after encoding/csv accepts the record, not before (the old
 // order overcounted when the underlying writer failed).
 func (w *Writer) Write(r Row) error {
+	if w.bin != nil {
+		if err := w.bin.add(&r); err != nil {
+			return err
+		}
+		w.rows++
+		w.unflushed++
+		if w.opts.FlushEvery > 0 && w.unflushed >= w.opts.FlushEvery {
+			return w.Flush()
+		}
+		return nil
+	}
 	if !w.wroteHeader {
 		if err := w.w.Write(Header); err != nil {
 			return err
@@ -244,6 +271,10 @@ func (w *Writer) Rows() int { return w.rows }
 // is called automatically per the FlushEvery policy and may be called
 // explicitly at checkpoints.
 func (w *Writer) Flush() error {
+	if w.bin != nil {
+		w.unflushed = 0
+		return w.bin.flush()
+	}
 	w.w.Flush()
 	if err := w.w.Error(); err != nil {
 		return err
@@ -259,6 +290,9 @@ func (w *Writer) Flush() error {
 // unconditionally — a flush error must not leak the descriptor — and flush
 // and close errors are joined.
 func (w *Writer) Close() error {
+	if w.bin != nil {
+		return w.bin.close()
+	}
 	var err error
 	if !w.wroteHeader { // ensure even empty logs have a header
 		err = w.w.Write(Header)
@@ -296,6 +330,18 @@ func Read(r io.Reader) ([]Row, error) {
 	return readInto(r, nil)
 }
 
+// ReadHint is Read with an expected row count: dst is preallocated to hint
+// rows up front, so replaying a log of known length costs one allocation
+// instead of a grow-and-copy cascade. A hint of 0 (or a wrong hint) is
+// safe — it only affects capacity.
+func ReadHint(r io.Reader, hint int) ([]Row, error) {
+	var dst []Row
+	if hint > 0 {
+		dst = make([]Row, 0, hint)
+	}
+	return readInto(r, dst)
+}
+
 // readInto streams rows from r, appending to dst (which may carry
 // preallocated capacity).
 func readInto(r io.Reader, dst []Row) ([]Row, error) {
@@ -327,10 +373,90 @@ func readInto(r io.Reader, dst []Row) ([]Row, error) {
 	}
 }
 
-// ReadFile parses a CSV log file. The row slice is preallocated from the
-// file size (tidy rows are ~100 bytes), so resuming a large campaign does
-// not grow-and-copy its way through millions of appends.
+// Stream parses rows from r in the given format, delivering them to fn in
+// batches. The batch slice is reused between calls, so fn must copy any row
+// it retains. Replaying this way touches one block-sized scratch batch
+// instead of materializing the whole log, which is what makes streaming
+// consumers (sharp convert, the replay benchmarks) immune to log size.
+// Format must be explicit — an io.Reader has no magic to sniff twice — and a
+// torn binary tail is silently dropped, as in ReadFile.
+func Stream(r io.Reader, format Format, fn func(batch []Row) error) error {
+	switch format {
+	case FormatBinary:
+		_, err := scanBinaryStream(r, fn)
+		return err
+	case FormatCSV:
+		return streamCSV(r, fn)
+	default:
+		return fmt.Errorf("record: Stream requires an explicit format, got %q", format)
+	}
+}
+
+// StreamFile is Stream over a log file, sniffing the format from the magic
+// bytes.
+func StreamFile(path string, fn func(batch []Row) error) error {
+	format, err := sniffFormat(path)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Stream(bufio.NewReaderSize(f, 1<<16), format, fn)
+}
+
+// streamCSV delivers parsed CSV rows to fn in reused batches.
+func streamCSV(r io.Reader, fn func([]Row) error) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true // parseRow copies what it keeps
+	header, err := cr.Read()
+	if err == io.EOF {
+		return fmt.Errorf("record: missing header")
+	}
+	if err != nil {
+		return fmt.Errorf("record: %w", err)
+	}
+	if err := validateHeader(header); err != nil {
+		return err
+	}
+	batch := make([]Row, 0, binBlockRows)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			if len(batch) > 0 {
+				return fn(batch)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		row, err := parseRow(rec)
+		if err != nil {
+			return err
+		}
+		if batch = append(batch, row); len(batch) == binBlockRows {
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+}
+
+// ReadFile parses a log file in either format (sniffed from the magic
+// bytes). For CSV the row slice is preallocated from the file size (tidy
+// rows are ~100 bytes), so resuming a large campaign does not grow-and-copy
+// its way through millions of appends; for binary logs a fresh sidecar
+// index supplies the exact count.
 func ReadFile(path string) ([]Row, error) {
+	if format, err := sniffFormat(path); err != nil {
+		return nil, err
+	} else if format == FormatBinary {
+		return readBinaryFile(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -345,10 +471,19 @@ func ReadFile(path string) ([]Row, error) {
 }
 
 // WriteRowsAtomic writes a complete tidy-data log to path atomically: the
-// CSV is rendered to a temp file in path's directory and renamed into place
+// log is rendered to a temp file in path's directory and renamed into place
 // on success, so a crash mid-write never leaves a torn log where a complete
-// one (or nothing) should be. The bytes are identical to Create+WriteAll.
+// one (or nothing) should be. The format follows the path extension; for
+// CSV the bytes are identical to Create+WriteAll.
 func WriteRowsAtomic(path string, rows []Row) error {
+	return WriteRowsAtomicFormat(path, rows, FormatAuto)
+}
+
+// WriteRowsAtomicFormat is WriteRowsAtomic with an explicit format.
+func WriteRowsAtomicFormat(path string, rows []Row, format Format) error {
+	if (Options{Format: format}).resolve(path) == FormatBinary {
+		return writeRowsAtomicBinary(path, rows)
+	}
 	f, err := fsx.Create(path)
 	if err != nil {
 		return err
@@ -474,6 +609,11 @@ func parseLine(line string) ([]string, error) {
 // of complete rows, the run index of the last complete row, and whether a
 // torn tail (crash signature) is present.
 func ScanFile(path string) (rows, lastRun int, torn bool, err error) {
+	if format, err := sniffFormat(path); err != nil {
+		return 0, 0, false, err
+	} else if format == FormatBinary {
+		return scanBinaryFile(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, false, err
@@ -492,6 +632,11 @@ func ScanFile(path string) (rows, lastRun int, torn bool, err error) {
 // of complete rows already on disk. Appending to a legacy pre-resilience
 // log is refused (its rows have a different column count).
 func OpenAppend(path string, o Options) (w *Writer, rows int, err error) {
+	if format, err := sniffFormat(path); err != nil {
+		return nil, 0, err
+	} else if format == FormatBinary {
+		return openAppendBinary(path, o)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, 0, err
@@ -553,6 +698,11 @@ func checkAppendHeader(f *os.File) error {
 // no way to know whether the last run's row block is complete, so resume
 // re-executes it from its backend draws instead.
 func TruncateTrailingRun(path string) (rows, droppedRun int, err error) {
+	if format, err := sniffFormat(path); err != nil {
+		return 0, 0, err
+	} else if format == FormatBinary {
+		return truncateTrailingRunBinary(path)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, 0, err
@@ -581,6 +731,11 @@ func TruncateTrailingRun(path string) (rows, droppedRun int, err error) {
 // were durably part of the campaign: anything past them is discarded before
 // the campaign continues. n larger than the available rows is an error.
 func TruncateRows(path string, n int) error {
+	if format, err := sniffFormat(path); err != nil {
+		return err
+	} else if format == FormatBinary {
+		return truncateRowsBinary(path, n)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"sharp/internal/cache"
 	"sharp/internal/core"
 	"sharp/internal/fsx"
 	"sharp/internal/machine"
@@ -58,6 +59,12 @@ type Config struct {
 	Tracer obs.Tracer
 	// Registry receives service metrics (nil disables).
 	Registry *obs.Registry
+	// CacheDir, when non-empty, enables the content-addressed result cache:
+	// a fresh submission whose spec hashes to a completed cached campaign is
+	// answered by replaying the cached rows (zero worker dispatches), with
+	// the result CSV byte-identical to a measured run. Resumed campaigns
+	// never consult the cache — their partial durable log is the truth.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +183,8 @@ type Coordinator struct {
 	wg         sync.WaitGroup
 	slots      chan struct{}
 
+	cache *cache.Store // nil without Config.CacheDir
+
 	mu       sync.Mutex
 	camps    map[string]*campaign
 	order    []string
@@ -206,6 +215,15 @@ func New(cfg Config) (*Coordinator, error) {
 		rootCancel: cancel,
 		slots:      make(chan struct{}, cfg.MaxRunning),
 		camps:      map[string]*campaign{},
+	}
+	if cfg.CacheDir != "" {
+		store, err := cache.Open(cfg.CacheDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		store.Tracer, store.Registry = cfg.Tracer, cfg.Registry
+		c.cache = store
 	}
 	if err := c.recover(); err != nil {
 		cancel()
@@ -420,6 +438,10 @@ func (c *Coordinator) runner(cp *campaign, resume bool) {
 	cp.state = "running"
 	cp.mu.Unlock()
 
+	if c.cache != nil && !resume && c.tryCache(cp) {
+		return
+	}
+
 	db := &dispatchBackend{campID: cp.id, sched: c.sched}
 	e, err := cp.spec.dispatchExperiment(db)
 	if err != nil {
@@ -457,7 +479,47 @@ func (c *Coordinator) runner(cp *campaign, resume bool) {
 		res, err = l.Run(cp.ctx, e)
 	}
 	w.Close()
+	if c.cache != nil && err == nil && res != nil {
+		c.mu.Lock()
+		killed := c.killed
+		c.mu.Unlock()
+		if !killed {
+			// Advisory: a failed store never fails the campaign.
+			_ = c.cache.Put(cp.spec.cacheKey(), campaignCacheKind,
+				res.Experiment.Name, res.Rows)
+		}
+	}
 	c.finish(cp, res, err)
+}
+
+// tryCache answers a fresh campaign from the content-addressed cache: on a
+// hit the cached rows are replayed through core.Launcher.ReplayLog (zero
+// worker dispatches, bit-exact Result) and written as the campaign's durable
+// CSV, so Status, ResultCSVPath, and a later recovery see exactly what a
+// measured campaign would have left. Any replay or write problem falls back
+// to measuring.
+func (c *Coordinator) tryCache(cp *campaign) bool {
+	spec := cp.spec.withDefaults()
+	rows, _, err := c.cache.Get(cp.spec.cacheKey(), spec.Name)
+	if err != nil || rows == nil {
+		return false
+	}
+	e, err := cp.spec.ReferenceExperiment()
+	if err != nil {
+		return false
+	}
+	l := &core.Launcher{Clock: c.cfg.Clock}
+	res, err := l.ReplayLog(e, rows)
+	if err != nil {
+		// Unreplayable (or incomplete) entry: measure instead.
+		return false
+	}
+	if err := record.WriteRowsAtomic(c.csvPath(cp.id), rows); err != nil {
+		c.finish(cp, nil, fmt.Errorf("service: writing cached result: %w", err))
+		return true
+	}
+	c.finish(cp, res, nil)
+	return true
 }
 
 // finish journals a campaign outcome. Under Kill (crash simulation) nothing

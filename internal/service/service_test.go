@@ -658,3 +658,92 @@ func TestSpecValidation(t *testing.T) {
 		t.Errorf("chaos seed = %d, want campaign seed %d", noSeed.Chaos.Seed, noSeed.Seed)
 	}
 }
+
+// TestCampaignCacheServesRepeat covers the content-addressed result cache
+// end to end: a measured campaign populates the cache; a later coordinator
+// (fresh DataDir, same cache directory) answers the same spec with ZERO
+// workers attached — the replayed CSV is byte-identical to the sequential
+// reference — while a changed key ingredient (seed) misses and measures.
+func TestCampaignCacheServesRepeat(t *testing.T) {
+	spec := baseSpec("fixed", 12, 1, chaosOn)
+	want, refRes := referenceCSV(t, spec)
+	cacheDir := t.TempDir()
+
+	// First service: measure and populate the cache.
+	cfg := testConfig(t.TempDir())
+	cfg.CacheDir = cacheDir
+	col1 := obs.NewCollector()
+	cfg.Tracer = col1
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		spawnWorker(ctx, &Worker{ID: fmt.Sprintf("w%d", i), API: coord})
+	}
+	id, err := coord.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, coord, id); st.State != "done" {
+		t.Fatalf("first campaign state = %s", st.State)
+	}
+	if got := readCSV(t, coord.ResultCSVPath(id)); !bytes.Equal(got, want) {
+		t.Fatal("measured CSV differs from reference")
+	}
+	if n := len(col1.ByType(obs.EventCacheStore)); n != 1 {
+		t.Fatalf("store events = %d, want 1", n)
+	}
+	cancel()
+	coord.Close()
+
+	// Second service: same cache, fresh journal, NO workers. Only a cache
+	// hit can finish a campaign here.
+	cfg2 := testConfig(t.TempDir())
+	cfg2.CacheDir = cacheDir
+	col2 := obs.NewCollector()
+	cfg2.Tracer = col2
+	coord2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	// A different tenant shares the entry: tenancy is not a key ingredient.
+	hot := spec
+	hot.Tenant = "globex"
+	id2, err := coord2.Submit(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, coord2, id2)
+	if st.State != "done" {
+		t.Fatalf("cached campaign state = %s (%s)", st.State, st.Error)
+	}
+	if st.Runs != refRes.Runs || st.StopReason != refRes.StopReason {
+		t.Fatalf("replayed status = %d runs %q, want %d %q",
+			st.Runs, st.StopReason, refRes.Runs, refRes.StopReason)
+	}
+	if got := readCSV(t, coord2.ResultCSVPath(id2)); !bytes.Equal(got, want) {
+		t.Fatal("cached CSV differs from sequential reference")
+	}
+	if n := len(col2.ByType(obs.EventCacheHit)); n != 1 {
+		t.Fatalf("hit events = %d, want 1", n)
+	}
+
+	// A changed key ingredient misses: with no workers the campaign cannot
+	// finish, proving the miss forces real measurement.
+	miss := spec
+	miss.Seed = 43
+	if _, err := coord2.Submit(miss); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(col2.ByType(obs.EventCacheMiss)) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := len(col2.ByType(obs.EventCacheMiss)); n != 1 {
+		t.Fatalf("miss events = %d, want 1", n)
+	}
+}

@@ -30,11 +30,17 @@ import (
 	"fmt"
 
 	"sharp/internal/backend"
+	"sharp/internal/cache"
 	"sharp/internal/core"
 	"sharp/internal/machine"
 	"sharp/internal/perfmodel"
 	"sharp/internal/stopping"
 )
+
+// campaignCacheKind versions the service campaign cache namespace; bump it
+// if campaign execution semantics change in a way that invalidates cached
+// rows.
+const campaignCacheKind = "service-campaign/v1"
 
 // ChaosSpec configures deterministic fault injection for a campaign. Rates
 // follow backend.ChaosConfig; the seed defaults to the campaign seed.
@@ -145,6 +151,31 @@ func (s CampaignSpec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// cacheKey derives the campaign's content address: every normalized spec
+// field the result bytes depend on. Tenant and Parallel are deliberately
+// absent — neither affects row bytes (service results are byte-identical to
+// the sequential reference at any batch width), so campaigns submitted by
+// different tenants or at different widths share cache entries.
+func (s CampaignSpec) cacheKey() string {
+	s = s.withDefaults()
+	parts := []string{
+		"name=" + s.Name,
+		"workload=" + s.Workload,
+		"machine=" + s.Machine,
+		fmt.Sprintf("rule=%s@%g", s.Rule, s.Threshold),
+		fmt.Sprintf("runs=%d..%d", s.MinRuns, s.MaxRuns),
+		fmt.Sprintf("seed=%d", s.Seed),
+		fmt.Sprintf("day=%d", s.Day),
+		fmt.Sprintf("concurrency=%d", s.Concurrency),
+		fmt.Sprintf("warmups=%d", s.WarmupRuns),
+	}
+	if c := s.Chaos; c != nil {
+		parts = append(parts, fmt.Sprintf("chaos=%d:%g:%g:%g:%g",
+			c.Seed, c.ErrorRate, c.TimeoutRate, c.LatencyRate, c.LatencySpike))
+	}
+	return cache.Key(campaignCacheKind, parts...)
 }
 
 // rule builds a fresh stopping rule (rules are stateful accumulators; every

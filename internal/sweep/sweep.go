@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"sharp/internal/backend"
+	"sharp/internal/cache"
 	"sharp/internal/core"
 	"sharp/internal/machine"
 	"sharp/internal/record"
@@ -24,6 +25,26 @@ import (
 	"sharp/internal/stopping"
 	"sharp/internal/textplot"
 )
+
+// cellCacheKind versions the sweep cell cache namespace; bump it if the
+// cell execution semantics change in a way that invalidates cached rows.
+const cellCacheKind = "sweep-cell/v1"
+
+// cellKey derives the content address of one cell: every input the cell's
+// rows depend on, spelled explicitly so a new factor can never silently
+// alias an old entry.
+func (d Design) cellKey(p cellPlan) string {
+	return cache.Key(cellCacheKind,
+		"name="+d.Name,
+		"workload="+p.workload,
+		"machine="+p.machineName,
+		fmt.Sprintf("day=%d", p.day),
+		fmt.Sprintf("concurrency=%d", p.concurrency),
+		fmt.Sprintf("rule=%s@%g", d.RuleName, d.Threshold),
+		fmt.Sprintf("maxruns=%d", d.MaxRuns),
+		fmt.Sprintf("seed=%d", d.Seed),
+	)
+}
 
 // Design is a full-factorial experiment plan.
 type Design struct {
@@ -50,6 +71,13 @@ type Design struct {
 	// rule, so cells share no state and the outcome is identical — cell
 	// order included — at any parallelism.
 	Parallel int
+	// CacheDir, when non-empty, enables the content-addressed result cache:
+	// each completed cell is stored under a key derived from everything its
+	// outcome depends on (design name, factors, rule, bounds, seed), and a
+	// later run of the same cell replays the cached rows through
+	// core.Launcher.ReplayLog with zero backend calls — bit-identical
+	// results included.
+	CacheDir string
 }
 
 func (d Design) withDefaults() (Design, error) {
@@ -129,33 +157,77 @@ func Run(ctx context.Context, d Design) (*Outcome, error) {
 		}
 	}
 	launcher := core.NewLauncher()
+	var store *cache.Store
+	if d.CacheDir != "" {
+		if store, err = cache.Open(d.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	runCell := func(p cellPlan) (Cell, error) {
 		m, err := machine.ByName(p.machineName)
 		if err != nil {
 			return Cell{}, err
 		}
-		rule, err := stopping.NewNamed(d.RuleName, d.Threshold,
-			stopping.Bounds{MaxSamples: d.MaxRuns})
+		name := fmt.Sprintf("%s/%s@%s", d.Name, p.workload, p.machineName)
+		// experiment builds the cell configuration with a fresh stopping
+		// rule (rules are stateful accumulators; replay and measurement
+		// each need their own).
+		experiment := func() (core.Experiment, error) {
+			rule, err := stopping.NewNamed(d.RuleName, d.Threshold,
+				stopping.Bounds{MaxSamples: d.MaxRuns})
+			if err != nil {
+				return core.Experiment{}, err
+			}
+			return core.Experiment{
+				Name:        name,
+				Workload:    p.workload,
+				Backend:     backend.NewSim(m, d.Seed),
+				Rule:        rule,
+				Concurrency: p.concurrency,
+				Day:         p.day,
+				Seed:        d.Seed,
+			}, nil
+		}
+		cell := func(res *core.Result) Cell {
+			return Cell{
+				Workload: p.workload, Machine: p.machineName,
+				Day: p.day, Concurrency: p.concurrency, Result: res,
+			}
+		}
+		var key string
+		if store != nil {
+			key = d.cellKey(p)
+			rows, _, err := store.Get(key, name)
+			if err != nil {
+				return Cell{}, err
+			}
+			if rows != nil {
+				e, err := experiment()
+				if err != nil {
+					return Cell{}, err
+				}
+				if res, err := launcher.ReplayLog(e, rows); err == nil {
+					return cell(res), nil
+				}
+				// An unreplayable entry (semantics drifted) falls through
+				// to a fresh measurement, which overwrites it.
+			}
+		}
+		e, err := experiment()
 		if err != nil {
 			return Cell{}, err
 		}
-		res, err := launcher.Run(ctx, core.Experiment{
-			Name:        fmt.Sprintf("%s/%s@%s", d.Name, p.workload, p.machineName),
-			Workload:    p.workload,
-			Backend:     backend.NewSim(m, d.Seed),
-			Rule:        rule,
-			Concurrency: p.concurrency,
-			Day:         p.day,
-			Seed:        d.Seed,
-		})
+		res, err := launcher.Run(ctx, e)
 		if err != nil {
 			return Cell{}, fmt.Errorf("sweep: cell %s@%s day %d c%d: %w",
 				p.workload, p.machineName, p.day, p.concurrency, err)
 		}
-		return Cell{
-			Workload: p.workload, Machine: p.machineName,
-			Day: p.day, Concurrency: p.concurrency, Result: res,
-		}, nil
+		if store != nil {
+			if err := store.Put(key, cellCacheKind, name, res.Rows); err != nil {
+				return Cell{}, err
+			}
+		}
+		return cell(res), nil
 	}
 
 	cells := make([]Cell, len(plans))

@@ -1,11 +1,15 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
+	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"sharp/internal/cache"
 	"sharp/internal/record"
 )
 
@@ -185,4 +189,83 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 	if seq.Render() != par.Render() {
 		t.Fatal("rendered sweep diverged between sequential and parallel runs")
 	}
+}
+
+func TestCacheHitSkipsExecution(t *testing.T) {
+	d := smallDesign()
+	d.CacheDir = t.TempDir()
+
+	first, err := Run(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cache.Open(d.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := store.Counters()
+	if int(c.Misses) != len(first.Cells) || int(c.Stores) != len(first.Cells) || c.Hits != 0 {
+		t.Fatalf("cold-run counters = %+v, want %d misses and stores", c, len(first.Cells))
+	}
+
+	second, err := Run(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = cacheCounters(t, d.CacheDir)
+	if int(c.Hits) != len(first.Cells) {
+		t.Fatalf("warm-run counters = %+v, want %d hits (execution skipped)", c, len(first.Cells))
+	}
+	if int(c.Stores) != len(first.Cells) {
+		t.Fatalf("warm run stored %d entries, want no new stores beyond %d", c.Stores, len(first.Cells))
+	}
+
+	// The replayed outcome is bit-identical: the combined tidy CSV matches
+	// byte for byte.
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")
+	if err := first.SaveCSV(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.SaveCSV(b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if !bytes.Equal(da, db) {
+		t.Fatal("cached sweep CSV differs from the measured one")
+	}
+	for i, cell := range second.Cells {
+		if cell.Result.StopReason != first.Cells[i].Result.StopReason ||
+			cell.Result.Runs != first.Cells[i].Result.Runs ||
+			!reflect.DeepEqual(cell.Result.Samples, first.Cells[i].Result.Samples) {
+			t.Fatalf("cell %s: replayed result differs", cell.Key())
+		}
+	}
+}
+
+func TestCacheKeyChangeForcesMiss(t *testing.T) {
+	d := smallDesign()
+	d.Workloads, d.Machines, d.Days = []string{"bfs"}, []string{"machine1"}, []int{1}
+	d.CacheDir = t.TempDir()
+	if _, err := Run(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	d.Seed++ // any key ingredient change must address a different entry
+	if _, err := Run(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	c := cacheCounters(t, d.CacheDir)
+	if c.Hits != 0 || c.Misses != 2 || c.Stores != 2 {
+		t.Fatalf("counters = %+v, want 0 hits / 2 misses / 2 stores", c)
+	}
+}
+
+func cacheCounters(t *testing.T, dir string) cache.Counters {
+	t.Helper()
+	s, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Counters()
 }
