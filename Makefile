@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check crash-test soak bench bench-short bench-check experiments fuzz examples clean
+.PHONY: all build test vet race check crash-test soak bench bench-short bench-check trend-check experiments fuzz examples clean
 
 all: build vet test
 
@@ -54,7 +54,9 @@ soak:
 # cmd/sharp-benchdiff — the reproduction targets must not drift no matter
 # how the analysis path is optimized. BENCH_pr7.json additionally gates the
 # binary record log: bin_bytes_per_row exactly and speedup_x as a floor
-# (binary record+replay must stay >=10x the CSV codec at 1e6 rows).
+# (binary record+replay must stay >=10x the CSV codec at 1e6 rows), and
+# BENCH_pr8.json exact-gates cp_index: the seeded change-point detector must
+# keep localizing the injected shifts at the same indices.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -65,8 +67,17 @@ bench-check:
 	@tmp=$$(mktemp) && \
 	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./... | tee $$tmp | \
 		$(GO) run ./cmd/sharp-benchdiff -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%' && \
-	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr7.json -metrics 'bin_bytes_per_row' -min 'speedup_x'; \
+	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr7.json -metrics 'bin_bytes_per_row' -min 'speedup_x' && \
+	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr8.json -metrics 'cp_index'; \
 	rc=$$?; rm -f $$tmp; exit $$rc
+
+# Change-point scan over the committed snapshot history: E-Divisive per
+# (benchmark, metric) series across every BENCH_*.json, failing on
+# unacknowledged regressions (drops in speedup_x/rows/s, drift in exact
+# reproduction metrics). Deterministic under the default seed. See
+# DESIGN.md §13.
+trend-check:
+	$(GO) run ./cmd/sharp-benchdiff -trend 'BENCH_*.json'
 
 # Regenerate every paper table and figure into results/.
 experiments:

@@ -15,7 +15,20 @@
 // Floor metrics (-min 'speedup_x') gate one-sided: the current value must
 // meet or beat the baseline, for performance ratios that must not regress.
 //
-// Timings (ns/op, B/op, allocs/op) are machine-dependent and never gated.
+// Benchmarks present in the current run but absent from the baseline carry
+// gated metric columns nobody is guarding: they are reported as warnings,
+// and -strict turns them into failures.
+//
+// Timings (ns/op, B/op, allocs/op) are machine-dependent and never gated
+// pairwise.
+//
+// Trend mode (continuous regression detection) ingests the whole snapshot
+// trajectory instead of one pair and localizes statistically significant
+// level shifts per (benchmark, metric) series via E-Divisive change-point
+// analysis (internal/changepoint), exiting non-zero on unacknowledged
+// regressions:
+//
+//	sharp-benchdiff -trend 'BENCH_*.json'
 package main
 
 import (
@@ -26,11 +39,14 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
 	"sharp/internal/fsx"
+	"sharp/internal/obs"
 )
 
 // Snapshot is the on-disk schema shared with BENCH_baseline.json.
@@ -123,11 +139,17 @@ func loadSnapshot(path string) (*Snapshot, error) {
 }
 
 // gate compares the named deterministic metric columns of current against
-// the baseline and returns the list of violations. Columns in metrics must
-// match the baseline exactly (within tol); columns in minMetrics are floors —
-// the baseline value is a minimum the current run must meet or beat, for
-// performance-ratio metrics that only ever get noisier upward.
-func gate(baseline *Snapshot, current []*BenchmarkResult, metrics, minMetrics []string, tol float64) []string {
+// the baseline and returns the list of violations plus warnings. Columns in
+// metrics must match the baseline exactly (within tol); columns in
+// minMetrics are floors — the baseline value is a minimum the current run
+// must meet or beat, for performance-ratio metrics that only ever get
+// noisier upward.
+//
+// Warnings cover the reverse direction the violation scan cannot see: a
+// benchmark (or gated column) present in the current run but absent from
+// the baseline — a new code path or renamed benchmark nobody is guarding.
+// -strict promotes warnings to violations.
+func gate(baseline *Snapshot, current []*BenchmarkResult, metrics, minMetrics []string, tol float64) (violations, warnings []string) {
 	byName := map[string]*BenchmarkResult{}
 	for _, b := range current {
 		byName[b.Name] = b
@@ -140,7 +162,10 @@ func gate(baseline *Snapshot, current []*BenchmarkResult, metrics, minMetrics []
 	for _, m := range minMetrics {
 		floor[strings.TrimSpace(m)] = true
 	}
-	var violations []string
+	baseByName := map[string]*BenchmarkResult{}
+	for _, b := range baseline.Benchmarks {
+		baseByName[b.Name] = b
+	}
 	for _, base := range baseline.Benchmarks {
 		for metric, bv := range base.Metrics {
 			if !want[metric] && !floor[metric] {
@@ -170,13 +195,36 @@ func gate(baseline *Snapshot, current []*BenchmarkResult, metrics, minMetrics []
 			}
 		}
 	}
-	return violations
+	// Unguarded novelty: current benchmarks carrying gated columns the
+	// baseline does not know about.
+	for _, cur := range current {
+		base := baseByName[cur.Name]
+		for metric, cv := range cur.Metrics {
+			if !want[metric] && !floor[metric] {
+				continue
+			}
+			switch {
+			case base == nil:
+				warnings = append(warnings,
+					fmt.Sprintf("%s: benchmark not in baseline (unguarded %s=%g); re-snapshot to gate it", cur.Name, metric, cv))
+			default:
+				if _, ok := base.Metrics[metric]; !ok {
+					warnings = append(warnings,
+						fmt.Sprintf("%s: metric %s not in baseline (unguarded, current %g); re-snapshot to gate it", cur.Name, metric, cv))
+				}
+			}
+		}
+	}
+	sort.Strings(warnings)
+	return violations, warnings
 }
 
-// withinTol reports |a-b| <= tol * max(1, |a|): relative for large values,
-// absolute near zero.
+// withinTol reports |a-b| <= tol * max(1, |a|, |b|): relative for large
+// values, absolute near zero, and symmetric — comparing (a, b) must reach
+// the same verdict as comparing (b, a), so the gate tolerates the same
+// drift whichever side is the baseline.
 func withinTol(a, b, tol float64) bool {
-	return math.Abs(a-b) <= tol*math.Max(1, math.Abs(a))
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
 }
 
 func main() {
@@ -187,7 +235,21 @@ func main() {
 	metrics := flag.String("metrics", "multimodal_%,savings_%", "comma-separated deterministic metric columns to gate")
 	min := flag.String("min", "", "comma-separated metric columns gated as floors (current >= baseline)")
 	tol := flag.Float64("tol", 1e-6, "relative drift tolerance")
+	strict := flag.Bool("strict", false, "fail on warnings (benchmarks/columns unguarded by the baseline)")
+	trend := flag.String("trend", "", "glob of snapshot JSONs (lexical order) for change-point trend analysis")
+	trendTimings := flag.Bool("trend-timings", false, "trend mode: also watch machine-dependent ns/op, B/op, allocs/op series")
+	higherBetter := flag.String("higher-better", "speedup_x,rows/s", "trend mode: metric columns where larger is better")
+	ack := flag.String("ack", "", "trend mode: acknowledged change points (bench/metric@index, comma-separated)")
+	alpha := flag.Float64("alpha", 0.05, "trend mode: permutation-test significance level")
+	perms := flag.Int("perms", 199, "trend mode: permutations per segment test")
+	minSegment := flag.Int("min-segment", 2, "trend mode: minimum snapshots per segment")
+	seed := flag.Uint64("seed", 1, "trend mode: permutation RNG seed")
+	trace := flag.String("trace", "", "trend mode: write detector events as JSONL to this path")
 	flag.Parse()
+
+	if *trend != "" {
+		os.Exit(trendMain(*trend, *trendTimings, *higherBetter, *ack, *alpha, *perms, *minSegment, *seed, *trace))
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -235,13 +297,61 @@ func main() {
 		if *min != "" {
 			minCols = strings.Split(*min, ",")
 		}
-		violations := gate(base, results, cols, minCols, *tol)
-		if len(violations) > 0 {
-			for _, v := range violations {
-				fmt.Fprintln(os.Stderr, "DRIFT: "+v)
-			}
+		violations, warnings := gate(base, results, cols, minCols, *tol)
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "WARN: "+w)
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "DRIFT: "+v)
+		}
+		if len(violations) > 0 || (*strict && len(warnings) > 0) {
 			os.Exit(1)
 		}
 		fmt.Printf("ok: %s columns match %s\n", *metrics, *baseline)
 	}
+}
+
+// trendMain runs trend mode end to end and returns the process exit code.
+func trendMain(pattern string, timings bool, higherBetter, ack string, alpha float64, perms, minSegment int, seed uint64, trace string) int {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharp-benchdiff: bad -trend pattern:", err)
+		return 2
+	}
+	sort.Strings(paths)
+	if len(paths) < 2 {
+		fmt.Fprintf(os.Stderr, "sharp-benchdiff: -trend %q matched %d snapshots, need at least 2\n", pattern, len(paths))
+		return 2
+	}
+	snaps := make([]*Snapshot, len(paths))
+	for i, p := range paths {
+		if snaps[i], err = loadSnapshot(p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	acks, err := parseAcks(ack)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharp-benchdiff:", err)
+		return 2
+	}
+	o := trendOptions{
+		Alpha: alpha, Permutations: perms, MinSegment: minSegment, Seed: seed,
+		Timings: timings, HigherBetter: splitList(higherBetter), Ack: acks,
+	}
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		t := obs.NewJSONL(f)
+		defer obs.Close(t)
+		o.Tracer = t
+	}
+	if failures := runTrend(paths, snaps, o, os.Stdout); failures > 0 {
+		fmt.Fprintf(os.Stderr, "sharp-benchdiff: %d unacknowledged regression(s) in trend\n", failures)
+		return 1
+	}
+	return 0
 }

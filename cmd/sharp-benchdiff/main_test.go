@@ -51,24 +51,24 @@ func TestGate(t *testing.T) {
 		{Name: "BenchmarkFig1bAutoStopping", Metrics: map[string]float64{"savings_%": 87.22, "KS_to_truth": 0.06561}},
 	}}
 	cols := []string{"multimodal_%", "savings_%"}
-	if v := gate(base, results, cols, nil, 1e-6); len(v) != 0 {
+	if v, _ := gate(base, results, cols, nil, 1e-6); len(v) != 0 {
 		t.Fatalf("unexpected violations: %v", v)
 	}
 	// Drift in a gated column fails.
 	base.Benchmarks[0].Metrics["multimodal_%"] = 65.0
-	if v := gate(base, results, cols, nil, 1e-6); len(v) != 1 {
+	if v, _ := gate(base, results, cols, nil, 1e-6); len(v) != 1 {
 		t.Fatalf("expected 1 violation, got %v", v)
 	}
 	// Drift in a non-gated column (timing-adjacent metric) passes.
 	base.Benchmarks[0].Metrics["multimodal_%"] = 70.0
 	base.Benchmarks[1].Metrics["KS_to_truth"] = 0.9
-	if v := gate(base, results, cols, nil, 1e-6); len(v) != 0 {
+	if v, _ := gate(base, results, cols, nil, 1e-6); len(v) != 0 {
 		t.Fatalf("non-gated column should not fail: %v", v)
 	}
 	// Missing benchmark fails.
 	base.Benchmarks = append(base.Benchmarks,
 		&BenchmarkResult{Name: "BenchmarkGone", Metrics: map[string]float64{"savings_%": 1}})
-	if v := gate(base, results, cols, nil, 1e-6); len(v) != 1 {
+	if v, _ := gate(base, results, cols, nil, 1e-6); len(v) != 1 {
 		t.Fatalf("expected missing-benchmark violation, got %v", v)
 	}
 }
@@ -82,17 +82,17 @@ func TestGateFloor(t *testing.T) {
 		{Name: "BenchmarkFig1bAutoStopping", Metrics: map[string]float64{"savings_%": 80}},
 	}}
 	// Current 87.22 beats the 80 floor.
-	if v := gate(base, results, nil, []string{"savings_%"}, 1e-6); len(v) != 0 {
+	if v, _ := gate(base, results, nil, []string{"savings_%"}, 1e-6); len(v) != 0 {
 		t.Fatalf("unexpected violations: %v", v)
 	}
 	// Raise the floor above the current value: one-sided failure.
 	base.Benchmarks[0].Metrics["savings_%"] = 90
-	if v := gate(base, results, nil, []string{"savings_%"}, 1e-6); len(v) != 1 || !strings.Contains(v[0], "below floor") {
+	if v, _ := gate(base, results, nil, []string{"savings_%"}, 1e-6); len(v) != 1 || !strings.Contains(v[0], "below floor") {
 		t.Fatalf("expected floor violation, got %v", v)
 	}
 	// The same column as an exact gate would fail in both directions.
 	base.Benchmarks[0].Metrics["savings_%"] = 80
-	if v := gate(base, results, []string{"savings_%"}, nil, 1e-6); len(v) != 1 {
+	if v, _ := gate(base, results, []string{"savings_%"}, nil, 1e-6); len(v) != 1 {
 		t.Fatalf("exact gate should reject 80 vs 87.22: %v", v)
 	}
 }

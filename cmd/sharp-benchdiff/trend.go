@@ -1,0 +1,300 @@
+// Trend mode: E-Divisive change-point analysis over an ordered trajectory
+// of benchmark snapshots (BENCH_*.json), the continuous-regression layer on
+// top of the pairwise gate. Where `-baseline` diffs two snapshots, `-trend`
+// ingests the whole committed history, localizes statistically significant
+// level shifts per (benchmark, metric) series, ranks them, and exits
+// non-zero on unacknowledged regressions.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sharp/internal/changepoint"
+	"sharp/internal/obs"
+	"sharp/internal/textplot"
+)
+
+// trendOptions carries the trend-mode configuration.
+type trendOptions struct {
+	// Alpha, Permutations, MinSegment, Seed tune the detector.
+	Alpha        float64
+	Permutations int
+	MinSegment   int
+	Seed         uint64
+	// Timings includes the machine-dependent timing columns (ns/op, B/op,
+	// allocs/op) in the watched series. Off by default so CI runs only gate
+	// the machine-independent metric columns.
+	Timings bool
+	// HigherBetter names metric columns where larger is better (their
+	// drops are regressions); every other metric column is an exact
+	// reproduction target whose significant shift in either direction is a
+	// regression unless acknowledged.
+	HigherBetter map[string]bool
+	// Ack holds acknowledged change points ("bench/metric@index"): known,
+	// accepted shifts that no longer fail the gate.
+	Ack map[string]bool
+	// Tracer receives detector and gate events (optional).
+	Tracer obs.Tracer
+}
+
+// timingColumns are the machine-dependent series gated only under -trend-timings.
+var timingColumns = []string{"ns/op", "B/op", "allocs/op"}
+
+// trendSeries is one (benchmark, metric) trajectory across the snapshots.
+type trendSeries struct {
+	Bench, Metric string
+	Values        []float64
+	Indices       []int // snapshot index of each value (series may have gaps)
+	Timing        bool
+	HigherBetter  bool
+}
+
+// trendFinding is one detected change point, classified.
+type trendFinding struct {
+	Series        trendSeries
+	SnapshotIndex int // index into the snapshot trajectory
+	Before, After float64
+	MagnitudePct  float64
+	P, Q          float64
+	Regression    bool
+	Acked         bool
+	Direction     string // "regression", "improvement", "drift"
+}
+
+// ackToken is the identifier users pass to -ack to accept a change point.
+func (f trendFinding) ackToken() string {
+	return fmt.Sprintf("%s/%s@%d", f.Series.Bench, f.Series.Metric, f.SnapshotIndex)
+}
+
+// buildTrendSeries assembles every watched (benchmark, metric) series from
+// the snapshot trajectory. Series order is deterministic (benchmark name,
+// then metric name).
+func buildTrendSeries(snaps []*Snapshot, o trendOptions) []trendSeries {
+	type key struct{ bench, metric string }
+	values := map[key][]float64{}
+	indices := map[key][]int{}
+	timing := map[key]bool{}
+	add := func(k key, idx int, v float64, isTiming bool) {
+		values[k] = append(values[k], v)
+		indices[k] = append(indices[k], idx)
+		timing[k] = isTiming
+	}
+	for idx, s := range snaps {
+		for _, b := range s.Benchmarks {
+			for metric, v := range b.Metrics {
+				add(key{b.Name, metric}, idx, v, false)
+			}
+			if !o.Timings {
+				continue
+			}
+			for col, v := range map[string]float64{
+				"ns/op": b.NsPerOp, "B/op": b.BytesPerOp, "allocs/op": b.AllocsPerOp,
+			} {
+				if v != 0 {
+					add(key{b.Name, col}, idx, v, true)
+				}
+			}
+		}
+	}
+	keys := make([]key, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	out := make([]trendSeries, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, trendSeries{
+			Bench: k.bench, Metric: k.metric,
+			Values: values[k], Indices: indices[k],
+			Timing:       timing[k],
+			HigherBetter: o.HigherBetter[k.metric],
+		})
+	}
+	return out
+}
+
+// classify turns the change points of one series into findings: direction,
+// magnitude, and whether the shift is a regression for this series kind.
+func classify(s trendSeries, cps []changepoint.ChangePoint, o trendOptions) []trendFinding {
+	segs := changepoint.Segments(len(s.Values), cps)
+	var out []trendFinding
+	for i, cp := range cps {
+		before := mean(s.Values[segs[i][0]:segs[i][1]])
+		after := mean(s.Values[segs[i+1][0]:segs[i+1][1]])
+		f := trendFinding{
+			Series:        s,
+			SnapshotIndex: s.Indices[cp.Index],
+			Before:        before, After: after,
+			P: cp.P, Q: cp.Q,
+		}
+		if before != 0 {
+			f.MagnitudePct = 100 * (after - before) / math.Abs(before)
+		} else {
+			f.MagnitudePct = math.Inf(1)
+			if after < before {
+				f.MagnitudePct = math.Inf(-1)
+			}
+		}
+		worse := after > before // timing semantics: up is bad
+		switch {
+		case s.HigherBetter:
+			worse = after < before
+		case !s.Timing:
+			// Exact reproduction target: any significant shift is drift.
+			worse = true
+		}
+		if worse {
+			f.Direction = "regression"
+			if !s.Timing && !s.HigherBetter {
+				f.Direction = "drift"
+			}
+			f.Regression = true
+			f.Acked = o.Ack[f.ackToken()]
+		} else {
+			f.Direction = "improvement"
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// runTrend analyzes the snapshot trajectory and writes the ranked report.
+// It returns the number of unacknowledged regressions (the gate fails when
+// positive).
+func runTrend(paths []string, snaps []*Snapshot, o trendOptions, w io.Writer) int {
+	series := buildTrendSeries(snaps, o)
+	minPoints := 2 * o.MinSegment
+	if o.MinSegment == 0 {
+		minPoints = 4 // detector default MinSegment=2
+	}
+	var findings []trendFinding
+	checked, short := 0, 0
+	for _, s := range series {
+		if len(s.Values) < minPoints {
+			short++
+			continue
+		}
+		checked++
+		cps := changepoint.Detect(s.Values, changepoint.Options{
+			Alpha: o.Alpha, Permutations: o.Permutations,
+			MinSegment: o.MinSegment, Seed: o.Seed, Tracer: o.Tracer,
+		})
+		findings = append(findings, classify(s, cps, o)...)
+	}
+	// Rank: regressions first, then by p ascending, |magnitude| descending.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		ra, rb := a.Regression && !a.Acked, b.Regression && !b.Acked
+		if ra != rb {
+			return ra
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		ma, mb := math.Abs(a.MagnitudePct), math.Abs(b.MagnitudePct)
+		if ma != mb {
+			return ma > mb
+		}
+		return a.ackToken() < b.ackToken()
+	})
+	fmt.Fprintf(w, "trend: %d snapshots (%s .. %s), %d series checked, %d too short (< %d points)\n",
+		len(snaps), filepath.Base(paths[0]), filepath.Base(paths[len(paths)-1]), checked, short, minPoints)
+	failures := 0
+	for _, f := range findings {
+		status := strings.ToUpper(f.Direction)
+		switch {
+		case f.Acked:
+			status = "ACKED " + f.Direction
+		case f.Regression:
+			failures++
+		}
+		at := f.SnapshotIndex
+		fmt.Fprintf(w, "%-11s %s %s @ %s: %s -> %s (%s, p=%.3g, Q=%.3g)  %s\n",
+			status+":", f.Series.Bench, f.Series.Metric, filepath.Base(paths[at]),
+			formatValue(f.Before), formatValue(f.After), formatPct(f.MagnitudePct),
+			f.P, f.Q, textplot.Sparkline(f.Series.Values))
+		if f.Regression && !f.Acked {
+			fmt.Fprintf(w, "             acknowledge with -ack '%s'\n", f.ackToken())
+		}
+		obs.Emit(o.Tracer, obs.EventTrendChangePoint, map[string]any{
+			"series": f.Series.Bench + "/" + f.Series.Metric, "index": f.SnapshotIndex,
+			"direction": f.Direction, "before": f.Before, "after": f.After,
+			"magnitude_pct": finiteOr(f.MagnitudePct, 0), "p": f.P, "q": f.Q,
+		})
+	}
+	if len(findings) == 0 {
+		fmt.Fprintf(w, "ok: no significant change points\n")
+	}
+	obs.Emit(o.Tracer, obs.EventTrendGate, map[string]any{
+		"series_checked": checked, "change_points": len(findings),
+		"regressions": failures, "failed": failures > 0,
+	})
+	return failures
+}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', 5, 64) }
+
+func formatPct(v float64) string {
+	if math.IsInf(v, 0) {
+		return "from zero baseline"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
+
+// finiteOr replaces non-finite values for JSON-safe event fields.
+func finiteOr(v, fallback float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fallback
+	}
+	return v
+}
+
+// parseAcks parses the -ack flag: comma-separated "bench/metric@index" tokens.
+func parseAcks(s string) (map[string]bool, error) {
+	out := map[string]bool{}
+	if s == "" {
+		return out, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		at := strings.LastIndex(tok, "@")
+		if at <= 0 || !strings.Contains(tok[:at], "/") {
+			return nil, fmt.Errorf("bad -ack token %q (want bench/metric@index)", tok)
+		}
+		if _, err := strconv.Atoi(tok[at+1:]); err != nil {
+			return nil, fmt.Errorf("bad -ack token %q: index %q not a number", tok, tok[at+1:])
+		}
+		out[tok] = true
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag value into a set.
+func splitList(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out[tok] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sharp/internal/randx"
+)
+
+// TestWithinTolSymmetry is the regression test for the asymmetric gate bug:
+// the tolerance used to scale by |a| only, so withinTol(a, b) and
+// withinTol(b, a) disagreed near zero baselines and the gate's verdict
+// depended on which snapshot happened to be the baseline.
+func TestWithinTolSymmetry(t *testing.T) {
+	cases := [][2]float64{
+		{0, 1e-7}, {1e-7, 0}, {100, 100.00001}, {100.00001, 100},
+		{-5, -5.0000001}, {0.5, 0.5000004}, {1e9, 1e9 + 500},
+	}
+	for _, c := range cases {
+		if withinTol(c[0], c[1], 1e-6) != withinTol(c[1], c[0], 1e-6) {
+			t.Errorf("withinTol(%g, %g) != withinTol(%g, %g)", c[0], c[1], c[1], c[0])
+		}
+	}
+	// Zero baseline no longer accepts arbitrary drift: |0 - 2e-6| > tol*max(1,..).
+	if withinTol(0, 2e-6, 1e-6) {
+		t.Error("zero baseline accepted drift beyond tolerance")
+	}
+	if !withinTol(0, 5e-7, 1e-6) {
+		t.Error("sub-tolerance drift from zero rejected")
+	}
+	// Large magnitudes still get relative scaling.
+	if !withinTol(1e9, 1e9+500, 1e-6) {
+		t.Error("relative tolerance lost for large magnitudes")
+	}
+}
+
+// TestGateWarnsOnUnguardedBenchmarks covers the second gate bug: benchmarks
+// present only in the current run used to be silently skipped, so a new
+// benchmark carrying a gated column was never checked against anything.
+func TestGateWarnsOnUnguardedBenchmarks(t *testing.T) {
+	_, results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline knows only one of the two benchmarks.
+	base := &Snapshot{Benchmarks: []*BenchmarkResult{
+		{Name: "BenchmarkFig4Distributions", Metrics: map[string]float64{"multimodal_%": 70.0}},
+	}}
+	cols := []string{"multimodal_%", "savings_%"}
+	v, w := gate(base, results, cols, nil, 1e-6)
+	if len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if len(w) != 1 || !strings.Contains(w[0], "BenchmarkFig1bAutoStopping") {
+		t.Fatalf("expected unguarded-benchmark warning, got %v", w)
+	}
+	// A benchmark the baseline knows, but with a gated column it lacks,
+	// warns at metric granularity.
+	base.Benchmarks = append(base.Benchmarks,
+		&BenchmarkResult{Name: "BenchmarkFig1bAutoStopping", Metrics: map[string]float64{"KS_to_truth": 0.06561}})
+	v, w = gate(base, results, cols, nil, 1e-6)
+	if len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if len(w) != 1 || !strings.Contains(w[0], "savings_%") {
+		t.Fatalf("expected unguarded-metric warning, got %v", w)
+	}
+	// Fully covered baseline: no warnings.
+	base.Benchmarks[1].Metrics["savings_%"] = 87.22
+	if _, w = gate(base, results, cols, nil, 1e-6); len(w) != 0 {
+		t.Fatalf("unexpected warnings: %v", w)
+	}
+}
+
+// synthSnaps builds a snapshot trajectory for one benchmark with the given
+// per-snapshot metric values (noise-free plus tiny deterministic jitter so
+// the series is not constant).
+func synthSnaps(metric string, values []float64, timings []float64) ([]string, []*Snapshot) {
+	rng := randx.New(9)
+	paths := make([]string, len(values))
+	snaps := make([]*Snapshot, len(values))
+	for i, v := range values {
+		b := &BenchmarkResult{
+			Name:    "BenchmarkSynthetic",
+			Metrics: map[string]float64{metric: v + 0.001*rng.NormFloat64()},
+		}
+		if timings != nil {
+			b.NsPerOp = timings[i]
+		}
+		paths[i] = "BENCH_synth.json"
+		snaps[i] = &Snapshot{Benchmarks: []*BenchmarkResult{b}}
+	}
+	return paths, snaps
+}
+
+func level(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestRunTrendFailsOnInjectedRegression is the injected-regression fixture:
+// a higher-better metric (speedup_x) drops mid-trajectory, and the trend
+// gate must report a failure (non-zero exit in main).
+func TestRunTrendFailsOnInjectedRegression(t *testing.T) {
+	values := append(level(8, 5.0), level(8, 3.0)...) // speedup 5x -> 3x at index 8
+	paths, snaps := synthSnaps("speedup_x", values, nil)
+	o := trendOptions{HigherBetter: map[string]bool{"speedup_x": true}, Ack: map[string]bool{}, Seed: 1}
+	var buf strings.Builder
+	failures := runTrend(paths, snaps, o, &buf)
+	if failures == 0 {
+		t.Fatalf("injected speedup drop not flagged:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "speedup_x@8") {
+		t.Fatalf("report missing regression/ack token:\n%s", out)
+	}
+	// Acknowledging the change point clears the gate.
+	o.Ack = map[string]bool{"BenchmarkSynthetic/speedup_x@8": true}
+	buf.Reset()
+	if failures := runTrend(paths, snaps, o, &buf); failures != 0 {
+		t.Fatalf("acked regression still fails:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ACKED") {
+		t.Fatalf("acked finding not reported:\n%s", buf.String())
+	}
+}
+
+// An improvement in a higher-better metric must not fail the gate.
+func TestRunTrendImprovementPasses(t *testing.T) {
+	values := append(level(8, 3.0), level(8, 5.0)...)
+	paths, snaps := synthSnaps("speedup_x", values, nil)
+	o := trendOptions{HigherBetter: map[string]bool{"speedup_x": true}, Ack: map[string]bool{}, Seed: 1}
+	var buf strings.Builder
+	if failures := runTrend(paths, snaps, o, &buf); failures != 0 {
+		t.Fatalf("improvement flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "IMPROVEMENT") {
+		t.Fatalf("improvement not reported:\n%s", buf.String())
+	}
+}
+
+// An exact reproduction metric drifting in either direction is a failure.
+func TestRunTrendExactMetricDriftFails(t *testing.T) {
+	values := append(level(8, 70.0), level(8, 75.0)...) // multimodal_% shifts up
+	paths, snaps := synthSnaps("multimodal_%", values, nil)
+	o := trendOptions{HigherBetter: map[string]bool{}, Ack: map[string]bool{}, Seed: 1}
+	var buf strings.Builder
+	if failures := runTrend(paths, snaps, o, &buf); failures == 0 {
+		t.Fatalf("exact-metric drift not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "DRIFT") {
+		t.Fatalf("drift not reported:\n%s", buf.String())
+	}
+}
+
+// Timing series are opt-in: absent by default, watched (up = regression)
+// under -trend-timings.
+func TestRunTrendTimingsOptIn(t *testing.T) {
+	timings := append(level(8, 1000), level(8, 1500)...) // ns/op rises 50%
+	paths, snaps := synthSnaps("savings_%", level(16, 87), timings)
+	o := trendOptions{HigherBetter: map[string]bool{}, Ack: map[string]bool{}, Seed: 1}
+	var buf strings.Builder
+	if failures := runTrend(paths, snaps, o, &buf); failures != 0 {
+		t.Fatalf("timings gated without opt-in:\n%s", buf.String())
+	}
+	o.Timings = true
+	buf.Reset()
+	if failures := runTrend(paths, snaps, o, &buf); failures == 0 {
+		t.Fatalf("ns/op rise not flagged under -trend-timings:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ns/op") {
+		t.Fatalf("report missing ns/op series:\n%s", buf.String())
+	}
+}
+
+func TestBuildTrendSeriesDeterministicOrder(t *testing.T) {
+	_, snaps := synthSnaps("savings_%", level(6, 87), level(6, 1000))
+	for i, s := range snaps {
+		s.Benchmarks[0].Metrics["multimodal_%"] = 70 + float64(i)
+	}
+	o := trendOptions{Timings: true}
+	series := buildTrendSeries(snaps, o)
+	var got []string
+	for _, s := range series {
+		got = append(got, s.Bench+"/"+s.Metric)
+	}
+	want := []string{
+		"BenchmarkSynthetic/B/op", "BenchmarkSynthetic/allocs/op",
+		"BenchmarkSynthetic/multimodal_%", "BenchmarkSynthetic/ns/op",
+		"BenchmarkSynthetic/savings_%",
+	}
+	// B/op and allocs/op are zero in the fixture, so they are dropped.
+	want = []string{
+		"BenchmarkSynthetic/multimodal_%", "BenchmarkSynthetic/ns/op",
+		"BenchmarkSynthetic/savings_%",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+	for _, s := range series {
+		if s.Metric == "ns/op" && !s.Timing {
+			t.Error("ns/op not marked as timing")
+		}
+	}
+}
+
+func TestRunTrendDeterministicOutput(t *testing.T) {
+	values := append(level(8, 5.0), level(8, 3.0)...)
+	paths, snaps := synthSnaps("speedup_x", values, nil)
+	o := trendOptions{HigherBetter: map[string]bool{"speedup_x": true}, Ack: map[string]bool{}, Seed: 42}
+	var a, b strings.Builder
+	runTrend(paths, snaps, o, &a)
+	runTrend(paths, snaps, o, &b)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different reports:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestParseAcks(t *testing.T) {
+	acks, err := parseAcks("BenchmarkFoo/speedup_x@8, BenchmarkBar/ns/op@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acks["BenchmarkFoo/speedup_x@8"] || !acks["BenchmarkBar/ns/op@3"] {
+		t.Fatalf("acks = %v", acks)
+	}
+	for _, bad := range []string{"nope", "a/b@x", "@3", "a@3"} {
+		if _, err := parseAcks(bad); err == nil {
+			t.Errorf("parseAcks(%q) accepted", bad)
+		}
+	}
+	if acks, err := parseAcks(""); err != nil || len(acks) != 0 {
+		t.Fatalf("empty acks: %v, %v", acks, err)
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if got := formatPct(12.34); got != "+12.3%" {
+		t.Errorf("formatPct = %q", got)
+	}
+	if got := formatPct(math.Inf(1)); got != "from zero baseline" {
+		t.Errorf("formatPct(+Inf) = %q", got)
+	}
+}

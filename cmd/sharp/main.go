@@ -80,6 +80,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdRecreate(ctx, args[1:])
 	case "regress":
 		return cmdRegress(args[1:])
+	case "trend":
+		return cmdTrend(args[1:])
 	case "duet":
 		return cmdDuet(ctx, args[1:])
 	case "sweep":
@@ -133,6 +135,7 @@ Commands:
   classify    characterize the distribution in a CSV log
   recreate    re-run an experiment from its metadata record
   regress     regression-gate a new CSV log against a baseline log
+  trend       change-point analysis over an ordered series of campaign logs
   duet        paired (duet) comparison of two workloads on one backend
   sweep       run a factorial design over workloads x machines x days
   convert     convert a tidy-data log between CSV and binary (.sharpb)

@@ -1,0 +1,195 @@
+// sharp trend: distribution-aware change-point analysis over an ordered
+// series of campaign logs. Where `sharp regress` compares exactly two logs,
+// `trend` ingests the whole recorded history (one tidy-data log per
+// snapshot, in argument order), localizes the snapshots where the metric's
+// sample distribution shifted (E-Divisive with a KS or NAMD divergence),
+// classifies each shift with the regress gate, and exits non-zero on
+// unacknowledged regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sharp/internal/backend"
+	"sharp/internal/changepoint"
+	"sharp/internal/obs"
+	"sharp/internal/record"
+	"sharp/internal/regress"
+	"sharp/internal/similarity"
+	"sharp/internal/stats"
+	"sharp/internal/textplot"
+)
+
+func cmdTrend(args []string) error {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	metric := fs.String("metric", backend.MetricExecTime, "metric to analyze")
+	divergence := fs.String("divergence", "ks", "distribution divergence: ks or namd")
+	alpha := fs.Float64("alpha", 0.05, "permutation-test significance level")
+	perms := fs.Int("perms", 199, "permutations per segment test")
+	minSegment := fs.Int("min-segment", 2, "minimum snapshots per segment")
+	seed := fs.Uint64("seed", 1, "permutation RNG seed")
+	tolerance := fs.Float64("tolerance", 2, "tolerated median slowdown (percent) per change point")
+	ack := fs.String("ack", "", "acknowledged change-point snapshot indices (comma-separated)")
+	trace := fs.String("trace", "", "write detector events as JSONL to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) < 2**minSegment {
+		return fmt.Errorf("trend: usage: sharp trend [flags] <log1> <log2> ... (need >= %d ordered logs)", 2**minSegment)
+	}
+	var metricKind similarity.Metric
+	switch *divergence {
+	case "ks":
+		metricKind = similarity.MetricKS
+	case "namd":
+		metricKind = similarity.MetricNAMD
+	default:
+		return fmt.Errorf("trend: unknown -divergence %q (want ks or namd)", *divergence)
+	}
+	acked, err := parseAckIndices(*ack)
+	if err != nil {
+		return err
+	}
+	var tracer obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		t := obs.NewJSONL(f)
+		defer t.Close()
+		tracer = t
+	}
+
+	groups := make([][]float64, len(paths))
+	for i, path := range paths {
+		rows, err := record.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		vals := record.Values(record.Select(rows, record.Filter{Metric: *metric}))
+		if len(vals) == 0 {
+			return fmt.Errorf("trend: no %q rows in %s", *metric, path)
+		}
+		groups[i] = vals
+	}
+
+	cps, err := changepoint.DetectDistributions(groups, changepoint.DistOptions{
+		Options: changepoint.Options{
+			Alpha: *alpha, Permutations: *perms,
+			MinSegment: *minSegment, Seed: *seed, Tracer: tracer,
+		},
+		Divergence: metricKind,
+	})
+	if err != nil {
+		return err
+	}
+
+	medians := make([]float64, len(groups))
+	for i, g := range groups {
+		medians[i] = stats.Median(g)
+	}
+	fmt.Printf("trend: %d snapshots, metric %s, divergence %s\n", len(paths), *metric, *divergence)
+	fmt.Printf("medians: %s  [%s .. %s]\n",
+		textplot.Sparkline(medians), filepath.Base(paths[0]), filepath.Base(paths[len(paths)-1]))
+	if len(cps) == 0 {
+		fmt.Println("ok: no significant distribution change points")
+		obs.Emit(tracer, obs.EventTrendGate, map[string]any{
+			"series_checked": 1, "change_points": 0, "regressions": 0, "failed": false,
+		})
+		return nil
+	}
+
+	// Classify each change point with the regress gate over the pooled
+	// samples on either side, then rank: failing verdicts first, then by
+	// permutation p-value.
+	type finding struct {
+		cp  changepoint.ChangePoint
+		out regress.Outcome
+	}
+	segs := changepoint.Segments(len(groups), cps)
+	findings := make([]finding, len(cps))
+	for i, cp := range cps {
+		before := pool(groups[segs[i][0]:segs[i][1]])
+		after := pool(groups[segs[i+1][0]:segs[i+1][1]])
+		out, err := regress.Check(before, after, regress.Config{TolerancePct: *tolerance})
+		if err != nil {
+			return err
+		}
+		findings[i] = finding{cp, out}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		fi, fj := findings[i].out.Failed() && !acked[findings[i].cp.Index],
+			findings[j].out.Failed() && !acked[findings[j].cp.Index]
+		if fi != fj {
+			return fi
+		}
+		return findings[i].cp.P < findings[j].cp.P
+	})
+	failures := 0
+	for _, f := range findings {
+		status := strings.ToUpper(string(f.out.Verdict))
+		isAcked := acked[f.cp.Index]
+		switch {
+		case isAcked:
+			status = "ACKED " + string(f.out.Verdict)
+		case f.out.Failed():
+			failures++
+		}
+		fmt.Printf("%-13s snapshot %d (%s): %s (perm p=%.3g, Q=%.3g)\n",
+			status+":", f.cp.Index, filepath.Base(paths[f.cp.Index]), f.out.Explanation, f.cp.P, f.cp.Q)
+		if f.out.Failed() && !isAcked {
+			fmt.Printf("              acknowledge with -ack %d\n", f.cp.Index)
+		}
+		obs.Emit(tracer, obs.EventTrendChangePoint, map[string]any{
+			"series": *metric, "index": f.cp.Index, "direction": string(f.out.Verdict),
+			"before": float64(f.out.NBaseline), "after": float64(f.out.NCurrent),
+			"magnitude_pct": f.out.MedianChangePct, "p": f.cp.P, "q": f.cp.Q,
+		})
+	}
+	obs.Emit(tracer, obs.EventTrendGate, map[string]any{
+		"series_checked": 1, "change_points": len(findings),
+		"regressions": failures, "failed": failures > 0,
+	})
+	if failures > 0 {
+		return fmt.Errorf("%d unacknowledged regression change point(s)", failures)
+	}
+	return nil
+}
+
+// pool concatenates the sample distributions of adjacent snapshots.
+func pool(groups [][]float64) []float64 {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	out := make([]float64, 0, n)
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// parseAckIndices parses the trend -ack flag: comma-separated snapshot
+// indices.
+func parseAckIndices(s string) (map[int]bool, error) {
+	out := map[int]bool{}
+	if s == "" {
+		return out, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		idx, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("trend: bad -ack index %q", tok)
+		}
+		out[idx] = true
+	}
+	return out, nil
+}

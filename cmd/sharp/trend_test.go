@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sharp/internal/randx"
+	"sharp/internal/record"
+)
+
+// writeTrendLogs records a trajectory of tidy-data CSV logs, one per
+// snapshot; the exec_time distribution's median shifts from muBefore to
+// muAfter at snapshot index at.
+func writeTrendLogs(t *testing.T, dir string, snapshots, samples, at int, muBefore, muAfter float64) []string {
+	t.Helper()
+	rng := randx.New(31)
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	paths := make([]string, snapshots)
+	for i := range paths {
+		mu := muBefore
+		if i >= at {
+			mu = muAfter
+		}
+		path := filepath.Join(dir, fmt.Sprintf("snap%02d.csv", i))
+		w, err := record.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < samples; j++ {
+			if err := w.Write(record.Row{
+				Timestamp:  base.Add(time.Duration(i*samples+j) * time.Second),
+				Experiment: "trend-test", Workload: "hotspot", Backend: "sim",
+				Machine: "machine1", Day: 1, Run: j + 1, Instance: 1,
+				Metric: "exec_time", Value: mu + 0.02*rng.NormFloat64(),
+				Unit: "seconds", Status: "ok", Attempt: 1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = path
+	}
+	return paths
+}
+
+func TestCmdTrendFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTrendLogs(t, dir, 12, 30, 6, 1.0, 1.5) // slower after snapshot 6
+	args := append([]string{"trend", "--metric", "exec_time"}, paths...)
+	err := runCLI(t, args...)
+	if err == nil || !strings.Contains(err.Error(), "unacknowledged regression") {
+		t.Fatalf("injected slowdown not flagged: %v", err)
+	}
+	// Acknowledging the change point clears the gate.
+	args = append([]string{"trend", "--metric", "exec_time", "--ack", "6"}, paths...)
+	if err := runCLI(t, args...); err != nil {
+		t.Fatalf("acked regression still fails: %v", err)
+	}
+}
+
+func TestCmdTrendImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTrendLogs(t, dir, 12, 30, 6, 1.5, 1.0) // faster after snapshot 6
+	args := append([]string{"trend", "--metric", "exec_time"}, paths...)
+	if err := runCLI(t, args...); err != nil {
+		t.Fatalf("improvement flagged: %v", err)
+	}
+}
+
+func TestCmdTrendStationaryPasses(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTrendLogs(t, dir, 10, 25, 0, 1.0, 1.0) // no shift
+	args := append([]string{"trend", "--metric", "exec_time"}, paths...)
+	if err := runCLI(t, args...); err != nil {
+		t.Fatalf("stationary trajectory failed: %v", err)
+	}
+}
+
+func TestCmdTrendNAMDDivergence(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTrendLogs(t, dir, 12, 30, 6, 1.0, 1.5)
+	args := append([]string{"trend", "--metric", "exec_time", "--divergence", "namd"}, paths...)
+	err := runCLI(t, args...)
+	if err == nil || !strings.Contains(err.Error(), "unacknowledged regression") {
+		t.Fatalf("NAMD variant missed the slowdown: %v", err)
+	}
+}
+
+func TestCmdTrendErrors(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTrendLogs(t, dir, 6, 10, 0, 1.0, 1.0)
+	if err := runCLI(t, "trend", paths[0]); err == nil {
+		t.Error("too few logs accepted")
+	}
+	args := append([]string{"trend", "--divergence", "wasserstein"}, paths...)
+	if err := runCLI(t, args...); err == nil {
+		t.Error("unknown divergence accepted")
+	}
+	args = append([]string{"trend", "--metric", "nope"}, paths...)
+	if err := runCLI(t, args...); err == nil {
+		t.Error("missing metric accepted")
+	}
+	args = append([]string{"trend", "--ack", "x"}, paths...)
+	if err := runCLI(t, args...); err == nil {
+		t.Error("bad ack index accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package changepoint
+
+import (
+	"testing"
+
+	"sharp/internal/similarity"
+)
+
+// BenchmarkEDivisiveTrajectory detects the injected change point in a
+// 60-snapshot scalar trajectory (step at index 30). cp_index is a
+// deterministic reproduction target: the detector is seeded, so the
+// localized index must never drift.
+func BenchmarkEDivisiveTrajectory(b *testing.B) {
+	series := stepSeries(1, 60, 30, 10, 0.5, 3)
+	var idx float64
+	for i := 0; i < b.N; i++ {
+		cps := Detect(series, Options{})
+		if len(cps) == 0 {
+			b.Fatal("no change point detected")
+		}
+		idx = float64(cps[0].Index)
+	}
+	b.ReportMetric(idx, "cp_index")
+}
+
+// BenchmarkEDivisiveDistributions runs the distribution-aware KS variant
+// over 20 snapshots of 30 samples each; cp_index is deterministic under the
+// seed for the same reason.
+func BenchmarkEDivisiveDistributions(b *testing.B) {
+	groups := trajectory(7, "step", 20, 30, 10)
+	var idx float64
+	for i := 0; i < b.N; i++ {
+		cps, err := DetectDistributions(groups, DistOptions{Divergence: similarity.MetricKS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cps) == 0 {
+			b.Fatal("no change point detected")
+		}
+		idx = float64(cps[0].Index)
+	}
+	b.ReportMetric(idx, "cp_index")
+}

@@ -1,0 +1,239 @@
+// Package changepoint implements E-Divisive change-point detection over
+// benchmark trajectories: ordered series of performance snapshots (one
+// point or one sample distribution per nightly run, PR, or BENCH_*.json
+// file). It is the continuous-regression-detection layer the ROADMAP
+// promises — the MongoDB-style loop (Ingo & Daly, PAPERS.md) that watches a
+// series of measurements instead of diffing one pair, addressing Touati's
+// concern that a performance claim needs statistically valid evidence
+// rather than a single point comparison.
+//
+// The detector is E-Divisive (Matteson & James): for every candidate split
+// of a segment it evaluates a scaled divergence statistic Q between the
+// left and right sub-segments, takes the split maximizing Q, decides
+// significance by a permutation test (shuffling the segment order and
+// recomputing max Q), and on success recurses into both sides —
+// hierarchical bisection that localizes multiple change points without
+// knowing their count in advance.
+//
+// Two divergence families are provided:
+//
+//   - Detect, for scalar series, uses the α=1 energy statistic over
+//     pairwise absolute differences ("E-Divisive with means"):
+//     Ê = 2·mean|x−y| − mean|x−x′| − mean|y−y′|, Q = (mn/(m+n))·Ê.
+//   - DetectDistributions, for series of per-snapshot sample sets, pools
+//     the samples on each side of the split and uses the paper's own
+//     similarity measures — KS or NAMD (internal/similarity) — as the
+//     divergence, so a change in distribution *shape* with an unchanged
+//     mean is still a change point. The boundary sweep is streamed through
+//     the incremental order-statistics accumulators in
+//     internal/stats/stream: advancing the split moves one snapshot's
+//     samples across two sorted multisets in O(pooled samples) instead of
+//     re-pooling and re-sorting per candidate split.
+//
+// Everything is deterministic under Options.Seed: the permutation RNG is
+// seeded, segments are visited in a fixed order, and ties in Q break toward
+// the earliest split, so two runs over the same series are byte-identical.
+package changepoint
+
+import (
+	"sort"
+
+	"sharp/internal/obs"
+	"sharp/internal/randx"
+)
+
+// ChangePoint is one detected change point.
+type ChangePoint struct {
+	// Index is the position of the first observation of the new regime:
+	// the series splits into [segment start, Index) and [Index, segment end).
+	Index int
+	// Q is the scaled divergence statistic at the split.
+	Q float64
+	// P is the permutation p-value of the segment test that accepted the
+	// split: (1 + #{permuted max Q >= observed Q}) / (1 + permutations).
+	P float64
+}
+
+// Options tunes the detector. Zero values take documented defaults.
+type Options struct {
+	// Alpha is the permutation-test significance level (default 0.05).
+	Alpha float64
+	// Permutations is the number of seeded permutations per segment test
+	// (default 199; the p-value resolution is 1/(Permutations+1)).
+	Permutations int
+	// MinSegment is the minimum number of observations on each side of a
+	// split (default 2, the floor the within-segment distance terms need).
+	MinSegment int
+	// Seed seeds the permutation RNG; the same seed over the same series
+	// reproduces identical change points and p-values (default 1).
+	Seed uint64
+	// Tracer receives one EventChangepointTest per segment test (optional).
+	Tracer obs.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.Permutations == 0 {
+		o.Permutations = 199
+	}
+	if o.MinSegment < 2 {
+		o.MinSegment = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// scanner evaluates candidate splits of one segment under an index order.
+// order[lo:hi] names the observations of the segment (a permutation of the
+// identity during significance testing); bestSplit returns the in-order
+// position tau (lo < tau < hi) maximizing Q, with ties broken toward the
+// earliest split, or tau = -1 when the segment admits no split.
+type scanner interface {
+	bestSplit(order []int, lo, hi, minSeg int) (tau int, q float64)
+}
+
+// run is the shared hierarchical-bisection driver: find the best split of
+// the segment, keep it if the permutation test accepts it, recurse left and
+// right. Segments are visited depth-first left-to-right, so the RNG
+// consumption order — and therefore every p-value — is a deterministic
+// function of (series, Options).
+func run(n int, sc scanner, o Options) []ChangePoint {
+	o = o.withDefaults()
+	rng := randx.New(o.Seed)
+	identity := make([]int, n)
+	scratch := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	var out []ChangePoint
+	var recurse func(lo, hi int)
+	recurse = func(lo, hi int) {
+		if hi-lo < 2*o.MinSegment {
+			return
+		}
+		tau, q := sc.bestSplit(identity, lo, hi, o.MinSegment)
+		if tau < 0 {
+			return
+		}
+		// Permutation test: shuffle the segment, re-find the best split.
+		worse := 0
+		copy(scratch, identity)
+		seg := scratch[lo:hi]
+		for p := 0; p < o.Permutations; p++ {
+			rng.Shuffle(len(seg), func(i, j int) { seg[i], seg[j] = seg[j], seg[i] })
+			if _, pq := sc.bestSplit(scratch, lo, hi, o.MinSegment); pq >= q {
+				worse++
+			}
+		}
+		pval := float64(1+worse) / float64(1+o.Permutations)
+		significant := pval <= o.Alpha
+		obs.Emit(o.Tracer, obs.EventChangepointTest, map[string]any{
+			"lo": lo, "hi": hi, "tau": tau, "q": q, "p": pval,
+			"permutations": o.Permutations, "significant": significant,
+		})
+		if !significant {
+			return
+		}
+		out = append(out, ChangePoint{Index: tau, Q: q, P: pval})
+		recurse(lo, tau)
+		recurse(tau, hi)
+	}
+	recurse(0, n)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Detect runs E-Divisive with means over a scalar series and returns the
+// significant change points in index order. Series shorter than
+// 2*MinSegment return nil.
+func Detect(series []float64, o Options) []ChangePoint {
+	return run(len(series), &scalarScanner{values: series}, o)
+}
+
+// scalarScanner sweeps the split boundary across a segment maintaining the
+// three pairwise-distance sums (within-left, within-right, cross)
+// incrementally: each boundary advance moves one value across and updates
+// the sums in O(segment), so a full segment scan is O(segment²) instead of
+// the O(segment³) of recomputing every split from scratch.
+type scalarScanner struct {
+	values []float64
+}
+
+func (s *scalarScanner) bestSplit(order []int, lo, hi, minSeg int) (int, float64) {
+	n := hi - lo
+	if n < 2*minSeg {
+		return -1, 0
+	}
+	v := func(i int) float64 { return s.values[order[lo+i]] } // segment-local
+	// Initialize the sums at the first admissible split m = minSeg.
+	var withinL, withinR, cross float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := abs(v(i) - v(j))
+			switch {
+			case j < minSeg:
+				withinL += d
+			case i >= minSeg:
+				withinR += d
+			default:
+				cross += d
+			}
+		}
+	}
+	bestTau, bestQ := -1, 0.0
+	for m := minSeg; m <= n-minSeg; m++ {
+		q := qStat(cross, withinL, withinR, m, n-m)
+		if bestTau < 0 || q > bestQ {
+			bestTau, bestQ = lo+m, q
+		}
+		if m == n-minSeg {
+			break
+		}
+		// Advance: v(m) moves from the right side to the left side.
+		x := v(m)
+		var toLeft, toRight float64
+		for i := 0; i < m; i++ {
+			toLeft += abs(x - v(i))
+		}
+		for j := m + 1; j < n; j++ {
+			toRight += abs(x - v(j))
+		}
+		withinL += toLeft
+		withinR -= toRight
+		cross += toRight - toLeft
+	}
+	return bestTau, bestQ
+}
+
+// qStat is the scaled α=1 energy statistic for a split with m left and n
+// right observations: Q = (mn/(m+n)) · (2·cross/(mn) − withinL/C(m,2) −
+// withinR/C(n,2)).
+func qStat(cross, withinL, withinR float64, m, n int) float64 {
+	fm, fn := float64(m), float64(n)
+	e := 2*cross/(fm*fn) - 2*withinL/(fm*(fm-1)) - 2*withinR/(fn*(fn-1))
+	return fm * fn / (fm + fn) * e
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Segments converts n observations and their change points into the list of
+// [start, end) regime boundaries, for report layers that summarize each
+// regime.
+func Segments(n int, cps []ChangePoint) [][2]int {
+	segs := make([][2]int, 0, len(cps)+1)
+	start := 0
+	for _, cp := range cps {
+		segs = append(segs, [2]int{start, cp.Index})
+		start = cp.Index
+	}
+	return append(segs, [2]int{start, n})
+}

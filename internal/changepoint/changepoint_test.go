@@ -1,0 +1,209 @@
+package changepoint
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sharp/internal/obs"
+	"sharp/internal/randx"
+)
+
+// stepSeries is n points of N(mu, sigma) noise with a +jump mean step at
+// index at.
+func stepSeries(seed uint64, n, at int, mu, sigma, jump float64) []float64 {
+	rng := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		m := mu
+		if i >= at {
+			m += jump
+		}
+		out[i] = m + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+// varianceSeries switches the noise scale at index at: tight noise before,
+// wide spread after. The widened regime keeps its mass away from the old
+// mode (|deviation| >= sigma2), so the boundary is identifiable from the
+// data — localization at ±1 is only meaningful when the observations
+// themselves determine where the regime starts.
+func varianceSeries(seed uint64, n, at int, mu, sigma1, sigma2 float64) []float64 {
+	rng := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		z := rng.NormFloat64()
+		if i < at {
+			out[i] = mu + sigma1*z
+		} else {
+			out[i] = mu + math.Copysign(sigma2*(1+math.Abs(z)), z)
+		}
+	}
+	return out
+}
+
+// driftSeries is flat noise that starts ramping at index at: the new regime
+// begins with an offset step and keeps drifting upward, the shape of a
+// regression that worsens with every subsequent snapshot.
+func driftSeries(seed uint64, n, at int, mu, sigma, step, slope float64) []float64 {
+	rng := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		m := mu
+		if i >= at {
+			m += step + slope*float64(i-at)
+		}
+		out[i] = m + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+// localize asserts that over trials seeded trajectories, Detect finds a
+// change point within ±1 of the injected index in at least 95% of cases.
+func localize(t *testing.T, gen func(seed uint64) []float64, at, trials int) {
+	t.Helper()
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		cps := Detect(gen(uint64(1000+trial)), Options{})
+		for _, cp := range cps {
+			if cp.Index >= at-1 && cp.Index <= at+1 {
+				hits++
+				break
+			}
+		}
+	}
+	if frac := float64(hits) / float64(trials); frac < 0.95 {
+		t.Fatalf("localized %d/%d trials (%.0f%%), want >= 95%%", hits, trials, frac*100)
+	}
+}
+
+func TestDetectLocalizesStep(t *testing.T) {
+	localize(t, func(seed uint64) []float64 {
+		return stepSeries(seed, 60, 30, 10, 0.5, 3)
+	}, 30, 40)
+}
+
+func TestDetectLocalizesDrift(t *testing.T) {
+	localize(t, func(seed uint64) []float64 {
+		return driftSeries(seed, 60, 30, 10, 0.3, 1.5, 0.1)
+	}, 30, 40)
+}
+
+func TestDetectLocalizesVarianceChange(t *testing.T) {
+	localize(t, func(seed uint64) []float64 {
+		return varianceSeries(seed, 60, 30, 10, 0.15, 2)
+	}, 30, 40)
+}
+
+func TestDetectNoChangeStaysQuiet(t *testing.T) {
+	// False-positive rate over stationary noise must respect alpha: with
+	// alpha=0.05, a handful of spurious detections over 40 trials is
+	// expected, a large fraction is a bug.
+	false_ := 0
+	for trial := 0; trial < 40; trial++ {
+		series := stepSeries(uint64(2000+trial), 60, 0, 10, 0.5, 0) // no step
+		if len(Detect(series, Options{})) > 0 {
+			false_++
+		}
+	}
+	if false_ > 8 {
+		t.Fatalf("%d/40 stationary trajectories flagged", false_)
+	}
+}
+
+func TestDetectConstantSeries(t *testing.T) {
+	series := make([]float64, 40)
+	for i := range series {
+		series[i] = 7
+	}
+	if cps := Detect(series, Options{}); len(cps) != 0 {
+		t.Fatalf("constant series produced change points: %+v", cps)
+	}
+}
+
+func TestDetectShortSeries(t *testing.T) {
+	if cps := Detect([]float64{1, 2, 3}, Options{}); cps != nil {
+		t.Fatalf("short series produced change points: %+v", cps)
+	}
+	if cps := Detect(nil, Options{}); cps != nil {
+		t.Fatalf("nil series produced change points: %+v", cps)
+	}
+}
+
+func TestDetectMultipleChangePoints(t *testing.T) {
+	// Two well-separated steps: 10 -> 14 at 25, 14 -> 9 at 50.
+	rng := randx.New(42)
+	series := make([]float64, 75)
+	for i := range series {
+		mu := 10.0
+		if i >= 25 {
+			mu = 14
+		}
+		if i >= 50 {
+			mu = 9
+		}
+		series[i] = mu + 0.4*rng.NormFloat64()
+	}
+	cps := Detect(series, Options{})
+	if len(cps) != 2 {
+		t.Fatalf("got %d change points (%+v), want 2", len(cps), cps)
+	}
+	for i, want := range []int{25, 50} {
+		if d := cps[i].Index - want; d < -1 || d > 1 {
+			t.Errorf("change point %d at %d, want %d±1", i, cps[i].Index, want)
+		}
+	}
+	if cps[0].Index >= cps[1].Index {
+		t.Error("change points not in index order")
+	}
+}
+
+func TestDetectDeterministicUnderSeed(t *testing.T) {
+	series := stepSeries(7, 50, 25, 10, 0.5, 2)
+	a := Detect(series, Options{Seed: 99})
+	b := Detect(series, Options{Seed: 99})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected at least one change point")
+	}
+	// P-values are exact permutation counts: byte-identical under the seed.
+	for i := range a {
+		if math.Float64bits(a[i].P) != math.Float64bits(b[i].P) ||
+			math.Float64bits(a[i].Q) != math.Float64bits(b[i].Q) {
+			t.Fatalf("p/q not byte-identical under seed: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestDetectEmitsObsEvents(t *testing.T) {
+	col := obs.NewCollector()
+	series := stepSeries(11, 40, 20, 10, 0.5, 3)
+	cps := Detect(series, Options{Tracer: col})
+	if len(cps) == 0 {
+		t.Fatal("expected a change point")
+	}
+	events := col.ByType(obs.EventChangepointTest)
+	if len(events) == 0 {
+		t.Fatal("no changepoint.test events emitted")
+	}
+	first := events[0]
+	for _, key := range []string{"lo", "hi", "tau", "q", "p", "significant"} {
+		if _, ok := first.Fields[key]; !ok {
+			t.Errorf("event missing field %q: %v", key, first.Fields)
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	segs := Segments(10, []ChangePoint{{Index: 3}, {Index: 7}})
+	want := [][2]int{{0, 3}, {3, 7}, {7, 10}}
+	if !reflect.DeepEqual(segs, want) {
+		t.Fatalf("segments = %v, want %v", segs, want)
+	}
+	if segs := Segments(5, nil); !reflect.DeepEqual(segs, [][2]int{{0, 5}}) {
+		t.Fatalf("no-cp segments = %v", segs)
+	}
+}

@@ -124,6 +124,17 @@ const (
 	// EventCacheStore marks a completed cell written to the result cache
 	// (key, experiment, rows).
 	EventCacheStore = "cache.store"
+	// EventChangepointTest marks one E-Divisive segment test: a candidate
+	// split maximizing the Q statistic plus its permutation verdict
+	// (lo, hi, tau, q, p, permutations, significant).
+	EventChangepointTest = "changepoint.test"
+	// EventTrendChangePoint marks one significant change point in a
+	// benchmark trajectory (series, index, direction, before, after,
+	// magnitude_pct, p, q).
+	EventTrendChangePoint = "trend.changepoint"
+	// EventTrendGate marks the exit-code decision of a trend run
+	// (series_checked, change_points, regressions, acknowledged, failed).
+	EventTrendGate = "trend.gate"
 )
 
 // Tracer consumes campaign events. Implementations must be safe for

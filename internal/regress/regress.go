@@ -12,6 +12,7 @@ package regress
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"sharp/internal/record"
@@ -95,6 +96,17 @@ func Check(baseline, current []float64, cfg Config) (Outcome, error) {
 	if len(baseline) == 0 || len(current) == 0 {
 		return Outcome{}, errors.New("regress: empty sample set")
 	}
+	// NaN observations poison every downstream statistic (Cliff's delta
+	// becomes NaN, the KDE mode counter diverges), so the gate refuses to
+	// classify them rather than risk a garbage verdict either way.
+	if hasNaN(baseline) || hasNaN(current) {
+		return Outcome{
+			NBaseline: len(baseline), NCurrent: len(current),
+			CliffsDelta: nan(),
+			Verdict:     Inconclusive,
+			Explanation: "NaN observations in sample set; check input data",
+		}, nil
+	}
 	out := Outcome{
 		NBaseline:     len(baseline),
 		NCurrent:      len(current),
@@ -118,14 +130,31 @@ func Check(baseline, current []float64, cfg Config) (Outcome, error) {
 			cfg.MinSamples, len(baseline), len(current))
 		return out, nil
 	}
+	// A NaN effect size (degenerate input such as NaN samples) carries no
+	// direction: !negligible(NaN) is true, so without this guard the gate
+	// could escalate garbage data into a Regression verdict.
+	if out.CliffsDelta != out.CliffsDelta {
+		out.Verdict = Inconclusive
+		out.Explanation = "effect size undefined (NaN Cliff's delta); check input data"
+		return out, nil
+	}
+	// With a zero baseline median the percent change is undefined
+	// (MedianChangePct stays 0 for reporting), so direction falls back to
+	// the raw median difference — a genuine shift away from zero must not
+	// slide through the tolerance window as Pass.
+	worse := out.MedianChangePct > cfg.TolerancePct
+	better := out.MedianChangePct < -cfg.TolerancePct
+	if mb == 0 && mc != 0 {
+		worse, better = mc > 0, mc < 0
+	}
 	shifted := out.MannWhitney.Significant(cfg.Alpha) && !negligible(out.CliffsDelta)
 	shapeMoved := out.KS.Significant(cfg.Alpha) && out.KS.Statistic > cfg.KSThreshold
 	switch {
-	case shifted && out.MedianChangePct > cfg.TolerancePct:
+	case shifted && worse:
 		out.Verdict = Regression
 		out.Explanation = fmt.Sprintf("median +%.1f%% (Mann-Whitney p=%.2g)",
 			out.MedianChangePct, out.MannWhitney.PValue)
-	case shifted && out.MedianChangePct < -cfg.TolerancePct:
+	case shifted && better:
 		out.Verdict = Improvement
 		out.Explanation = fmt.Sprintf("median %.1f%% (Mann-Whitney p=%.2g)",
 			out.MedianChangePct, out.MannWhitney.PValue)
@@ -188,6 +217,17 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if x != x {
+			return true
+		}
+	}
+	return false
+}
+
+func nan() float64 { return math.NaN() }
 
 // Failed reports whether the verdict should fail a CI gate.
 func (o Outcome) Failed() bool { return o.Verdict == Regression }

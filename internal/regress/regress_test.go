@@ -1,6 +1,7 @@
 package regress
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -105,9 +106,11 @@ func TestCheckFiles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Fixed clock: the fixture must be byte-stable across runs.
+		clock := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
 		for i, v := range values {
 			w.Write(record.Row{
-				Timestamp: time.Now().UTC(), Experiment: "e", Workload: "w",
+				Timestamp: clock.Add(time.Duration(i) * time.Second), Experiment: "e", Workload: "w",
 				Backend: "sim", Machine: "m", Run: i + 1, Instance: 1,
 				Metric: "exec_time", Value: v, Unit: "seconds",
 			})
@@ -151,6 +154,51 @@ func TestNegligibleEffectNeverFails(t *testing.T) {
 	}
 	if out.CliffsDelta >= 0.147 {
 		t.Fatalf("delta = %.3f, expected negligible", out.CliffsDelta)
+	}
+}
+
+func TestNaNDeltaIsInconclusive(t *testing.T) {
+	// Degenerate data (NaN samples) makes every pairwise comparison — and
+	// thus Cliff's delta — NaN. !negligible(NaN) is true, so without the
+	// explicit guard the gate could report a Regression on garbage input.
+	base := norm(24, 50, 10, 0.5)
+	curr := make([]float64, 50)
+	for i := range curr {
+		curr[i] = math.NaN()
+	}
+	out, err := Check(base, curr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Inconclusive {
+		t.Fatalf("NaN data classified %s (%s), want inconclusive", out.Verdict, out.Explanation)
+	}
+	if out.Failed() {
+		t.Error("NaN data must not fail the gate")
+	}
+}
+
+func TestZeroBaselineMedianShiftNotPass(t *testing.T) {
+	// A metric that sits at zero (e.g. error counts, queue depth) and then
+	// genuinely shifts: MedianChangePct is undefined (reported as 0), but
+	// the verdict must come from the raw median difference, not slide
+	// through the tolerance window as Pass.
+	base := make([]float64, 50) // all zero
+	curr := norm(25, 50, 5, 0.2)
+	out, err := Check(base, curr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Regression {
+		t.Fatalf("shift off zero baseline classified %s (%s), want regression", out.Verdict, out.Explanation)
+	}
+	// And the mirror image is an improvement, not a pass.
+	out, err = Check(curr, base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Improvement {
+		t.Fatalf("drop to zero classified %s (%s), want improvement", out.Verdict, out.Explanation)
 	}
 }
 

@@ -94,6 +94,41 @@ func NAMDTrimmed(x, y []float64) (float64, error) {
 	return NAMD(quantileResampleSorted(stats.SortedCopy(x), n), quantileResampleSorted(stats.SortedCopy(y), n))
 }
 
+// NAMDTrimmedSorted is NAMDTrimmed over pre-sorted (ascending) samples: it
+// reuses the caller's sorted views without copying or re-sorting, so
+// incremental consumers (the change-point detector's streaming segment
+// accumulators) pay only the quantile-matching walk per evaluation.
+func NAMDTrimmedSorted(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN(), errEmptyNAMD
+	}
+	if len(a) == len(b) {
+		return NAMD(a, b)
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	return NAMD(quantileResampleSorted(a, n), quantileResampleSorted(b, n))
+}
+
+// DivergenceSorted evaluates the named metric on two pre-sorted (ascending)
+// samples without copying or re-sorting. It supports the two divergence
+// measures the paper builds its day-to-day comparisons on — KS and NAMD
+// (trimmed) — which are exactly the measures the distribution-aware
+// change-point detector consumes; other metrics have no sorted fast path
+// and return an error.
+func DivergenceSorted(m Metric, a, b []float64) (float64, error) {
+	switch m {
+	case MetricNAMD:
+		return NAMDTrimmedSorted(a, b)
+	case MetricKS:
+		return stats.KSStatisticSorted(a, b), nil
+	default:
+		return nan(), fmt.Errorf("similarity: no sorted divergence for metric %q", m)
+	}
+}
+
 // quantileResample maps xs to n evenly spaced sample quantiles.
 func quantileResample(xs []float64, n int) []float64 {
 	return quantileResampleSorted(stats.SortedCopy(xs), n)

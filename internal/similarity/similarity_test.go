@@ -5,6 +5,8 @@ import (
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"sharp/internal/stats"
 )
 
 func norm(seed uint64, n int, mu, sigma float64) []float64 {
@@ -238,5 +240,50 @@ func TestMatrix(t *testing.T) {
 	}
 	if _, err := Matrix("bogus", groups); err == nil {
 		t.Error("unknown metric accepted")
+	}
+}
+
+func TestDivergenceSortedMatchesUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	x := make([]float64, 200)
+	y := make([]float64, 150) // unequal lengths exercise the trimmed path
+	for i := range x {
+		x[i] = 10 + 2*rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = 11 + 3*rng.NormFloat64()
+	}
+	sx, sy := stats.SortedCopy(x), stats.SortedCopy(y)
+	ks, err := DivergenceSorted(MetricKS, sx, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := KS(x, y); ks != want {
+		t.Errorf("sorted KS = %v, want %v", ks, want)
+	}
+	namd, err := DivergenceSorted(MetricNAMD, sx, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NAMDTrimmed(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if namd != want {
+		t.Errorf("sorted NAMD = %v, want %v", namd, want)
+	}
+	// Equal lengths take the direct pairing path.
+	namdEq, err := NAMDTrimmedSorted(sx, sx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if namdEq != 0 {
+		t.Errorf("self NAMD = %v, want 0", namdEq)
+	}
+	if _, err := DivergenceSorted(MetricWasserstein, sx, sy); err == nil {
+		t.Error("metric without a sorted fast path accepted")
+	}
+	if _, err := NAMDTrimmedSorted(nil, sy); err == nil {
+		t.Error("empty sample accepted")
 	}
 }

@@ -40,6 +40,66 @@ func (o *OrderStats) Remove(x float64) bool {
 	return true
 }
 
+// AddSortedBatch merges an ascending-sorted batch into the multiset in one
+// backward O(n+k) pass — equivalent to calling Add once per value, without
+// the per-insert memmove. The change-point detector moves whole snapshots
+// of samples across its segment boundary, so batch moves keep each boundary
+// advance linear in the pooled sample count.
+func (o *OrderStats) AddSortedBatch(batch []float64) {
+	if len(batch) == 0 {
+		return
+	}
+	n, k := len(o.sorted), len(batch)
+	o.sorted = append(o.sorted, batch...)
+	// Merge from the back so every element is written exactly once.
+	w := n + k - 1
+	i, j := n-1, k-1
+	for j >= 0 {
+		if i >= 0 && o.sorted[i] > batch[j] {
+			o.sorted[w] = o.sorted[i]
+			i--
+		} else {
+			o.sorted[w] = batch[j]
+			j--
+		}
+		w--
+	}
+}
+
+// RemoveSortedBatch deletes one occurrence of each value of an
+// ascending-sorted batch in one forward O(n+k) pass — equivalent to calling
+// Remove once per value. It reports whether every batch value was present;
+// values not found are skipped.
+func (o *OrderStats) RemoveSortedBatch(batch []float64) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	all := true
+	w, j := 0, 0
+	for i := 0; i < len(o.sorted); i++ {
+		if j < len(batch) && o.sorted[i] == batch[j] {
+			j++ // drop this occurrence
+			continue
+		}
+		// Batch values absent from the multiset must not stall the scan.
+		for j < len(batch) && batch[j] < o.sorted[i] {
+			j++
+			all = false
+		}
+		if j < len(batch) && o.sorted[i] == batch[j] {
+			j++
+			continue
+		}
+		o.sorted[w] = o.sorted[i]
+		w++
+	}
+	if j < len(batch) {
+		all = false
+	}
+	o.sorted = o.sorted[:w]
+	return all
+}
+
 // N returns the number of observations.
 func (o *OrderStats) N() int { return len(o.sorted) }
 

@@ -263,3 +263,87 @@ func TestRelativeCIHalfWidthFromMomentsMatches(t *testing.T) {
 		t.Fatal("n<2 should give +Inf")
 	}
 }
+
+func TestOrderStatsBatchOpsMatchSingleOps(t *testing.T) {
+	// AddSortedBatch / RemoveSortedBatch must be equivalent to element-wise
+	// Add / Remove: same multiset, bit for bit, across every stream family
+	// (ties, constants, heavy tails included).
+	rng := rand.New(rand.NewPCG(13, 17))
+	for name, xs := range streams(300) {
+		// Carve xs into random-size batches.
+		var batches [][]float64
+		for i := 0; i < len(xs); {
+			k := 1 + rng.IntN(40)
+			if i+k > len(xs) {
+				k = len(xs) - i
+			}
+			batches = append(batches, xs[i:i+k])
+			i += k
+		}
+		var batched, single OrderStats
+		for _, b := range batches {
+			batched.AddSortedBatch(stats.SortedCopy(b))
+			for _, x := range b {
+				single.Add(x)
+			}
+			if got, want := batched.Sorted(), single.Sorted(); !equalFloats(got, want) {
+				t.Fatalf("%s: AddSortedBatch diverged at n=%d", name, single.N())
+			}
+		}
+		// Remove the batches back out in a different order.
+		for i := len(batches) - 1; i >= 0; i-- {
+			b := batches[i]
+			if !batched.RemoveSortedBatch(stats.SortedCopy(b)) {
+				t.Fatalf("%s: RemoveSortedBatch reported missing values", name)
+			}
+			for _, x := range b {
+				if !single.Remove(x) {
+					t.Fatalf("%s: Remove reported missing value", name)
+				}
+			}
+			if got, want := batched.Sorted(), single.Sorted(); !equalFloats(got, want) {
+				t.Fatalf("%s: RemoveSortedBatch diverged at n=%d", name, single.N())
+			}
+		}
+		if batched.N() != 0 {
+			t.Fatalf("%s: %d values left after removing everything", name, batched.N())
+		}
+	}
+}
+
+func TestOrderStatsBatchOpsEdgeCases(t *testing.T) {
+	var o OrderStats
+	o.AddSortedBatch(nil) // no-op
+	if o.N() != 0 {
+		t.Fatal("empty batch changed the multiset")
+	}
+	o.AddSortedBatch([]float64{1, 2, 2, 5})
+	if o.RemoveSortedBatch([]float64{2, 3}) {
+		t.Error("absent value reported as removed")
+	}
+	if got := o.Sorted(); !equalFloats(got, []float64{1, 2, 5}) {
+		t.Fatalf("after partial remove: %v", got)
+	}
+	if !o.RemoveSortedBatch(nil) {
+		t.Error("empty batch remove must succeed")
+	}
+	// Duplicates beyond the multiset count: one occurrence per batch value.
+	if o.RemoveSortedBatch([]float64{2, 2}) {
+		t.Error("over-removal reported complete")
+	}
+	if got := o.Sorted(); !equalFloats(got, []float64{1, 5}) {
+		t.Fatalf("after duplicate remove: %v", got)
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

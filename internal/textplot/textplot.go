@@ -41,6 +41,42 @@ func bar(frac float64, width int) string {
 	return b.String()
 }
 
+// sparkRunes are the eight block heights of a sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode sparkline, scaled to the
+// finite min/max of the series. NaN values render as spaces. A flat series
+// renders at the lowest height. The trend reports use it to show a whole
+// benchmark trajectory inline next to each change point.
+func Sparkline(values []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v):
+			b.WriteByte(' ')
+		case hi <= lo: // flat (or all non-finite): no vertical information
+			b.WriteRune(sparkRunes[0])
+		default:
+			i := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if i < 0 {
+				i = 0
+			}
+			if i > len(sparkRunes)-1 {
+				i = len(sparkRunes) - 1
+			}
+			b.WriteRune(sparkRunes[i])
+		}
+	}
+	return b.String()
+}
+
 // Histogram renders a histogram with counts, one bin per line:
 //
 //	[1.000, 1.062)  1234 ██████████

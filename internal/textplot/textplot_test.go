@@ -126,3 +126,19 @@ func TestTable(t *testing.T) {
 		t.Fatalf("table = %q", out)
 	}
 }
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{5, 5, 5}); s != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{1, math.NaN(), 3}); s != "▁ █" {
+		t.Fatalf("NaN sparkline = %q", s)
+	}
+	if s := Sparkline(nil); s != "" {
+		t.Fatalf("empty sparkline = %q", s)
+	}
+}
