@@ -31,7 +31,9 @@ check:
 # guard against silent data loss; run them before touching the recording or
 # resume paths.
 crash-test:
-	$(GO) test -race -run 'Crash|Torn|Truncate|Flush|OpenAppend|Resume|Interrupt|RowSink|CloseAlways|Checkpoint|Atomic' \
+	$(GO) test -race -run 'Crash|Torn|Truncate|Flush|OpenAppend|Resume|Interrupt|RowSink|CloseAlways|Checkpoint|Atomic|Segment|Manifest' \
+		./internal/record/ ./internal/core/ ./cmd/sharp/
+	SHARP_RECORD_NOMMAP=1 $(GO) test -race -run 'Crash|Torn|Truncate|Flush|OpenAppend|Resume|Segment|Manifest' \
 		./internal/record/ ./internal/core/ ./cmd/sharp/
 
 # Campaign-service chaos soak under the race detector: multi-tenant
@@ -68,7 +70,8 @@ bench-check:
 	$(GO) test -run=XXX -bench=. -benchmem -benchtime=1x ./... | tee $$tmp | \
 		$(GO) run ./cmd/sharp-benchdiff -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%' && \
 	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr7.json -metrics 'bin_bytes_per_row' -min 'speedup_x' && \
-	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr8.json -metrics 'cp_index'; \
+	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr8.json -metrics 'cp_index' && \
+	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr9.json -metrics 'reuse_allocs' -min 'mmap_speedup_x'; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # Change-point scan over the committed snapshot history: E-Divisive per
@@ -77,7 +80,7 @@ bench-check:
 # reproduction metrics). Deterministic under the default seed. See
 # DESIGN.md §13.
 trend-check:
-	$(GO) run ./cmd/sharp-benchdiff -trend 'BENCH_*.json'
+	$(GO) run ./cmd/sharp-benchdiff -trend 'BENCH_*.json' -ack-file acks.txt
 
 # Regenerate every paper table and figure into results/.
 experiments:
@@ -89,6 +92,7 @@ fuzz:
 	$(GO) test -run=XXX -fuzz=FuzzParseMetadata -fuzztime=30s ./internal/record/
 	$(GO) test -run=XXX -fuzz=FuzzCSVRows -fuzztime=30s ./internal/record/
 	$(GO) test -run=XXX -fuzz=FuzzScanBinary -fuzztime=30s ./internal/record/
+	$(GO) test -run=XXX -fuzz=FuzzScanManifest -fuzztime=30s ./internal/record/
 
 examples:
 	@for ex in quickstart gpu-compare concurrency finegrained stopping duet workflow; do \

@@ -240,6 +240,7 @@ func main() {
 	trendTimings := flag.Bool("trend-timings", false, "trend mode: also watch machine-dependent ns/op, B/op, allocs/op series")
 	higherBetter := flag.String("higher-better", "speedup_x,rows/s", "trend mode: metric columns where larger is better")
 	ack := flag.String("ack", "", "trend mode: acknowledged change points (bench/metric@index, comma-separated)")
+	ackFile := flag.String("ack-file", "", "trend mode: file of acknowledged change points, one bench/metric@index per line (# comments); merged with -ack, missing file = no acks")
 	alpha := flag.Float64("alpha", 0.05, "trend mode: permutation-test significance level")
 	perms := flag.Int("perms", 199, "trend mode: permutations per segment test")
 	minSegment := flag.Int("min-segment", 2, "trend mode: minimum snapshots per segment")
@@ -248,7 +249,7 @@ func main() {
 	flag.Parse()
 
 	if *trend != "" {
-		os.Exit(trendMain(*trend, *trendTimings, *higherBetter, *ack, *alpha, *perms, *minSegment, *seed, *trace))
+		os.Exit(trendMain(*trend, *trendTimings, *higherBetter, *ack, *ackFile, *alpha, *perms, *minSegment, *seed, *trace))
 	}
 
 	var r io.Reader = os.Stdin
@@ -312,7 +313,7 @@ func main() {
 }
 
 // trendMain runs trend mode end to end and returns the process exit code.
-func trendMain(pattern string, timings bool, higherBetter, ack string, alpha float64, perms, minSegment int, seed uint64, trace string) int {
+func trendMain(pattern string, timings bool, higherBetter, ack, ackFile string, alpha float64, perms, minSegment int, seed uint64, trace string) int {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sharp-benchdiff: bad -trend pattern:", err)
@@ -330,7 +331,7 @@ func trendMain(pattern string, timings bool, higherBetter, ack string, alpha flo
 			return 2
 		}
 	}
-	acks, err := parseAcks(ack)
+	acks, err := parseAckFile(ack, ackFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sharp-benchdiff:", err)
 		return 2

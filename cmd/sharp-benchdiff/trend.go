@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -284,6 +285,42 @@ func parseAcks(s string) (map[string]bool, error) {
 			return nil, fmt.Errorf("bad -ack token %q: index %q not a number", tok, tok[at+1:])
 		}
 		out[tok] = true
+	}
+	return out, nil
+}
+
+// parseAckFile merges the -ack flag tokens with the acknowledgment file: one
+// bench/metric@index token per line, blank lines and #-comments (full-line or
+// trailing) ignored. A missing file is not an error — a repo without
+// acknowledged shifts simply has no acks.txt yet — but an unreadable or
+// malformed one is, so a typo cannot silently unacknowledge history.
+func parseAckFile(ack, path string) (map[string]bool, error) {
+	out, err := parseAcks(ack)
+	if err != nil || path == "" {
+		return out, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, fmt.Errorf("reading -ack-file: %w", err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if h := strings.Index(line, "#"); h >= 0 {
+			line = line[:h]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		more, err := parseAcks(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, i+1, err)
+		}
+		for k := range more {
+			out[k] = true
+		}
 	}
 	return out, nil
 }

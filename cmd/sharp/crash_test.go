@@ -124,3 +124,114 @@ func TestResumeReproducesInterruptedCampaign(t *testing.T) {
 		}
 	})
 }
+
+// segmentedState snapshots a segmented log for byte comparison: the manifest
+// plus every segment file, keyed by name. Sidecar .idx files are a cache and
+// excluded.
+func segmentedState(t *testing.T, path string) map[string][]byte {
+	t.Helper()
+	state := map[string][]byte{}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state["manifest"] = b
+	des, err := os.ReadDir(path + ".seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), ".sharpb") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(path+".seg", de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		state[de.Name()] = b
+	}
+	return state
+}
+
+// TestSegmentedResumeRepairsTornManifest is the kill -9 shape for a segmented
+// log where the crash also tore the manifest itself: the active segment ends
+// mid-frame with no sidecar index (one is only written on clean close), and
+// the manifest at <path> is a truncated prefix (a torn rewrite). `run
+// --resume` with the same flags must rebuild the manifest from the segments,
+// drop the torn trailing run, re-execute it, and leave every file — manifest
+// and all segments — byte-identical to the uninterrupted campaign.
+func TestSegmentedResumeRepairsTornManifest(t *testing.T) {
+	t.Setenv("SHARP_CLOCK", "2026-07-04T12:00:00Z")
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.sharpb")
+	base := []string{"run", "--workload", "srad", "--machine", "machine1",
+		"--rule", "fixed", "--threshold", "40", "--min", "10", "--quiet",
+		"--segment-rows", "8"}
+
+	args := append(append([]string{}, base...), "--csv", full)
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	want := segmentedState(t, full)
+	if len(want) < 4 { // manifest + at least three segments: rolling happened
+		t.Fatalf("campaign produced only %d segmented files; raise rows or lower --segment-rows", len(want)-1)
+	}
+
+	// Reconstruct the crashed state from the reference bytes.
+	crash := filepath.Join(dir, "crash.sharpb")
+	if err := os.MkdirAll(crash+".seg", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	active := ""
+	for name, b := range want {
+		if name == "manifest" {
+			continue
+		}
+		if active == "" || name > active {
+			active = name
+		}
+		if err := os.WriteFile(filepath.Join(crash+".seg", name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the active segment mid-frame (no sidecar index: a real crash never
+	// wrote one) and the manifest mid-write.
+	ab := want[active]
+	if err := os.WriteFile(filepath.Join(crash+".seg", active), ab[:len(ab)-13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mb := want["manifest"]
+	if err := os.WriteFile(crash, mb[:len(mb)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	args = append(append([]string{}, base...), "--csv", crash, "--resume")
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	got := segmentedState(t, crash)
+	if len(got) != len(want) {
+		t.Fatalf("resumed log has %d files, reference has %d", len(got), len(want))
+	}
+	for name, wb := range want {
+		gb, ok := got[name]
+		if !ok {
+			t.Fatalf("resumed log is missing %s", name)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("%s differs after resume (%d vs %d bytes)", name, len(gb), len(wb))
+		}
+	}
+	// And the repaired log replays to the same rows as the reference.
+	wantRows, err := record.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRows, err := record.ReadFile(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("resumed log replays %d rows, reference %d", len(gotRows), len(wantRows))
+	}
+}

@@ -175,6 +175,7 @@ type runFlags struct {
 	resume        bool
 	flushEvery    int
 	fsync         bool
+	segmentRows   int
 	quiet         bool
 	trace         string
 	progress      bool
@@ -208,6 +209,7 @@ func (rf *runFlags) register(fs *flag.FlagSet) {
 	fs.BoolVar(&rf.resume, "resume", false, "continue an interrupted campaign from --csv (and --meta's checkpoint if present); requires the same flags as the original run")
 	fs.IntVar(&rf.flushEvery, "flush-every", 1, "flush the CSV log every N rows (0 = buffer until close)")
 	fs.BoolVar(&rf.fsync, "fsync", false, "fsync the CSV log on every flush (crash-proof, slower)")
+	fs.IntVar(&rf.segmentRows, "segment-rows", 0, "roll binary logs into ~N-row segments under <csv>.seg/ (0 = single file); repair and resume then touch only the last segment")
 	fs.BoolVar(&rf.quiet, "quiet", false, "suppress the report; print one summary line")
 	fs.StringVar(&rf.trace, "trace", "", "write a JSONL campaign event trace to this path ('-' = stderr)")
 	fs.BoolVar(&rf.progress, "progress", false, "render live campaign progress on stderr")
@@ -493,7 +495,10 @@ func (rf *runFlags) csvOptions() (record.Options, error) {
 	if err != nil {
 		return record.Options{}, err
 	}
-	return record.Options{FlushEvery: rf.flushEvery, Sync: rf.fsync, Format: format}, nil
+	// Replay (resume, cache hits) decodes binary logs with the same
+	// parallelism budget the campaign itself runs under.
+	record.SetReadParallelism(rf.parallel)
+	return record.Options{FlushEvery: rf.flushEvery, Sync: rf.fsync, Format: format, SegmentRows: rf.segmentRows}, nil
 }
 
 // streamCampaign runs the experiment, streaming rows to --csv (when set)

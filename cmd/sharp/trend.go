@@ -37,9 +37,11 @@ func cmdTrend(args []string) error {
 	tolerance := fs.Float64("tolerance", 2, "tolerated median slowdown (percent) per change point")
 	ack := fs.String("ack", "", "acknowledged change-point snapshot indices (comma-separated)")
 	trace := fs.String("trace", "", "write detector events as JSONL to this path")
+	parallel := fs.Int("parallel", 1, "parallel block decode when reading binary logs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	record.SetReadParallelism(*parallel)
 	paths := fs.Args()
 	if len(paths) < 2**minSegment {
 		return fmt.Errorf("trend: usage: sharp trend [flags] <log1> <log2> ... (need >= %d ordered logs)", 2**minSegment)

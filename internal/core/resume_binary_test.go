@@ -84,6 +84,67 @@ func TestResumeBinaryMatchesUninterrupted(t *testing.T) {
 	}
 }
 
+// viaSegmented round-trips rows through an on-disk *segmented* binary log
+// (small roll size, so several segments exist) — the durable-log shape of a
+// long campaign under --segment-rows.
+func viaSegmented(t *testing.T, dir, name string, rows []record.Row) []record.Row {
+	t.Helper()
+	path := filepath.Join(dir, name+record.BinaryExt)
+	w, err := record.CreateDurable(path, record.Options{Format: record.FormatBinary, SegmentRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := record.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestResumeSegmentedMatchesUninterrupted is the segmented-log arm of the
+// resume differential: splitting the durable prefix across segment files must
+// change nothing about what resume reconstructs or the CSV it regenerates.
+func TestResumeSegmentedMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	for _, chaos := range []bool{false, true} {
+		name := fmt.Sprintf("seg-chaos%v", chaos)
+		t.Run(name, func(t *testing.T) {
+			fullPath := filepath.Join(dir, name+"-full.csv")
+			full, _ := runToCSV(t, buildExperiment(t, "ks", 2, chaos), fullPath)
+			if full.Runs < 4 {
+				t.Fatalf("campaign too short to cut: %d runs", full.Runs)
+			}
+			for _, cut := range []int{1, full.Runs / 2, full.Runs - 1} {
+				prefix := viaSegmented(t, dir, fmt.Sprintf("%s-cut%d", name, cut),
+					rowPrefix(full.Rows, cut))
+				e := buildExperiment(t, "ks", 2, chaos)
+				l := newFakeLauncherAt(cut)
+				res, err := l.Resume(context.Background(), e, prefix)
+				if err != nil && !errors.Is(err, ErrFailureBudget) {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				if res.Runs != full.Runs || res.StopReason != full.StopReason {
+					t.Fatalf("cut %d: (%d, %q) != (%d, %q)", cut,
+						res.Runs, res.StopReason, full.Runs, full.StopReason)
+				}
+				resPath := filepath.Join(dir, fmt.Sprintf("%s-cut%d.csv", name, cut))
+				if err := res.SaveCSV(resPath); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := readFileT(t, resPath), readFileT(t, fullPath); got != want {
+					t.Errorf("cut %d: resumed-from-segmented CSV differs from uninterrupted", cut)
+				}
+			}
+		})
+	}
+}
+
 func TestReplayLogReconstructsResult(t *testing.T) {
 	dir := t.TempDir()
 	for _, chaos := range []bool{false, true} {

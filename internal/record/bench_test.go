@@ -17,33 +17,41 @@ import (
 // gated as an exact reproduction target.
 func benchRows(n int) []Row {
 	rows := make([]Row, n)
-	base := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
-	metrics := [3]string{"exec_time", "detection_time", "throughput"}
-	units := [3]string{"seconds", "seconds", "ops"}
 	// Values and timestamps carry full float64 / nanosecond precision, like
 	// real campaign rows (Sim draws are full-precision lognormals and the
 	// launcher clock has nanosecond resolution); a deterministic xorshift
 	// keeps bin_bytes_per_row an exact reproduction target.
 	rng := uint64(0x9E3779B97F4A7C15)
 	for i := range rows {
-		rng ^= rng << 13
-		rng ^= rng >> 7
-		rng ^= rng << 17
-		m := i % 3
-		rows[i] = Row{
-			Timestamp:  base.Add(time.Duration(i)*137137*time.Nanosecond + time.Duration(rng%997)),
-			Experiment: "bench1e6", Workload: "hotspot", Backend: "sim",
-			Machine: fmt.Sprintf("machine%d", i%4+1),
-			Day:     i%5 + 1, Run: i/6 + 1, Instance: i%2 + 1,
-			Metric: metrics[m], Value: 1.5 + float64(rng>>11)/float64(1<<53),
-			Unit: units[m], Status: StatusOK, Attempt: 1,
-		}
-		if i%997 == 0 {
-			rows[i].Status, rows[i].Metric = StatusError, MetricError
-			rows[i].Value, rows[i].Error = 1, "injected: worker lost"
-		}
+		rows[i] = benchRow(i, &rng)
 	}
 	return rows
+}
+
+// benchRow computes row i of the deterministic benchmark log, advancing the
+// xorshift state — the streaming form of benchRows, for logs too large to
+// materialize.
+func benchRow(i int, rng *uint64) Row {
+	base := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	metrics := [3]string{"exec_time", "detection_time", "throughput"}
+	units := [3]string{"seconds", "seconds", "ops"}
+	*rng ^= *rng << 13
+	*rng ^= *rng >> 7
+	*rng ^= *rng << 17
+	m := i % 3
+	r := Row{
+		Timestamp:  base.Add(time.Duration(i)*137137*time.Nanosecond + time.Duration(*rng%997)),
+		Experiment: "bench1e6", Workload: "hotspot", Backend: "sim",
+		Machine: fmt.Sprintf("machine%d", i%4+1),
+		Day:     i%5 + 1, Run: i/6 + 1, Instance: i%2 + 1,
+		Metric: metrics[m], Value: 1.5 + float64(*rng>>11)/float64(1<<53),
+		Unit: units[m], Status: StatusOK, Attempt: 1,
+	}
+	if i%997 == 0 {
+		r.Status, r.Metric = StatusError, MetricError
+		r.Value, r.Error = 1, "injected: worker lost"
+	}
+	return r
 }
 
 // benchWrite writes rows to path through the public Writer facade and
@@ -201,4 +209,113 @@ func BenchmarkRecordReplaySpeedup1e6(b *testing.B) {
 	}
 	b.ReportMetric(speedup, "speedup_x")
 	b.ReportMetric(bytesPerRow, "bin_bytes_per_row")
+}
+
+// BenchmarkReplay1e7 measures the mapped zero-copy reader against the
+// streaming scanner on a ten-million-row log — resume replay at the scale
+// where allocator traffic dominates. The streaming leg is the PR 7 crash
+// replay exactly: a buffered scan appending into an unhinted slab, because a
+// crash repair has just invalidated the sidecar index, so ReadFile gets no
+// capacity hint and grow-and-copies its way through ~2 GB of rows (it is
+// timed once — it is the expensive thing being replaced). The mapped leg is
+// ReadFileInto reusing its slab, the shape of the service recovery loop.
+// mmap_speedup_x is gated as a floor in BENCH_pr9.json: the mapped path must
+// stay >=3x the streaming scanner.
+func BenchmarkReplay1e7(b *testing.B) {
+	if !mmapSupported {
+		b.Skip("no mmap on this platform")
+	}
+	const n = 10 * benchN
+	path := filepath.Join(b.TempDir(), "replay1e7.sharpb")
+	w, err := CreateDurable(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < n; i++ { // streamed: 1e7 rows never materialize at once
+		r := benchRow(i, &rng)
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	os.Remove(path + binIndexSuffix) // crash shape: no fresh sidecar index
+	streaming := func() time.Duration {
+		runtime.GC()
+		start := time.Now()
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		_, rows, err := scanBinaryDst(f, nil)
+		if err != nil || len(rows) != n {
+			b.Fatalf("streaming decoded %d rows, err=%v", len(rows), err)
+		}
+		return time.Since(start)
+	}
+	var dst []Row
+	mapped := func() time.Duration {
+		best := time.Duration(1 << 62)
+		for t := 0; t < 3; t++ {
+			runtime.GC()
+			start := time.Now()
+			var err error
+			if dst, err = ReadFileInto(path, dst); err != nil || len(dst) != n {
+				b.Fatalf("mapped decoded %d rows, err=%v", len(dst), err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	var speedup, mappedSec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streamT := streaming()
+		mappedT := mapped()
+		speedup = streamT.Seconds() / mappedT.Seconds()
+		mappedSec = mappedT.Seconds()
+	}
+	b.ReportMetric(speedup, "mmap_speedup_x")
+	b.ReportMetric(float64(n)/mappedSec, "rows/s")
+}
+
+// BenchmarkReplayReuse1e6 pins the steady-state allocation count of a mapped
+// replay into a reused slab: after the first read owns the row slab, each
+// further replay must allocate only the handful of per-read bookkeeping
+// objects (mapping, block refs, dictionary strings) — not another
+// hundreds-of-MB row slab. reuse_allocs is deterministic (parallelism pinned
+// to 1) and gated exactly in BENCH_pr9.json.
+func BenchmarkReplayReuse1e6(b *testing.B) {
+	if !mmapSupported {
+		b.Skip("no mmap on this platform")
+	}
+	path := filepath.Join(b.TempDir(), "reuse.sharpb")
+	benchWrite(b, path, benchRows(benchN))
+	prev := readParallelism.Load()
+	readParallelism.Store(1)
+	defer readParallelism.Store(prev)
+	var dst []Row
+	var err error
+	if dst, err = ReadFileInto(path, dst); err != nil || len(dst) != benchN {
+		b.Fatalf("warmup read: %d rows, err=%v", len(dst), err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if dst, err = ReadFileInto(path, dst); err != nil || len(dst) != benchN {
+			b.Fatalf("reuse read: %d rows, err=%v", len(dst), err)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = ReadFileInto(path, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(allocs, "reuse_allocs")
+	b.ReportMetric(float64(benchN)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }

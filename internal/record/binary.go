@@ -64,6 +64,12 @@ const (
 // BinaryExt is the file extension of binary columnar logs.
 const BinaryExt = ".sharpb"
 
+// formatSegmented marks a segmented binary log: a "SHARPSG1" manifest at the
+// log path next to a <path>.seg/ directory of self-contained .sharpb
+// segments. It is internal — callers opt in through Options.SegmentRows and
+// readers detect it by sniffing, never via the Format flag.
+const formatSegmented Format = -1
+
 // ParseFormat parses a --format flag value.
 func ParseFormat(s string) (Format, error) {
 	switch strings.ToLower(s) {
@@ -133,21 +139,69 @@ func (r *Row) binStrings() [8]string {
 	return [8]string{r.Experiment, r.Workload, r.Backend, r.Machine, r.Metric, r.Unit, r.Status, r.Error}
 }
 
+// errSniffShort reports a file too short to hold any format magic (including
+// an empty file — the artifact a crash before the first buffer flush leaves
+// behind). It is distinguishable from genuine I/O failure so OpenAppend can
+// repair the empty-file case instead of hard-failing; every other caller
+// falls through to the CSV path, keeping the historical error messages.
+var errSniffShort = errors.New("record: file too short to sniff format")
+
 // sniffFormat reports the format of an existing log file by its leading
-// magic bytes. Files too short to hold the magic (including empty files)
-// are treated as CSV so their error messages stay the historical ones.
+// magic bytes. A damaged segmented manifest is still recognized by its
+// sibling <path>.seg directory, so manifest corruption stays repairable.
 func sniffFormat(path string) (Format, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		if os.IsNotExist(err) && hasSegDir(path) {
+			// The manifest itself is gone but its segment directory survives:
+			// still a segmented log, rebuilt by scanning the segments.
+			return formatSegmented, nil
+		}
 		return FormatCSV, err
 	}
 	defer f.Close()
 	var b [len(binMagic)]byte
-	n, _ := io.ReadFull(f, b[:])
-	if n == len(binMagic) && string(b[:]) == binMagic {
+	n, err := io.ReadFull(f, b[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return FormatCSV, fmt.Errorf("record: %w", err)
+	}
+	switch {
+	case n == len(binMagic) && string(b[:]) == binMagic:
 		return FormatBinary, nil
+	case n == len(segMagic) && string(b[:]) == segMagic:
+		return formatSegmented, nil
+	case hasSegDir(path):
+		// The manifest bytes are damaged (torn, zeroed, or overwritten) but
+		// the segment directory survives: still a segmented log, rebuilt by
+		// scanning its segments.
+		return formatSegmented, nil
+	case n < len(binMagic):
+		return FormatCSV, errSniffShort
 	}
 	return FormatCSV, nil
+}
+
+// sniffRead is sniffFormat for read-side callers, where a too-short file is
+// simply not binary (the CSV reader produces the historical diagnostics).
+func sniffRead(path string) (Format, error) {
+	format, err := sniffFormat(path)
+	if errors.Is(err, errSniffShort) {
+		return format, nil
+	}
+	return format, err
+}
+
+// emptyBinaryArtifact reports whether path is a 0-byte file that resolves to
+// a binary log by extension — the kill -9 window between creating a log and
+// writing its magic. Read and repair surfaces treat it as an empty log (zero
+// rows, nothing to truncate) and OpenAppend recreates it; a 0-byte CSV keeps
+// the historical missing-header diagnostics, since a CSV header is data.
+func emptyBinaryArtifact(path string) bool {
+	if FormatForPath(path) != FormatBinary {
+		return false
+	}
+	st, err := os.Stat(path)
+	return err == nil && st.Size() == 0
 }
 
 // checkRowRange rejects rows whose integer fields cannot round-trip through
@@ -458,7 +512,6 @@ func encodeDataBlock(rows []Row, dict map[string]uint32) []byte {
 // streams sequentially through one column of the (cache-resident) payload
 // and one field of the freshly appended rows.
 func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, error) {
-	le := binary.LittleEndian
 	base := len(dst)
 	if cap(dst)-base < n {
 		grown := make([]Row, base, base+n+(base+n)/4)
@@ -466,11 +519,22 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 		dst = grown
 	}
 	dst = dst[:base+n]
-	blk := dst[base : base+n : base+n]
+	if err := decodeBlockInto(payload, n, dict, dst[base:base+n:base+n]); err != nil {
+		return dst[:base], err
+	}
+	return dst, nil
+}
+
+// decodeBlockInto decodes a columnar payload of n rows into blk (len n),
+// overwriting every field, so callers may hand it recycled Row storage. It
+// is the shared core of the streaming scanner and the mmap fast path, which
+// decodes blocks directly into disjoint windows of a preallocated slab.
+func decodeBlockInto(payload []byte, n int, dict []string, blk []Row) error {
+	le := binary.LittleEndian
 	for i := range blk {
 		nsec := le.Uint32(payload[8*n+4*i:])
 		if nsec >= 1e9 {
-			return dst[:base], fmt.Errorf("bad nanoseconds %d", nsec)
+			return fmt.Errorf("bad nanoseconds %d", nsec)
 		}
 		blk[i].Timestamp = time.Unix(int64(le.Uint64(payload[8*i:])), int64(nsec)).UTC()
 	}
@@ -497,7 +561,7 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Experiment = dict[id]
 	}
@@ -505,7 +569,7 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Workload = dict[id]
 	}
@@ -513,7 +577,7 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Backend = dict[id]
 	}
@@ -521,7 +585,7 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Machine = dict[id]
 	}
@@ -529,7 +593,7 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Metric = dict[id]
 	}
@@ -537,7 +601,7 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Unit = dict[id]
 	}
@@ -545,7 +609,7 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Status = dict[id]
 	}
@@ -553,11 +617,11 @@ func decodeDataBlock(payload []byte, n int, dict []string, dst []Row) ([]Row, er
 	for i := range blk {
 		id := le.Uint32(col[4*i:])
 		if id >= nd {
-			return dst[:base], fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
+			return fmt.Errorf("dictionary id %d out of range (%d entries)", id, nd)
 		}
 		blk[i].Error = dict[id]
 	}
-	return dst, nil
+	return nil
 }
 
 // binBlock records where a data block sits in the file.
@@ -802,6 +866,9 @@ func (ix *binIndex) fresh(f *os.File) bool {
 // readBinaryFile decodes all rows of a binary log, preallocating from the
 // sidecar index when it is fresh.
 func readBinaryFile(path string) ([]Row, error) {
+	if rows, _, ok, err := readBinaryFileFast(path, nil); ok {
+		return rows, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -843,6 +910,17 @@ func scanBinaryFile(path string) (rows, lastRun int, torn bool, err error) {
 // block, truncates a torn tail, reloads the string dictionary, and positions
 // the writer at the end.
 func openAppendBinary(path string, o Options) (*Writer, int, error) {
+	bw, rows, err := openAppendBinaryCore(path, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Writer{bin: bw, opts: o, wroteHeader: true, rows: rows}, rows, nil
+}
+
+// openAppendBinaryCore does the work of openAppendBinary but returns the bare
+// binWriter, so the segmented log can reuse the same repair-and-position
+// logic on its active segment.
+func openAppendBinaryCore(path string, o Options) (*binWriter, int, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, 0, err
@@ -870,7 +948,7 @@ func openAppendBinary(path string, o Options) (*Writer, int, error) {
 	for i, s := range sc.dict {
 		bw.dict[s] = uint32(i)
 	}
-	return &Writer{bin: bw, opts: o, wroteHeader: true, rows: sc.rows}, sc.rows, nil
+	return bw, sc.rows, nil
 }
 
 // truncateBinaryRows cuts the binary log open at f down to its first n rows.

@@ -175,6 +175,12 @@ type Options struct {
 	// format, everything else CSV. Read paths ignore it — they sniff the
 	// file's magic bytes instead.
 	Format Format
+	// SegmentRows, when positive, rolls binary logs into self-contained
+	// segments of about this many rows under <path>.seg/, with a manifest at
+	// <path> (see segment.go). Truncation, repair, and resume then touch only
+	// the last segment instead of one ever-growing file. 0 keeps the
+	// single-file layout. CSV logs ignore it.
+	SegmentRows int
 }
 
 // Writer streams tidy rows to a log, optionally flushing (and fsyncing) at a
@@ -187,6 +193,7 @@ type Writer struct {
 	c           io.Closer
 	f           *os.File   // non-nil when file-backed (enables Sync)
 	bin         *binWriter // non-nil for binary columnar logs
+	seg         *segWriter // non-nil for segmented binary logs
 	opts        Options
 	wroteHeader bool
 	rows        int
@@ -207,6 +214,9 @@ func Create(path string) (*Writer, error) { return CreateDurable(path, Options{}
 // FormatAuto).
 func CreateDurable(path string, o Options) (*Writer, error) {
 	if o.resolve(path) == FormatBinary {
+		if o.SegmentRows > 0 {
+			return createSegmented(path, o)
+		}
 		bw, err := createBinary(path, o)
 		if err != nil {
 			return nil, err
@@ -224,8 +234,14 @@ func CreateDurable(path string, o Options) (*Writer, error) {
 // incremented after encoding/csv accepts the record, not before (the old
 // order overcounted when the underlying writer failed).
 func (w *Writer) Write(r Row) error {
-	if w.bin != nil {
-		if err := w.bin.add(&r); err != nil {
+	if w.bin != nil || w.seg != nil {
+		var err error
+		if w.seg != nil {
+			err = w.seg.add(&r)
+		} else {
+			err = w.bin.add(&r)
+		}
+		if err != nil {
 			return err
 		}
 		w.rows++
@@ -271,6 +287,10 @@ func (w *Writer) Rows() int { return w.rows }
 // is called automatically per the FlushEvery policy and may be called
 // explicitly at checkpoints.
 func (w *Writer) Flush() error {
+	if w.seg != nil {
+		w.unflushed = 0
+		return w.seg.flush()
+	}
 	if w.bin != nil {
 		w.unflushed = 0
 		return w.bin.flush()
@@ -290,6 +310,9 @@ func (w *Writer) Flush() error {
 // unconditionally — a flush error must not leak the descriptor — and flush
 // and close errors are joined.
 func (w *Writer) Close() error {
+	if w.seg != nil {
+		return w.seg.close()
+	}
 	if w.bin != nil {
 		return w.bin.close()
 	}
@@ -393,11 +416,30 @@ func Stream(r io.Reader, format Format, fn func(batch []Row) error) error {
 }
 
 // StreamFile is Stream over a log file, sniffing the format from the magic
-// bytes.
+// bytes. Binary logs stream from an mmap view when the platform supports it
+// (decoding blocks in parallel per SetReadParallelism), falling back to the
+// buffered scanner otherwise; the delivered batches are identical either way.
 func StreamFile(path string, fn func(batch []Row) error) error {
-	format, err := sniffFormat(path)
+	format, err := sniffRead(path)
 	if err != nil {
 		return err
+	}
+	if format == formatSegmented {
+		return streamSegmented(path, fn)
+	}
+	if emptyBinaryArtifact(path) {
+		return nil
+	}
+	if format == FormatBinary {
+		ml, err := openMapped(path)
+		if err != nil {
+			return err
+		}
+		if ml != nil {
+			defer ml.unmap()
+			_, err := streamMapped(ml.data, fn)
+			return err
+		}
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -452,10 +494,14 @@ func streamCSV(r io.Reader, fn func([]Row) error) error {
 // its way through millions of appends; for binary logs a fresh sidecar
 // index supplies the exact count.
 func ReadFile(path string) ([]Row, error) {
-	if format, err := sniffFormat(path); err != nil {
+	if format, err := sniffRead(path); err != nil {
 		return nil, err
+	} else if format == formatSegmented {
+		return readSegmented(path, nil)
 	} else if format == FormatBinary {
 		return readBinaryFile(path)
+	} else if emptyBinaryArtifact(path) {
+		return nil, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -609,10 +655,14 @@ func parseLine(line string) ([]string, error) {
 // of complete rows, the run index of the last complete row, and whether a
 // torn tail (crash signature) is present.
 func ScanFile(path string) (rows, lastRun int, torn bool, err error) {
-	if format, err := sniffFormat(path); err != nil {
+	if format, err := sniffRead(path); err != nil {
 		return 0, 0, false, err
+	} else if format == formatSegmented {
+		return scanSegmented(path)
 	} else if format == FormatBinary {
 		return scanBinaryFile(path)
+	} else if emptyBinaryArtifact(path) {
+		return 0, 0, false, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -632,9 +682,26 @@ func ScanFile(path string) (rows, lastRun int, torn bool, err error) {
 // of complete rows already on disk. Appending to a legacy pre-resilience
 // log is refused (its rows have a different column count).
 func OpenAppend(path string, o Options) (w *Writer, rows int, err error) {
-	if format, err := sniffFormat(path); err != nil {
+	format, err := sniffFormat(path)
+	if errors.Is(err, errSniffShort) && o.resolve(path) == FormatBinary {
+		// A crash before the first flush leaves a 0-byte (or sub-magic) file:
+		// no rows were ever durable, so "repair" is starting over. Without
+		// this, a binary-format campaign could never resume past a crash that
+		// beat the first buffer flush.
+		if st, serr := os.Stat(path); serr == nil && st.Size() == 0 {
+			w, cerr := CreateDurable(path, o)
+			return w, 0, cerr
+		}
+	}
+	if err != nil && !errors.Is(err, errSniffShort) {
 		return nil, 0, err
-	} else if format == FormatBinary {
+	}
+	if format == formatSegmented {
+		return openAppendSegmented(path, o)
+	}
+	if format == FormatBinary {
+		// A plain single-file binary log is continued as-is even when
+		// SegmentRows is set: segmentation applies to logs created segmented.
 		return openAppendBinary(path, o)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
@@ -698,10 +765,14 @@ func checkAppendHeader(f *os.File) error {
 // no way to know whether the last run's row block is complete, so resume
 // re-executes it from its backend draws instead.
 func TruncateTrailingRun(path string) (rows, droppedRun int, err error) {
-	if format, err := sniffFormat(path); err != nil {
+	if format, err := sniffRead(path); err != nil {
 		return 0, 0, err
+	} else if format == formatSegmented {
+		return truncateTrailingRunSegmented(path)
 	} else if format == FormatBinary {
 		return truncateTrailingRunBinary(path)
+	} else if emptyBinaryArtifact(path) {
+		return 0, 0, nil
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -731,10 +802,17 @@ func TruncateTrailingRun(path string) (rows, droppedRun int, err error) {
 // were durably part of the campaign: anything past them is discarded before
 // the campaign continues. n larger than the available rows is an error.
 func TruncateRows(path string, n int) error {
-	if format, err := sniffFormat(path); err != nil {
+	if format, err := sniffRead(path); err != nil {
 		return err
+	} else if format == formatSegmented {
+		return truncateRowsSegmented(path, n)
 	} else if format == FormatBinary {
 		return truncateRowsBinary(path, n)
+	} else if emptyBinaryArtifact(path) {
+		if n == 0 {
+			return nil
+		}
+		return fmt.Errorf("record: truncate to %d rows: only 0 available", n)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package record
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform has a real mmap; without it
+// every mapped-read entry point falls back to the streaming scanner, which
+// preserves behavior exactly (just without the zero-copy fast path).
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, func(), error) {
+	return nil, nil, errors.New("record: mmap unsupported on this platform")
+}

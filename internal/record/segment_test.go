@@ -1,0 +1,428 @@
+package record
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeSegmented writes rows to a segmented binary log rolling every segRows.
+func writeSegmented(t *testing.T, path string, rows []Row, segRows int) {
+	t.Helper()
+	w, err := CreateDurable(path, Options{FlushEvery: 1, SegmentRows: segRows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.seg == nil {
+		t.Fatalf("CreateDurable(%q, SegmentRows=%d) did not pick the segmented layout", path, segRows)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// segCount returns the number of segment files on disk.
+func segCount(t *testing.T, path string) int {
+	t.Helper()
+	des, err := os.ReadDir(segDir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), BinaryExt) {
+			n++
+		}
+	}
+	return n
+}
+
+// logBytes snapshots every byte of a segmented log — manifest plus all
+// segments — for byte-identity differentials.
+func logBytes(t *testing.T, path string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["manifest"] = data
+	des, err := os.ReadDir(segDir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), BinaryExt) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(segDir(path), de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[de.Name()] = data
+	}
+	return out
+}
+
+// TestSegmentedRoundTrip checks the full surface of a multi-segment log
+// against the same rows in a single-file log: identical rows, scan results,
+// stream batches, and ranged reads.
+func TestSegmentedRoundTrip(t *testing.T) {
+	all := runRows(40, 3) // 120 rows
+	single := binPath(t, "single.sharpb")
+	writeBinary(t, single, all, Options{FlushEvery: 1})
+	path := filepath.Join(t.TempDir(), "seg.sharpb")
+	writeSegmented(t, path, all, 10)
+
+	if n := segCount(t, path); n < 4 {
+		t.Fatalf("expected >=4 segments at segRows=10, got %d", n)
+	}
+	want, err := ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("segmented rows differ from single-file rows (%d vs %d)", len(got), len(want))
+	}
+	r1, l1, torn1, err1 := ScanFile(single)
+	r2, l2, torn2, err2 := ScanFile(path)
+	if err1 != nil || err2 != nil || r1 != r2 || l1 != l2 || torn1 != torn2 {
+		t.Fatalf("scan mismatch: single=(%d,%d,%v,%v) segmented=(%d,%d,%v,%v)",
+			r1, l1, torn1, err1, r2, l2, torn2, err2)
+	}
+	var streamed []Row
+	if err := StreamFile(path, func(batch []Row) error {
+		streamed = append(streamed, batch...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, streamed) {
+		t.Fatal("segmented stream differs from single-file rows")
+	}
+	runsWant, err := ReadRuns(single, 12, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsGot, err := ReadRuns(path, 12, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runsWant, runsGot) {
+		t.Fatal("segmented ReadRuns differs from single-file ReadRuns")
+	}
+}
+
+// TestSegmentedRunsNeverSpanSegments verifies the roll invariant: every run's
+// rows live in exactly one segment file.
+func TestSegmentedRunsNeverSpanSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "span.sharpb")
+	writeSegmented(t, path, runRows(30, 4), 7) // roll threshold mid-run on purpose
+	owner := map[int]int{}
+	for i := 0; i < segCount(t, path); i++ {
+		rows, err := ReadFile(segPath(path, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if prev, ok := owner[r.Run]; ok && prev != i {
+				t.Fatalf("run %d spans segments %d and %d", r.Run, prev, i)
+			}
+			owner[r.Run] = i
+		}
+	}
+}
+
+// TestSegmentedResumeByteIdentity is the resume differential: interrupt a
+// segmented campaign (torn active segment), repair via OpenAppend, append the
+// remaining rows — the final on-disk bytes must equal the uninterrupted
+// write, manifest included.
+func TestSegmentedResumeByteIdentity(t *testing.T) {
+	all := runRows(40, 3)
+	ref := filepath.Join(t.TempDir(), "ref.sharpb")
+	writeSegmented(t, ref, all, 10)
+
+	path := filepath.Join(t.TempDir(), "crash.sharpb")
+	w, err := CreateDurable(path, Options{FlushEvery: 1, SegmentRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 97 // mid-run 33: inside the active segment
+	if err := w.WriteAll(all[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: abandon the writer (no Close, no index) and tear the
+	// active segment mid-block.
+	ap := segPath(path, segCount(t, path)-1)
+	st, err := os.Stat(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chop(t, ap, st.Size()-13)
+
+	rows, droppedRun, err := TruncateTrailingRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if droppedRun == 0 {
+		t.Fatal("expected the torn trailing run to be dropped")
+	}
+	w2, n, err := OpenAppend(path, Options{FlushEvery: 1, SegmentRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rows {
+		t.Fatalf("OpenAppend rows=%d, TruncateTrailingRun said %d", n, rows)
+	}
+	if err := w2.WriteAll(all[n:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || !reflect.DeepEqual(all, got) {
+		t.Fatalf("resumed rows differ (%d, %v)", len(got), err)
+	}
+	wantBytes, gotBytes := logBytes(t, ref), logBytes(t, path)
+	if len(wantBytes) != len(gotBytes) {
+		t.Fatalf("file sets differ: ref=%d files, resumed=%d files", len(wantBytes), len(gotBytes))
+	}
+	for name, want := range wantBytes {
+		if !reflect.DeepEqual(want, gotBytes[name]) {
+			t.Fatalf("%s differs between uninterrupted and resumed logs", name)
+		}
+	}
+}
+
+// TestSegmentedManifestDamageRebuild tears or corrupts the manifest itself;
+// every reader must rebuild it from the segments, and OpenAppend must
+// persist the repair and resume byte-identically.
+func TestSegmentedManifestDamageRebuild(t *testing.T) {
+	all := runRows(40, 3)
+	for _, tc := range []struct {
+		name string
+		hurt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			st, _ := os.Stat(path)
+			chop(t, path, st.Size()/2)
+		}},
+		{"zeroed", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, make([]byte, 64), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"crc-flip", func(t *testing.T, path string) { flipByte(t, path, segHeaderLen+3) }},
+		{"deleted", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := filepath.Join(t.TempDir(), "ref.sharpb")
+			writeSegmented(t, ref, all, 10)
+			path := filepath.Join(t.TempDir(), "mfst.sharpb")
+			writeSegmented(t, path, all[:97], 10)
+			tc.hurt(t, path)
+
+			rows, _, _, err := ScanFile(path)
+			if err != nil {
+				t.Fatalf("scan after manifest damage: %v", err)
+			}
+			if rows != 97 {
+				t.Fatalf("scan rows=%d, want 97", rows)
+			}
+			got, err := ReadFile(path)
+			if err != nil || !reflect.DeepEqual(all[:97], got) {
+				t.Fatalf("read after manifest damage = (%d rows, %v)", len(got), err)
+			}
+			w, n, err := OpenAppend(path, Options{FlushEvery: 1, SegmentRows: 10})
+			if err != nil {
+				t.Fatalf("OpenAppend after manifest damage: %v", err)
+			}
+			if n != 97 {
+				t.Fatalf("OpenAppend rows=%d, want 97", n)
+			}
+			if err := w.WriteAll(all[97:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			wantBytes, gotBytes := logBytes(t, ref), logBytes(t, path)
+			for name, want := range wantBytes {
+				if !reflect.DeepEqual(want, gotBytes[name]) {
+					t.Fatalf("%s differs from uninterrupted reference", name)
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentedSealedDamageIsCorruption proves damage to a sealed segment is
+// hard corruption (like an interior block of a single-file log), not a
+// repairable tear.
+func TestSegmentedSealedDamageIsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sealed.sharpb")
+	writeSegmented(t, path, runRows(40, 3), 10)
+	flipByte(t, path, int64(segHeaderLen)) // force manifest rebuild too
+	sp := segPath(path, 0)
+	st, err := os.Stat(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chop(t, sp, st.Size()-9) // tear the *sealed* first segment
+	if _, _, _, err := ScanFile(path); err == nil {
+		t.Fatal("scan accepted a torn sealed segment")
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("read accepted a torn sealed segment")
+	}
+}
+
+// TestSegmentedTruncateRows cuts at boundaries and interiors of both sealed
+// and active segments, comparing against the single-file reference.
+func TestSegmentedTruncateRows(t *testing.T) {
+	all := runRows(40, 3) // 120 rows, ~10-row segments
+	for _, n := range []int{120, 113, 100, 60, 33, 30, 12, 0} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cut.sharpb")
+			writeSegmented(t, path, all, 10)
+			if err := TruncateRows(path, n); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(all[:n], got) && n > 0 {
+				t.Fatalf("got %d rows, want first %d", len(got), n)
+			}
+			if n == 0 && len(got) != 0 {
+				t.Fatalf("got %d rows, want 0", len(got))
+			}
+			// The cut log must remain appendable.
+			w, m, err := OpenAppend(path, Options{FlushEvery: 1, SegmentRows: 10})
+			if err != nil || m != n {
+				t.Fatalf("OpenAppend after cut = (%d, %v), want %d", m, err, n)
+			}
+			if err := w.WriteAll(all[n:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got, err = ReadFile(path); err != nil || !reflect.DeepEqual(all, got) {
+				t.Fatalf("append after cut = (%d rows, %v)", len(got), err)
+			}
+		})
+	}
+	t.Run("too-many", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "cut.sharpb")
+		writeSegmented(t, path, all, 10)
+		if err := TruncateRows(path, len(all)+1); err == nil {
+			t.Fatal("TruncateRows past the end succeeded")
+		}
+	})
+}
+
+// TestSegmentedTruncateTrailingRun drops final runs repeatedly, including
+// across a seal boundary (unsealing the last sealed segment).
+func TestSegmentedTruncateTrailingRun(t *testing.T) {
+	all := runRows(8, 3) // 24 rows, segRows=6: run never spans, rolls every 2 runs
+	path := filepath.Join(t.TempDir(), "trail.sharpb")
+	writeSegmented(t, path, all, 6)
+	remaining := len(all)
+	for run := 8; run >= 1; run-- {
+		rows, dropped, err := TruncateTrailingRun(path)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		remaining -= 3
+		if rows != remaining || dropped != run {
+			t.Fatalf("run %d: got (rows=%d, dropped=%d), want (%d, %d)", run, rows, dropped, remaining, run)
+		}
+		got, err := ReadFile(path)
+		if err != nil || !reflect.DeepEqual(all[:remaining], got) && remaining > 0 {
+			t.Fatalf("run %d: rows after drop = (%d, %v)", run, len(got), err)
+		}
+	}
+	// Empty log: nothing left to drop.
+	rows, dropped, err := TruncateTrailingRun(path)
+	if err != nil || rows != 0 || dropped != 0 {
+		t.Fatalf("empty drop = (%d, %d, %v), want (0, 0, nil)", rows, dropped, err)
+	}
+}
+
+// TestSegmentedOpenAppendMissingActiveSegment covers the crash window
+// between sealing segment N and creating segment N+1.
+func TestSegmentedOpenAppendMissingActiveSegment(t *testing.T) {
+	all := runRows(12, 2)
+	path := filepath.Join(t.TempDir(), "gap.sharpb")
+	writeSegmented(t, path, all[:12], 6) // seals segment 0 (run boundary at 12 rows)
+	// Remove the active segment, simulating the crash after the manifest
+	// write but before the next segment's create.
+	if err := os.Remove(segPath(path, segCount(t, path)-1)); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := loadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := m.sealedRows()
+	w, n, err := OpenAppend(path, Options{FlushEvery: 1, SegmentRows: 6})
+	if err != nil {
+		t.Fatalf("OpenAppend with missing active segment: %v", err)
+	}
+	if n != sealed {
+		t.Fatalf("rows=%d, want %d", n, sealed)
+	}
+	if err := w.WriteAll(all[n:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || !reflect.DeepEqual(all, got) {
+		t.Fatalf("rows after recovery = (%d, %v)", len(got), err)
+	}
+}
+
+// TestManifestEncodeParseRoundTrip pins the manifest wire format.
+func TestManifestEncodeParseRoundTrip(t *testing.T) {
+	m := &segManifest{segRows: 1 << 20, entries: []segEntry{
+		{rows: 10, lastRun: 4, runStart: 8, bytes: 900},
+		{rows: 12, lastRun: 9, runStart: 10, bytes: 1100},
+	}}
+	got, err := parseManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip: got %+v want %+v", got, m)
+	}
+	for _, hurt := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)-1] },
+		func(b []byte) []byte { b[9]++; return b },              // crc
+		func(b []byte) []byte { b[len(b)-3] ^= 0xff; return b }, // payload
+		func(b []byte) []byte { b[0] = 'X'; return b },          // magic
+		func(b []byte) []byte { return nil },
+	} {
+		if _, err := parseManifest(hurt(encodeManifest(m))); err == nil {
+			t.Fatal("damaged manifest accepted")
+		}
+	}
+}

@@ -284,8 +284,8 @@ func (c *Coordinator) recover() error {
 				cp.stopReason = m.Get("stop_reason")
 				cp.errMsg = m.Get("service_error")
 				fmt.Sscanf(m.Get("runs"), "%d", &cp.runs)
-				if rows, err := record.ReadFile(c.csvPath(rec.ID)); err == nil {
-					cp.rows = len(rows)
+				if rows, _, _, err := record.ScanFile(c.csvPath(rec.ID)); err == nil {
+					cp.rows = rows
 				}
 				close(cp.done)
 				c.camps[rec.ID] = cp
