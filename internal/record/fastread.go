@@ -40,10 +40,11 @@ func mmapDisabled() bool { return os.Getenv(NoMmapEnv) == "1" }
 var readParallelism atomic.Int64
 
 // SetReadParallelism bounds the worker pool used to decode independent data
-// blocks on the mapped read path. It is wired to the CLI --parallel flag;
-// values below 1 are clamped to 1 (strictly serial decode).
+// blocks on the mapped read path. It is wired to the CLI --parallel flags:
+// 0 restores the default (GOMAXPROCS at call time); negative values are
+// clamped to 1 (strictly serial decode).
 func SetReadParallelism(n int) {
-	if n < 1 {
+	if n < 0 {
 		n = 1
 	}
 	readParallelism.Store(int64(n))
@@ -346,6 +347,12 @@ func streamMapped(data []byte, sink func([]Row) error) (bool, error) {
 	if p <= 1 {
 		batch := make([]Row, binBlockRows)
 		for i, ref := range w.refs {
+			// SHARP's writer caps blocks at binBlockRows, but any nRows whose
+			// payload length checks out is structurally valid (the streaming
+			// scanner decodes it); grow rather than panic on a foreign block.
+			if ref.n > len(batch) {
+				batch = make([]Row, ref.n)
+			}
 			blk := batch[:ref.n]
 			if derr := decodeRef(data, ref, w.dict, blk); derr != nil {
 				return fail(i, derr)
@@ -404,7 +411,11 @@ func streamMapped(data []byte, sink func([]Row) error) (bool, error) {
 						return
 					}
 					ref := w.refs[j.i]
-					blk := pool.Get().([]Row)[:ref.n]
+					blk := pool.Get().([]Row)
+					if cap(blk) < ref.n { // oversized foreign block: see serial path
+						blk = make([]Row, ref.n)
+					}
+					blk = blk[:ref.n]
 					j.c <- res{blk: blk, err: decodeRef(data, ref, w.dict, blk)}
 				case <-done:
 					return
@@ -512,6 +523,9 @@ func readRunsMapped(data []byte, lo, hi int, dst []Row) ([]Row, error) {
 	for i, ref := range w.refs {
 		if ref.lastRun < lo || ref.firstRun > hi {
 			continue // frame header proves no overlap
+		}
+		if ref.n > len(batch) { // oversized foreign block: see streamMapped
+			batch = make([]Row, ref.n)
 		}
 		blk := batch[:ref.n]
 		if derr := decodeRef(data, ref, w.dict, blk); derr != nil {

@@ -1,10 +1,13 @@
 package record
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"unsafe"
@@ -227,6 +230,120 @@ func TestReadRuns(t *testing.T) {
 			t.Fatalf("fallback ReadRuns = (%d rows, %v), want 12", len(got), err)
 		}
 	})
+}
+
+// writeOversizedBlockLog writes a structurally valid binary log whose single
+// data block holds more than binBlockRows rows — never produced by SHARP's
+// writer, but legal under the frame rules and accepted by the streaming
+// scanner, so a foreign writer may emit it.
+func writeOversizedBlockLog(t *testing.T, path string, rows []Row) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bw := newBinWriterCore(bufio.NewWriterSize(f, 1<<16))
+	bw.f = f
+	if _, err := bw.bw.WriteString(binMagic); err != nil {
+		t.Fatal(err)
+	}
+	dict := map[string]uint32{}
+	var dp []byte
+	for i := range rows {
+		for _, s := range rows[i].binStrings() {
+			if _, ok := dict[s]; !ok {
+				dict[s] = uint32(len(dict))
+				dp = binary.LittleEndian.AppendUint32(dp, uint32(len(s)))
+				dp = append(dp, s...)
+			}
+		}
+	}
+	if err := bw.writeBlock(binKindDict, len(dict), 0, 0, dp); err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeDataBlock(rows, dict)
+	if err := bw.writeBlock(binKindData, len(rows), rows[0].Run, rows[len(rows)-1].Run, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMappedOversizedBlock proves the mapped readers handle a foreign data
+// block larger than binBlockRows exactly like the streaming scanner — decode
+// it, not panic on a fixed-size batch buffer — across stream, read, and
+// ranged-read paths, serial and parallel.
+func TestMappedOversizedBlock(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	rows := runRows((binBlockRows+100)/2, 2) // one block of binBlockRows+100 rows
+	path := binPath(t, "oversized.sharpb")
+	writeOversizedBlockLog(t, path, rows)
+	want, wantTorn, werr := readStreaming(t, path)
+	if werr != nil || wantTorn {
+		t.Fatalf("streaming reference = (torn=%v, %v), want clean", wantTorn, werr)
+	}
+	for _, p := range []int{1, 4} {
+		setParallelism(t, p)
+		got, gotTorn, ok, gerr := readBinaryFileFast(path, nil)
+		if !ok || gerr != nil || gotTorn || !reflect.DeepEqual(want, got) {
+			t.Fatalf("p=%d: mapped read = (%d rows, torn=%v, ok=%v, %v)", p, len(got), gotTorn, ok, gerr)
+		}
+		var streamed []Row
+		if err := StreamFile(path, func(batch []Row) error {
+			streamed = append(streamed, batch...)
+			return nil
+		}); err != nil || !reflect.DeepEqual(want, streamed) {
+			t.Fatalf("p=%d: mapped stream = (%d rows, %v)", p, len(streamed), err)
+		}
+		runs, err := ReadRuns(path, rows[0].Run, rows[len(rows)-1].Run)
+		if err != nil || !reflect.DeepEqual(want, runs) {
+			t.Fatalf("p=%d: ReadRuns = (%d rows, %v)", p, len(runs), err)
+		}
+	}
+	t.Run("corrupt-classification", func(t *testing.T) {
+		// A flipped byte inside the oversized (final) block must classify
+		// identically on both paths: torn tail, not a panic or hard error.
+		setParallelism(t, 4)
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipByte(t, path, st.Size()-10) // inside the oversized (final) data payload
+		want, wantTorn, werr := readStreaming(t, path)
+		got, gotTorn, ok, gerr := readBinaryFileFast(path, nil)
+		if !ok {
+			t.Fatal("mapped fast path unavailable")
+		}
+		if fmt.Sprint(werr) != fmt.Sprint(gerr) || wantTorn != gotTorn {
+			t.Fatalf("mapped=(torn=%v,%v) streaming=(torn=%v,%v)", gotTorn, gerr, wantTorn, werr)
+		}
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("mapped rows differ from streaming rows (%d vs %d)", len(got), len(want))
+		}
+	})
+}
+
+// TestSetReadParallelismZeroMeansGOMAXPROCS pins the --parallel flag
+// contract: 0 is "GOMAXPROCS at call time", not serial.
+func TestSetReadParallelismZeroMeansGOMAXPROCS(t *testing.T) {
+	prev := readParallelism.Load()
+	t.Cleanup(func() { readParallelism.Store(prev) })
+	SetReadParallelism(0)
+	if got, want := ReadParallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("ReadParallelism after SetReadParallelism(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetReadParallelism(3)
+	if got := ReadParallelism(); got != 3 {
+		t.Fatalf("ReadParallelism = %d, want 3", got)
+	}
+	SetReadParallelism(-2)
+	if got := ReadParallelism(); got != 1 {
+		t.Fatalf("ReadParallelism after negative set = %d, want 1", got)
+	}
 }
 
 // TestOpenAppendEmptyBinaryRepairs is the regression test for the

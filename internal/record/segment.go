@@ -63,6 +63,16 @@ func hasSegDir(path string) bool {
 	return err == nil && st.IsDir()
 }
 
+// activeSegMissing reports whether the active segment at sp is absent or a
+// 0-byte crash artifact. createBinary only buffers the magic, so a kill -9
+// between segment creation and the first flush leaves an empty file; like the
+// single-file emptyBinaryArtifact case, it holds zero durable rows and every
+// surface treats it exactly like a segment that never came to exist.
+func activeSegMissing(sp string) bool {
+	st, err := os.Stat(sp)
+	return os.IsNotExist(err) || (err == nil && st.Size() == 0)
+}
+
 // segEntry describes one sealed (immutable) segment.
 type segEntry struct {
 	rows     int   // data rows in the segment
@@ -218,12 +228,15 @@ func scanSegmented(path string) (rows, lastRun int, torn bool, err error) {
 	if err != nil {
 		return 0, 0, false, err
 	}
-	ar, alr, atorn, aerr := scanBinaryFile(segPath(path, len(m.entries)))
-	if aerr != nil {
-		if !os.IsNotExist(aerr) {
-			return 0, 0, false, aerr
+	var ar, alr int
+	var atorn bool
+	if ap := segPath(path, len(m.entries)); !activeSegMissing(ap) {
+		if ar, alr, atorn, err = scanBinaryFile(ap); err != nil {
+			if !os.IsNotExist(err) {
+				return 0, 0, false, err
+			}
+			ar, alr, atorn = 0, 0, false
 		}
-		ar, alr, atorn = 0, 0, false
 	}
 	lastRun = alr
 	if ar == 0 && len(m.entries) > 0 {
@@ -273,12 +286,15 @@ func readSegmented(path string, dst []Row) ([]Row, error) {
 				i, BinaryExt, len(dst)-base, torn, e.rows)
 		}
 	}
-	base := len(dst)
-	dst, _, err = readSegmentInto(segPath(path, len(m.entries)), dst)
-	if os.IsNotExist(err) {
-		return dst[:base], nil
+	if ap := segPath(path, len(m.entries)); !activeSegMissing(ap) {
+		base := len(dst)
+		dst, _, err = readSegmentInto(ap, dst)
+		if os.IsNotExist(err) {
+			return dst[:base], nil
+		}
+		return dst, err
 	}
-	return dst, err
+	return dst, nil
 }
 
 // streamSegment streams one segment file's rows into sink, counting them.
@@ -319,8 +335,10 @@ func streamSegmented(path string, sink func([]Row) error) error {
 				i, BinaryExt, n, torn, e.rows)
 		}
 	}
-	if _, _, err := streamSegment(segPath(path, len(m.entries)), sink); err != nil && !os.IsNotExist(err) {
-		return err
+	if ap := segPath(path, len(m.entries)); !activeSegMissing(ap) {
+		if _, _, err := streamSegment(ap, sink); err != nil && !os.IsNotExist(err) {
+			return err
+		}
 	}
 	return nil
 }
@@ -334,35 +352,32 @@ func readRunsSegmented(path string, lo, hi int) ([]Row, error) {
 	var out []Row
 	for i := 0; i <= len(m.entries); i++ {
 		sp := segPath(path, i)
-		ml, err := openMapped(sp)
-		if os.IsNotExist(err) {
+		active := i == len(m.entries)
+		if active && activeSegMissing(sp) {
 			break
 		}
-		if err != nil {
-			return nil, err
-		}
-		if ml != nil {
+		ml, err := openMapped(sp)
+		if err == nil && ml != nil {
 			out, err = func() ([]Row, error) {
 				defer ml.unmap()
 				return readRunsMapped(ml.data, lo, hi, out)
 			}()
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		_, _, err = streamSegment(sp, func(batch []Row) error {
-			for j := range batch {
-				if batch[j].Run >= lo && batch[j].Run <= hi {
-					out = append(out, batch[j])
+		} else if err == nil {
+			_, _, err = streamSegment(sp, func(batch []Row) error {
+				for j := range batch {
+					if batch[j].Run >= lo && batch[j].Run <= hi {
+						out = append(out, batch[j])
+					}
 				}
-			}
-			return nil
-		})
-		if os.IsNotExist(err) {
-			break
+				return nil
+			})
 		}
 		if err != nil {
+			// Only the active segment may legitimately be absent; a missing
+			// sealed segment is hard corruption, never a silent partial read.
+			if active && os.IsNotExist(err) {
+				break
+			}
 			return nil, err
 		}
 	}
@@ -487,9 +502,10 @@ func openAppendSegmented(path string, o Options) (*Writer, int, error) {
 	ap := segPath(path, len(m.entries))
 	var bw *binWriter
 	local := 0
-	if _, serr := os.Stat(ap); os.IsNotExist(serr) {
-		// Crash between sealing a segment and creating its successor: the
-		// active segment never came to exist. Start it empty.
+	if activeSegMissing(ap) {
+		// Crash between sealing a segment and creating its successor (the
+		// active segment never came to exist) or before its first buffer
+		// flush (a 0-byte artifact): no rows were durable. Start it empty.
 		if err := os.MkdirAll(segDir(path), 0o755); err != nil {
 			return nil, 0, err
 		}
@@ -538,7 +554,7 @@ func truncateRowsSegmented(path string, n int) error {
 		start += e.rows
 	}
 	ap := segPath(path, len(m.entries))
-	if _, serr := os.Stat(ap); os.IsNotExist(serr) {
+	if activeSegMissing(ap) {
 		if n == start {
 			return nil
 		}
@@ -562,11 +578,17 @@ func truncateTrailingRunSegmented(path string) (rows, droppedRun int, err error)
 		}
 	}
 	ap := segPath(path, len(m.entries))
-	ar, _, _, aerr := scanBinaryFile(ap)
-	if aerr != nil && !os.IsNotExist(aerr) {
-		return 0, 0, aerr
+	present, ar := !activeSegMissing(ap), 0
+	if present {
+		var aerr error
+		if ar, _, _, aerr = scanBinaryFile(ap); aerr != nil {
+			if !os.IsNotExist(aerr) {
+				return 0, 0, aerr
+			}
+			present = false
+		}
 	}
-	if aerr == nil && ar > 0 {
+	if present && ar > 0 {
 		lr, dropped, err := truncateTrailingRunBinary(ap)
 		if err != nil {
 			return 0, 0, err
@@ -574,7 +596,7 @@ func truncateTrailingRunSegmented(path string) (rows, droppedRun int, err error)
 		return m.sealedRows() + lr, dropped, nil
 	}
 	if len(m.entries) == 0 {
-		if aerr == nil {
+		if present {
 			// Zero valid rows but the file exists (possibly torn): trim it.
 			return truncateTrailingRunBinary(ap)
 		}

@@ -401,6 +401,151 @@ func TestSegmentedOpenAppendMissingActiveSegment(t *testing.T) {
 	}
 }
 
+// TestSegmentedEmptyActiveSegment covers the kill -9 window between creating
+// a segment and its first buffer flush: the active segment exists but is 0
+// bytes (createBinary only buffers the magic). Every read and repair surface
+// must treat it like a missing active segment — zero durable rows — and the
+// resume flow must recover, not fail on "missing binary magic".
+func TestSegmentedEmptyActiveSegment(t *testing.T) {
+	all := runRows(12, 2)
+	t.Run("after-seal", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "empty-active.sharpb")
+		writeSegmented(t, path, all[:12], 6) // seals segment 0 at the run boundary
+		ap := segPath(path, segCount(t, path)-1)
+		if err := os.WriteFile(ap, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(ap + binIndexSuffix)
+		m, _, err := loadManifest(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sealed := m.sealedRows()
+		wantLast := m.entries[len(m.entries)-1].lastRun
+
+		rows, lastRun, torn, err := ScanFile(path)
+		if err != nil || rows != sealed || lastRun != wantLast || torn {
+			t.Fatalf("ScanFile = (%d, %d, %v, %v), want (%d, %d, false, nil)", rows, lastRun, torn, err, sealed, wantLast)
+		}
+		got, err := ReadFile(path)
+		if err != nil || !reflect.DeepEqual(all[:sealed], got) {
+			t.Fatalf("ReadFile = (%d rows, %v), want the %d sealed rows", len(got), err, sealed)
+		}
+		var streamed []Row
+		if err := StreamFile(path, func(batch []Row) error {
+			streamed = append(streamed, batch...)
+			return nil
+		}); err != nil || !reflect.DeepEqual(all[:sealed], streamed) {
+			t.Fatalf("StreamFile = (%d rows, %v), want the %d sealed rows", len(streamed), err, sealed)
+		}
+		if runs, err := ReadRuns(path, 1, wantLast); err != nil || !reflect.DeepEqual(all[:sealed], runs) {
+			t.Fatalf("ReadRuns = (%d rows, %v), want the %d sealed rows", len(runs), err, sealed)
+		}
+		if err := TruncateRows(path, sealed); err != nil {
+			t.Fatalf("TruncateRows(%d) = %v, want nil", sealed, err)
+		}
+		w, n, err := OpenAppend(path, Options{FlushEvery: 1, SegmentRows: 6})
+		if err != nil || n != sealed {
+			t.Fatalf("OpenAppend = (%d, %v), want (%d, nil)", n, err, sealed)
+		}
+		if err := w.WriteAll(all[n:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Byte-identity with an uninterrupted write, as in the missing-segment
+		// recovery test.
+		ref := filepath.Join(t.TempDir(), "ref.sharpb")
+		writeSegmented(t, ref, all, 6)
+		wantBytes, gotBytes := logBytes(t, ref), logBytes(t, path)
+		for name, want := range wantBytes {
+			if !reflect.DeepEqual(want, gotBytes[name]) {
+				t.Fatalf("%s differs from uninterrupted reference", name)
+			}
+		}
+	})
+	t.Run("trailing-run-unseals", func(t *testing.T) {
+		// With an empty active segment the trailing run lives in the last
+		// sealed segment; TruncateTrailingRun must unseal and cut there.
+		path := filepath.Join(t.TempDir(), "empty-trail.sharpb")
+		writeSegmented(t, path, all[:12], 6)
+		ap := segPath(path, segCount(t, path)-1)
+		if err := os.WriteFile(ap, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Sealed segment 0 holds runs 1-3 (6 rows): the drop unseals it and
+		// cuts run 3, leaving 4 rows.
+		rows, dropped, err := TruncateTrailingRun(path)
+		if err != nil || rows != 4 || dropped != 3 {
+			t.Fatalf("TruncateTrailingRun = (%d, %d, %v), want (4, 3, nil)", rows, dropped, err)
+		}
+		if got, err := ReadFile(path); err != nil || !reflect.DeepEqual(all[:4], got) {
+			t.Fatalf("rows after drop = (%d, %v)", len(got), err)
+		}
+	})
+	t.Run("first-segment", func(t *testing.T) {
+		// Crash before anything was flushed at all: manifest with zero sealed
+		// entries next to a 0-byte 0000.sharpb.
+		path := filepath.Join(t.TempDir(), "empty-first.sharpb")
+		writeSegmented(t, path, nil, 6)
+		ap := segPath(path, 0)
+		if err := os.WriteFile(ap, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(ap + binIndexSuffix)
+		if rows, lastRun, torn, err := ScanFile(path); rows != 0 || lastRun != 0 || torn || err != nil {
+			t.Fatalf("ScanFile = (%d, %d, %v, %v), want (0, 0, false, nil)", rows, lastRun, torn, err)
+		}
+		if got, err := ReadFile(path); len(got) != 0 || err != nil {
+			t.Fatalf("ReadFile = (%d rows, %v), want empty", len(got), err)
+		}
+		if rows, dropped, err := TruncateTrailingRun(path); rows != 0 || dropped != 0 || err != nil {
+			t.Fatalf("TruncateTrailingRun = (%d, %d, %v), want (0, 0, nil)", rows, dropped, err)
+		}
+		w, n, err := OpenAppend(path, Options{FlushEvery: 1, SegmentRows: 6})
+		if err != nil || n != 0 {
+			t.Fatalf("OpenAppend = (%d, %v), want (0, nil)", n, err)
+		}
+		if err := w.WriteAll(all); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := ReadFile(path); err != nil || !reflect.DeepEqual(all, got) {
+			t.Fatalf("rows after recovery = (%d, %v)", len(got), err)
+		}
+	})
+}
+
+// TestSegmentedMissingSealedSegmentIsError proves a deleted *sealed* segment
+// is hard corruption on every read surface — ReadRuns included, which must
+// not silently return a partial result.
+func TestSegmentedMissingSealedSegmentIsError(t *testing.T) {
+	all := runRows(40, 3)
+	path := filepath.Join(t.TempDir(), "gone.sharpb")
+	writeSegmented(t, path, all, 10)
+	if err := os.Remove(segPath(path, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRuns(path, 1, 40); err == nil {
+		t.Fatal("ReadRuns accepted a missing sealed segment")
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("ReadFile accepted a missing sealed segment")
+	}
+	if err := StreamFile(path, func([]Row) error { return nil }); err == nil {
+		t.Fatal("StreamFile accepted a missing sealed segment")
+	}
+	t.Run("nommap", func(t *testing.T) {
+		t.Setenv(NoMmapEnv, "1")
+		if _, err := ReadRuns(path, 1, 40); err == nil {
+			t.Fatal("ReadRuns (no mmap) accepted a missing sealed segment")
+		}
+	})
+}
+
 // TestManifestEncodeParseRoundTrip pins the manifest wire format.
 func TestManifestEncodeParseRoundTrip(t *testing.T) {
 	m := &segManifest{segRows: 1 << 20, entries: []segEntry{
