@@ -58,7 +58,11 @@ soak:
 # binary record log: bin_bytes_per_row exactly and speedup_x as a floor
 # (binary record+replay must stay >=10x the CSV codec at 1e6 rows), and
 # BENCH_pr8.json exact-gates cp_index: the seeded change-point detector must
-# keep localizing the injected shifts at the same indices.
+# keep localizing the injected shifts at the same indices. BENCH_pr10.json
+# gates the adaptive budget scheduler: alloc_runs exactly (the allocation
+# ledger is deterministic for a fixed seed+budget) and ci_gain_x as a floor
+# (UCB must keep beating round-robin by >=1.1x mean CI width on the
+# reference design).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -71,7 +75,8 @@ bench-check:
 		$(GO) run ./cmd/sharp-benchdiff -baseline BENCH_baseline.json -metrics 'multimodal_%,savings_%' && \
 	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr7.json -metrics 'bin_bytes_per_row' -min 'speedup_x' && \
 	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr8.json -metrics 'cp_index' && \
-	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr9.json -metrics 'reuse_allocs' -min 'mmap_speedup_x'; \
+	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr9.json -metrics 'reuse_allocs' -min 'mmap_speedup_x' && \
+	$(GO) run ./cmd/sharp-benchdiff -in $$tmp -baseline BENCH_pr10.json -metrics 'alloc_runs' -min 'ci_gain_x'; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # Change-point scan over the committed snapshot history: E-Divisive per

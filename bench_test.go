@@ -22,6 +22,7 @@ import (
 	"sharp/internal/stats"
 	"sharp/internal/stats/stream"
 	"sharp/internal/stopping"
+	"sharp/internal/sweep"
 )
 
 const benchSeed = 2024
@@ -525,3 +526,43 @@ func benchFig4Parallel(b *testing.B, workers int) {
 func BenchmarkFig4Parallel1(b *testing.B) { benchFig4Parallel(b, 1) }
 func BenchmarkFig4Parallel4(b *testing.B) { benchFig4Parallel(b, 4) }
 func BenchmarkFig4Parallel8(b *testing.B) { benchFig4Parallel(b, 8) }
+
+// BenchmarkBudgetedSweep regenerates the adaptive-budget acceptance result:
+// an 8-cell factorial sweep under a tight CI rule and a fixed run budget of
+// 320, executed once with UCB allocation and once with uniform round-robin.
+// alloc_runs is the deterministic total the scheduler spends (exact-gated:
+// same seed + budget must yield the same ledger forever) and ci_gain_x is
+// the round-robin mean CI width over the UCB one — the adaptive policy's
+// advantage, gated as a floor at 1.0 (UCB must never be worse than uniform).
+func BenchmarkBudgetedSweep(b *testing.B) {
+	base := sweep.Design{
+		Name:      "bench-budget",
+		Workloads: []string{"bfs", "srad"},
+		Machines:  []string{"machine1", "machine3"},
+		Days:      []int{1, 2},
+		RuleName:  "ci",
+		Threshold: 0.002, // tight: no cell converges inside the budget
+		MaxRuns:   1000,
+		Seed:      5,
+		Budget:    320,
+	}
+	var spent int
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		run := func(policy string) *sweep.Outcome {
+			d := base
+			d.BudgetPolicy = policy
+			out, err := sweep.RunBudgeted(context.Background(), d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return out
+		}
+		ucb := run("ucb")
+		rr := run("rr")
+		spent = ucb.Budget.Spent + rr.Budget.Spent
+		gain = rr.MeanCIWidth(0.95) / ucb.MeanCIWidth(0.95)
+	}
+	b.ReportMetric(float64(spent), "alloc_runs")
+	b.ReportMetric(gain, "ci_gain_x")
+}

@@ -50,6 +50,7 @@ func run() error {
 	maxTenant := fs.Int("max-tenant", 4, "active campaigns allowed per tenant")
 	drainGrace := fs.Duration("drain-grace", 5*time.Second, "how long drain waits for in-flight leases")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (repeat submissions replay with zero dispatches)")
+	budgetAware := fs.Bool("budget-aware", false, "lease the queued campaign furthest from convergence instead of FIFO (results identical either way)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -66,6 +67,7 @@ func run() error {
 		Tracer:       obs.NewMetricsSink(reg),
 		Registry:     reg,
 		CacheDir:     *cacheDir,
+		BudgetAware:  *budgetAware,
 	}
 	coord, err := service.New(cfg)
 	if err != nil {

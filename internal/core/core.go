@@ -215,6 +215,12 @@ type Launcher struct {
 	// A sink write error aborts the campaign: losing the record silently is
 	// the one failure mode the Logger must not have.
 	Log RowSink
+	// OnProgress, when set, receives the stopping rule's convergence snapshot
+	// after every merged observation. It is invoked from the single merge
+	// goroutine (sequential loop or parallel engine's ordered merge), so the
+	// callback never races with the rule. Budget-aware schedulers use it to
+	// track per-campaign urgency without polling the rule concurrently.
+	OnProgress func(stopping.Progress)
 }
 
 // ErrInterrupted marks a campaign stopped by context cancellation (SIGINT,
@@ -327,9 +333,23 @@ func (l *Launcher) interrupted(e Experiment, res *Result, lastRun int, cause err
 // error wrapping ErrFailureBudget. Configuration errors (unknown workload,
 // cancelled context) still abort immediately.
 func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
-	e, err := e.withDefaults()
+	e, res, err := l.start(ctx, e)
 	if err != nil {
 		return nil, err
+	}
+	if e.Parallel > 1 {
+		return l.runParallel(ctx, e, res, 0, 0)
+	}
+	return l.runSequential(ctx, e, res, 0, 0)
+}
+
+// start applies defaults, initializes the result, emits campaign.start, and
+// executes the warm-up runs — the campaign prologue shared by Run and
+// NewStepper.
+func (l *Launcher) start(ctx context.Context, e Experiment) (Experiment, *Result, error) {
+	e, err := e.withDefaults()
+	if err != nil {
+		return e, nil, err
 	}
 	res := &Result{
 		Experiment: e,
@@ -357,14 +377,11 @@ func (l *Launcher) Run(ctx context.Context, e Experiment) (*Result, error) {
 	for w := 0; w < e.WarmupRuns; w++ {
 		if _, err := e.Backend.Invoke(ctx, l.request(e, -(w+1))); err != nil {
 			if errors.Is(err, backend.ErrUnknownWorkload) || ctx.Err() != nil {
-				return nil, fmt.Errorf("core: warmup run %d: %w", w+1, err)
+				return e, nil, fmt.Errorf("core: warmup run %d: %w", w+1, err)
 			}
 		}
 	}
-	if e.Parallel > 1 {
-		return l.runParallel(ctx, e, res, 0, 0)
-	}
-	return l.runSequential(ctx, e, res, 0, 0)
+	return e, res, nil
 }
 
 // runSequential executes measured runs startRun+1, startRun+2, ... until the
@@ -494,6 +511,9 @@ func (l *Launcher) processRun(ctx context.Context, e Experiment, res *Result, ru
 	}
 	e.Rule.Add(v)
 	l.traceRuleEval(e.Rule)
+	if l.OnProgress != nil {
+		l.OnProgress(stopping.Snapshot(e.Rule))
+	}
 	return nil
 }
 

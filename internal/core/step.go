@@ -1,0 +1,132 @@
+// Stepper: incremental campaign execution for budget-aware scheduling.
+//
+// The budgeted sweep needs to advance many campaigns a few runs at a time,
+// deciding after every batch where the next one goes. Stepper exposes the
+// sequential launcher loop in that shape: NewStepper performs the campaign
+// prologue (defaults, campaign.start, warm-ups), Step executes up to n
+// measured runs through the same processRun merge path as Run, and Finish
+// finalizes the Result. A campaign driven to rule completion through any
+// sequence of Step calls produces bytes identical to Run's sequential path:
+// both execute the identical (run index, invoke, merge) sequence.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sharp/internal/obs"
+	"sharp/internal/stopping"
+)
+
+// Stepper executes a campaign incrementally, batch by batch. It is not safe
+// for concurrent use; the budget scheduler drives each cell's Stepper from
+// one goroutine at a time with a barrier between rounds.
+type Stepper struct {
+	l   *Launcher
+	e   Experiment
+	res *Result
+	run int
+	// consecutiveFailed threads the failure-budget counter across batches.
+	consecutiveFailed int
+	// terminal is set once the campaign reached a final state mid-Step
+	// (failure budget, interrupt, sink error); the matching error is
+	// returned from any further Step.
+	terminal error
+	final    bool
+}
+
+// NewStepper prepares an incremental campaign: defaults are applied, the
+// campaign.start event is emitted and warm-up runs execute, exactly as in
+// Run. The stepper starts at run 0 with nothing measured.
+func (l *Launcher) NewStepper(ctx context.Context, e Experiment) (*Stepper, error) {
+	e, res, err := l.start(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{l: l, e: e, res: res}, nil
+}
+
+// Experiment returns the post-defaults experiment configuration.
+func (s *Stepper) Experiment() Experiment { return s.e }
+
+// Done reports whether the campaign needs no further Step calls: the rule
+// stopped, or a terminal condition (failure budget, interrupt) finalized it.
+func (s *Stepper) Done() bool { return s.final || s.e.Rule.Done() }
+
+// Runs returns the number of measured runs attempted so far.
+func (s *Stepper) Runs() int { return s.run }
+
+// Progress returns the stopping rule's convergence snapshot — the statistic
+// the budget scheduler scores cells on. Read-only: nothing is recomputed.
+func (s *Stepper) Progress() stopping.Progress { return stopping.Snapshot(s.e.Rule) }
+
+// Step executes up to n measured runs (fewer if the rule stops first) and
+// returns how many were attempted. It mirrors runSequential's loop body run
+// for run. A failure-budget abort or interrupt finalizes the result and
+// returns the respective error (ErrFailureBudget / ErrInterrupted wrapped);
+// the attempted-run count is still reported so budget accounting stays
+// exact.
+func (s *Stepper) Step(ctx context.Context, n int) (int, error) {
+	if s.terminal != nil {
+		return 0, s.terminal
+	}
+	ran := 0
+	for ran < n && !s.e.Rule.Done() {
+		if err := ctx.Err(); err != nil {
+			_, ierr := s.l.interrupted(s.e, s.res, s.run, err)
+			s.final, s.terminal = true, ierr
+			return ran, ierr
+		}
+		s.run++
+		ran++
+		if s.l.Tracer != nil {
+			s.l.trace(obs.EventRunScheduled, map[string]any{"run": s.run})
+		}
+		invs, invErr := s.e.Backend.Invoke(ctx, s.l.request(s.e, s.run))
+		if err := s.l.processRun(ctx, s.e, s.res, s.run, invs, invErr, &s.consecutiveFailed); err != nil {
+			if errors.Is(err, ErrFailureBudget) {
+				// processRun finalized res as a partial result; the failing
+				// run was merged, so it counts as attempted.
+				s.final, s.terminal = true, err
+				return ran, err
+			}
+			if ctx.Err() != nil {
+				// The run was cut short by cancellation: nothing was merged,
+				// so the checkpoint is the previous run (matching
+				// runSequential).
+				s.run--
+				_, ierr := s.l.interrupted(s.e, s.res, s.run, ctx.Err())
+				s.final, s.terminal = true, ierr
+				return ran, ierr
+			}
+			s.final, s.terminal = true, err
+			return ran, err
+		}
+	}
+	return ran, nil
+}
+
+// Finish finalizes and returns the Result. When the rule stopped on its own
+// the stop reason is the rule's explanation (identical to Run); otherwise —
+// a budget ran out before convergence — reason is recorded. Finish after a
+// terminal Step error returns the already-finalized partial result. Calling
+// Finish more than once returns the same Result.
+func (s *Stepper) Finish(reason string) *Result {
+	if s.final {
+		return s.res
+	}
+	s.final = true
+	s.res.Runs = s.run
+	if s.e.Rule.Done() {
+		s.res.StopReason = s.e.Rule.Explain()
+	} else {
+		if reason == "" {
+			reason = "stopped early"
+		}
+		s.res.StopReason = fmt.Sprintf("%s after run %d", reason, s.run)
+	}
+	s.res.Finished = s.l.Clock()
+	s.l.traceStop(s.e, s.res)
+	return s.res
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sharp/internal/sweep"
+	"sharp/internal/textplot"
+)
+
+// BudgetPoint is one (budget, policy) cell of the confidence-per-budget
+// curve.
+type BudgetPoint struct {
+	Budget int
+	Policy string
+	// Spent is what the scheduler actually consumed (converged designs can
+	// stop below the cap).
+	Spent int
+	// MeanCIWidth is the mean 95% relative CI half-width across cells.
+	MeanCIWidth float64
+	// Converged counts cells whose rule stopped on its own.
+	Converged int
+	Cells     int
+}
+
+// BudgetResult is the adaptive-budget experiment: how measurement
+// confidence scales with the total run budget under UCB allocation versus
+// uniform round-robin on a fixed factorial design.
+type BudgetResult struct {
+	Budgets  []int
+	Policies []string
+	Points   []BudgetPoint
+}
+
+// BudgetCurve measures the confidence-per-budget curve: the reference
+// 8-cell sweep (2 workloads x 2 machines x 2 days) under a CI rule too
+// tight to satisfy, re-run at increasing budgets with each allocation
+// policy. The paper's framing: given N total runs, spending them where the
+// stopping-rule statistics say confidence is still poor beats spreading
+// them evenly.
+func BudgetCurve(seed uint64) (*BudgetResult, error) {
+	res := &BudgetResult{
+		Budgets:  []int{80, 160, 320, 640},
+		Policies: []string{"rr", "ucb"},
+	}
+	for _, b := range res.Budgets {
+		for _, policy := range res.Policies {
+			d := sweep.Design{
+				Name:         "budget-curve",
+				Workloads:    []string{"bfs", "srad"},
+				Machines:     []string{"machine1", "machine3"},
+				Days:         []int{1, 2},
+				RuleName:     "ci",
+				Threshold:    0.002,
+				MaxRuns:      1000,
+				Seed:         seed,
+				Budget:       b,
+				BudgetPolicy: policy,
+			}
+			out, err := sweep.RunBudgeted(context.Background(), d)
+			if err != nil {
+				return nil, err
+			}
+			converged := 0
+			for _, c := range out.Cells {
+				if !strings.Contains(c.Result.StopReason, "run budget exhausted") {
+					converged++
+				}
+			}
+			res.Points = append(res.Points, BudgetPoint{
+				Budget: b, Policy: policy,
+				Spent:       out.Budget.Spent,
+				MeanCIWidth: out.MeanCIWidth(0.95),
+				Converged:   converged,
+				Cells:       len(out.Cells),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render implements Report.
+func (r *BudgetResult) Render() string {
+	var b strings.Builder
+	b.WriteString("# Adaptive budget allocation: confidence per run budget\n\n")
+	b.WriteString("8-cell factorial sweep under a ci-0.002 rule (unsatisfiable inside the\n")
+	b.WriteString("budget): mean 95% relative CI half-width across cells after spending a\n")
+	b.WriteString("fixed total run budget, uniform round-robin vs UCB on rule urgency.\n\n")
+	byKey := map[string]BudgetPoint{}
+	for _, p := range r.Points {
+		byKey[fmt.Sprintf("%d/%s", p.Budget, p.Policy)] = p
+	}
+	var rows [][]string
+	for _, budget := range r.Budgets {
+		rr := byKey[fmt.Sprintf("%d/rr", budget)]
+		ucb := byKey[fmt.Sprintf("%d/ucb", budget)]
+		gain := rr.MeanCIWidth / ucb.MeanCIWidth
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", budget),
+			fmt.Sprintf("%.5f", rr.MeanCIWidth),
+			fmt.Sprintf("%.5f", ucb.MeanCIWidth),
+			fmt.Sprintf("%.2fx", gain),
+			fmt.Sprintf("%d/%d", ucb.Converged, ucb.Cells),
+		})
+	}
+	b.WriteString(textplot.Table(
+		[]string{"budget", "rr CI width", "ucb CI width", "ucb gain", "converged (ucb)"}, rows))
+	b.WriteString("\nSame total measurement cost, tighter intervals: the adaptive policy\n")
+	b.WriteString("routes batches to the cells whose statistics are furthest from their\n")
+	b.WriteString("stopping threshold.\n")
+	return b.String()
+}

@@ -49,6 +49,7 @@ var Registry = map[string]Func{
 	"fig9":   func(seed uint64) (Report, error) { return Fig9(seed) },
 	"table5": func(seed uint64) (Report, error) { return Table5(seed) },
 	"tuning": func(seed uint64) (Report, error) { return Tuning(seed) },
+	"budget": func(seed uint64) (Report, error) { return BudgetCurve(seed) },
 }
 
 // IDs returns the registry keys in sorted order.

@@ -11,9 +11,9 @@ import (
 const seed = 2024
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1b", "fig4", "fig5a", "fig5b", "fig5c", "fig6",
-		"fig7", "fig8", "fig9", "table1", "table2", "table3", "table4",
-		"table5", "tuning"}
+	want := []string{"budget", "fig1b", "fig4", "fig5a", "fig5b", "fig5c",
+		"fig6", "fig7", "fig8", "fig9", "table1", "table2", "table3",
+		"table4", "table5", "tuning"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

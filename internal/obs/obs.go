@@ -135,6 +135,14 @@ const (
 	// EventTrendGate marks the exit-code decision of a trend run
 	// (series_checked, change_points, regressions, acknowledged, failed).
 	EventTrendGate = "trend.gate"
+	// EventBudgetAllocate marks one budget-scheduler assignment: a batch of
+	// runs granted to a sweep cell (cell, runs, round, policy, urgency,
+	// spent, budget).
+	EventBudgetAllocate = "budget.allocate"
+	// EventBudgetExhausted marks a budgeted sweep stopping because the run
+	// budget ran out before every cell converged (policy, spent, budget,
+	// cells_done, cells_total).
+	EventBudgetExhausted = "budget.exhausted"
 )
 
 // Tracer consumes campaign events. Implementations must be safe for

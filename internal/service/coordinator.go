@@ -19,6 +19,7 @@ import (
 	"sharp/internal/obs"
 	"sharp/internal/record"
 	"sharp/internal/resilience"
+	"sharp/internal/stopping"
 	"sharp/internal/sysinfo"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	DrainGrace time.Duration
 	// Breaker configures per-worker eviction (defaults per resilience).
 	Breaker resilience.BreakerConfig
+	// BudgetAware switches lease scheduling from strict FIFO to
+	// urgency-ordered: workers are leased runs of the queued campaign whose
+	// stopping rule is furthest from convergence, so a fixed worker-pool
+	// budget flows to the campaigns that still need it. Off by default;
+	// campaign results are identical either way (only lease order changes).
+	BudgetAware bool
 	// Tracer receives service + campaign events (nil disables).
 	Tracer obs.Tracer
 	// Registry receives service metrics (nil disables).
@@ -216,6 +223,7 @@ func New(cfg Config) (*Coordinator, error) {
 		slots:      make(chan struct{}, cfg.MaxRunning),
 		camps:      map[string]*campaign{},
 	}
+	c.sched.budgetAware = cfg.BudgetAware
 	if cfg.CacheDir != "" {
 		store, err := cache.Open(cfg.CacheDir)
 		if err != nil {
@@ -472,6 +480,12 @@ func (c *Coordinator) runner(cp *campaign, resume bool) {
 	}
 
 	l := &core.Launcher{Clock: c.cfg.Clock, Tracer: c.cfg.Tracer, Log: w}
+	if c.cfg.BudgetAware {
+		// Publish the rule's convergence state after every merged run so the
+		// lease scheduler can steer the worker pool toward the campaigns that
+		// are furthest from stopping.
+		l.OnProgress = func(p stopping.Progress) { c.sched.setUrgency(cp.id, p.Urgency()) }
+	}
 	var res *core.Result
 	if len(prior) > 0 {
 		res, err = l.Resume(cp.ctx, e, prior)

@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -118,11 +119,16 @@ type scheduler struct {
 	tracer    obs.Tracer
 	reg       *obs.Registry
 	breakerCf resilience.BreakerConfig
+	// budgetAware switches Lease from strict FIFO to urgency-ordered head
+	// selection: the queued campaign whose stopping rule is furthest from
+	// convergence is served first (Config.BudgetAware).
+	budgetAware bool
 
 	mu       sync.Mutex
 	queue    []*task
 	leases   map[string]*lease
 	specs    map[string]CampaignSpec // campaigns currently registered
+	urgency  map[string]float64     // latest rule urgency per campaign
 	breakers map[string]*resilience.Breaker
 	seq      uint64 // lease id sequence
 	token    uint64 // fencing token sequence (strictly monotonic)
@@ -148,8 +154,31 @@ func newScheduler(ttl time.Duration, batch int, now func() time.Time, tracer obs
 		breakerCf: bcf,
 		leases:    map[string]*lease{},
 		specs:     map[string]CampaignSpec{},
+		urgency:   map[string]float64{},
 		breakers:  map[string]*resilience.Breaker{},
 	}
+}
+
+// setUrgency records a campaign's latest stopping-rule urgency (published by
+// the runner's OnProgress hook). Budget-aware Lease orders queued campaigns
+// by it; campaigns that have never reported are maximally urgent.
+func (s *scheduler) setUrgency(campID string, u float64) {
+	s.mu.Lock()
+	s.urgency[campID] = u
+	s.mu.Unlock()
+	if s.reg != nil && !math.IsInf(u, 0) && !math.IsNaN(u) {
+		s.reg.Gauge("sharp_service_campaign_urgency",
+			"Latest stopping-rule urgency per campaign.", "campaign", campID).Set(u)
+	}
+}
+
+// urgencyLocked returns the campaign's recorded urgency, +Inf if it has
+// never reported (nothing is known, so it is maximally urgent).
+func (s *scheduler) urgencyLocked(campID string) float64 {
+	if u, ok := s.urgency[campID]; ok {
+		return u
+	}
+	return math.Inf(1)
 }
 
 // register makes a campaign leaseable (its spec rides along in every lease
@@ -166,6 +195,7 @@ func (s *scheduler) unregister(campID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.specs, campID)
+	delete(s.urgency, campID)
 	for id, l := range s.leases {
 		if l.campID == campID {
 			delete(s.leases, id)
@@ -253,6 +283,22 @@ func (s *scheduler) Lease(workerID string) (*Lease, error) {
 	if head == nil {
 		s.gaugeLocked()
 		return nil, ErrNoWork
+	}
+	if s.budgetAware {
+		// Serve the queued campaign furthest from convergence. Ties (and the
+		// common single-campaign case) keep FIFO order: only a strictly more
+		// urgent campaign displaces an earlier-queued one.
+		best := s.urgencyLocked(head.campID)
+		seen := map[string]bool{head.campID: true}
+		for _, t := range s.queue {
+			if seen[t.campID] {
+				continue
+			}
+			seen[t.campID] = true
+			if u := s.urgencyLocked(t.campID); u > best {
+				best, head = u, t
+			}
+		}
 	}
 	spec, ok := s.specs[head.campID]
 	if !ok {

@@ -747,3 +747,117 @@ func TestCampaignCacheServesRepeat(t *testing.T) {
 		t.Fatalf("miss events = %d, want 1", n)
 	}
 }
+
+// TestBudgetAwareLeaseOrdersByUrgency drives the scheduler directly: with
+// BudgetAware on, Lease serves the queued campaign whose stopping rule is
+// furthest from convergence, not the FIFO head. Never-reported campaigns
+// are maximally urgent, and FIFO order breaks ties.
+func TestBudgetAwareLeaseOrdersByUrgency(t *testing.T) {
+	clock := func() time.Time { return time.Unix(1000, 0) }
+	mk := func(budgetAware bool) *scheduler {
+		s := newScheduler(time.Second, 2, clock, nil, nil, resilience.BreakerConfig{Now: clock})
+		s.budgetAware = budgetAware
+		for _, id := range []string{"c1", "c2", "c3"} {
+			s.register(id, CampaignSpec{Workload: "hotspot", Machine: "machine1"})
+			s.enqueue(&task{campID: id, run: 1, result: make(chan RunResult, 1)})
+		}
+		return s
+	}
+
+	// FIFO: head campaign regardless of urgency.
+	s := mk(false)
+	s.setUrgency("c1", 0.1)
+	s.setUrgency("c2", 9.0)
+	s.setUrgency("c3", 0.5)
+	if l, err := s.Lease("w"); err != nil || l.CampaignID != "c1" {
+		t.Fatalf("FIFO lease = %v, %v; want head campaign c1", l, err)
+	}
+
+	// Budget-aware: the most urgent campaign wins.
+	s = mk(true)
+	s.setUrgency("c1", 0.1)
+	s.setUrgency("c2", 9.0)
+	s.setUrgency("c3", 0.5)
+	if l, err := s.Lease("w"); err != nil || l.CampaignID != "c2" {
+		t.Fatalf("budget-aware lease = %v, %v; want most urgent c2", l, err)
+	}
+
+	// A campaign that never reported outranks any finite urgency.
+	s = mk(true)
+	s.setUrgency("c1", 0.1)
+	s.setUrgency("c2", 9.0)
+	if l, err := s.Lease("w"); err != nil || l.CampaignID != "c3" {
+		t.Fatalf("lease = %v, %v; want never-evaluated c3", l, err)
+	}
+
+	// Ties keep FIFO order.
+	s = mk(true)
+	for _, id := range []string{"c1", "c2", "c3"} {
+		s.setUrgency(id, 1.0)
+	}
+	if l, err := s.Lease("w"); err != nil || l.CampaignID != "c1" {
+		t.Fatalf("tied lease = %v, %v; want FIFO head c1", l, err)
+	}
+
+	// Unregister clears the urgency entry so a recycled ID starts fresh.
+	s.unregister("c1")
+	s.mu.Lock()
+	_, kept := s.urgency["c1"]
+	s.mu.Unlock()
+	if kept {
+		t.Fatal("unregister left a stale urgency entry")
+	}
+}
+
+// TestBudgetAwareServiceMatchesFIFO pins that budget-aware scheduling only
+// reorders leases: two campaigns computed under either policy yield
+// byte-identical result CSVs.
+func TestBudgetAwareServiceMatchesFIFO(t *testing.T) {
+	specs := []CampaignSpec{
+		{Tenant: "a", Name: "wide", Workload: "hotspot", Machine: "machine1",
+			Rule: "ci", Threshold: 0.02, MaxRuns: 120, Seed: 7},
+		{Tenant: "a", Name: "narrow", Workload: "hotspot", Machine: "machine3",
+			Rule: "fixed", Threshold: 30, MaxRuns: 60, Seed: 7},
+	}
+	run := func(budgetAware bool) map[string][]byte {
+		coord, err := New(Config{
+			DataDir:     t.TempDir(),
+			Clock:       func() time.Time { return time.Unix(1700000000, 0).UTC() },
+			BudgetAware: budgetAware,
+			LeaseTTL:    2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < 3; i++ {
+			spawnWorker(ctx, &Worker{ID: fmt.Sprintf("w%d", i), API: coord})
+		}
+		out := map[string][]byte{}
+		ids := map[string]string{}
+		for _, sp := range specs {
+			id, err := coord.Submit(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[sp.Name] = id
+		}
+		for name, id := range ids {
+			st := waitDone(t, coord, id)
+			if st.State != "done" {
+				t.Fatalf("campaign %s state = %s (%s)", name, st.State, st.Error)
+			}
+			out[name] = readCSV(t, coord.ResultCSVPath(id))
+		}
+		return out
+	}
+	fifo := run(false)
+	aware := run(true)
+	for name := range fifo {
+		if !bytes.Equal(fifo[name], aware[name]) {
+			t.Fatalf("campaign %s: budget-aware CSV differs from FIFO", name)
+		}
+	}
+}

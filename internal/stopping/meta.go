@@ -172,6 +172,9 @@ func (r *Meta) Add(x float64) {
 	if n%r.cfg.ClassifyEvery == 0 || r.lastClass == "" {
 		r.profile = classify.ClassifyOpts(r.samples, r.cfg.Classifier)
 		r.lastClass = r.profile.Class
+		// The autocorrelated family delegates to ESS, the one criterion whose
+		// statistic climbs toward its threshold; every other family shrinks.
+		r.ascending = r.lastClass == classify.Autocorrelated
 	}
 	stop, why, stat, threshold := r.evaluate()
 	if stop {

@@ -98,6 +98,15 @@ type base struct {
 	reason   string
 	lastEval Eval
 	hasEval  bool
+	// ascending marks rules whose statistic grows toward the threshold
+	// (fixed, ESS, modality streak); Progress.Urgency flips its distance
+	// computation accordingly.
+	ascending bool
+	// lastFinite is the most recent evaluation whose statistic was numeric
+	// (non-NaN); Progress snapshots read it so a transiently-absent meta
+	// statistic never erases the last known convergence state.
+	lastFinite Eval
+	hasFinite  bool
 }
 
 func newBase(b Bounds) base { return base{bounds: b.withDefaults()} }
@@ -145,6 +154,10 @@ func (b *base) record(statistic, threshold float64) {
 		Stopped:   b.done,
 	}
 	b.hasEval = true
+	if !math.IsNaN(statistic) {
+		b.lastFinite = b.lastEval
+		b.hasFinite = true
+	}
 }
 
 // LastEval implements Evaluated.
@@ -172,7 +185,9 @@ func NewFixed(n0 int) *Fixed {
 	if n0 <= 0 {
 		n0 = 100
 	}
-	return &Fixed{base: newBase(Bounds{MinSamples: 1, MaxSamples: n0, CheckEvery: 1}), N0: n0}
+	r := &Fixed{base: newBase(Bounds{MinSamples: 1, MaxSamples: n0, CheckEvery: 1}), N0: n0}
+	r.ascending = true
+	return r
 }
 
 // Name implements Rule.
@@ -459,7 +474,9 @@ func NewModalityStability(stableChecks int, b Bounds) *ModalityStability {
 	if stableChecks <= 0 {
 		stableChecks = 3
 	}
-	return &ModalityStability{base: newBase(b), StableChecks: stableChecks}
+	r := &ModalityStability{base: newBase(b), StableChecks: stableChecks}
+	r.ascending = true
+	return r
 }
 
 // Name implements Rule.
@@ -514,7 +531,9 @@ func NewESS(target float64, b Bounds) *ESS {
 	if target <= 0 {
 		target = 100
 	}
-	return &ESS{base: newBase(b), Target: target}
+	r := &ESS{base: newBase(b), Target: target}
+	r.ascending = true
+	return r
 }
 
 // Name implements Rule.

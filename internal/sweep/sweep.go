@@ -13,15 +13,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
+	"time"
 
 	"sharp/internal/backend"
+	"sharp/internal/budget"
 	"sharp/internal/cache"
 	"sharp/internal/core"
 	"sharp/internal/machine"
+	"sharp/internal/obs"
 	"sharp/internal/record"
 	"sharp/internal/stats"
+	"sharp/internal/stats/stream"
 	"sharp/internal/stopping"
 	"sharp/internal/textplot"
 )
@@ -34,16 +39,23 @@ const cellCacheKind = "sweep-cell/v1"
 // rows depend on, spelled explicitly so a new factor can never silently
 // alias an old entry.
 func (d Design) cellKey(p cellPlan) string {
-	return cache.Key(cellCacheKind,
-		"name="+d.Name,
-		"workload="+p.workload,
-		"machine="+p.machineName,
+	parts := []string{
+		"name=" + d.Name,
+		"workload=" + p.workload,
+		"machine=" + p.machineName,
 		fmt.Sprintf("day=%d", p.day),
 		fmt.Sprintf("concurrency=%d", p.concurrency),
 		fmt.Sprintf("rule=%s@%g", d.RuleName, d.Threshold),
 		fmt.Sprintf("maxruns=%d", d.MaxRuns),
 		fmt.Sprintf("seed=%d", d.Seed),
-	)
+	}
+	// Chaos changes every row a cell produces; key it explicitly. Appended
+	// only when set so pre-existing cache entries keep their addresses.
+	if c := d.Chaos; c != nil {
+		parts = append(parts, fmt.Sprintf("chaos=%g,%g,%g,%g,%g@%d",
+			c.ErrorRate, c.TimeoutRate, c.LatencyRate, c.LatencySpike, c.PanicRate, c.Seed))
+	}
+	return cache.Key(cellCacheKind, parts...)
 }
 
 // Design is a full-factorial experiment plan.
@@ -78,7 +90,35 @@ type Design struct {
 	// core.Launcher.ReplayLog with zero backend calls — bit-identical
 	// results included.
 	CacheDir string
+	// Budget is the total run budget RunBudgeted allocates across all cells
+	// (0 = unlimited: every cell is driven to rule completion, byte-identical
+	// to the exhaustive Run). Ignored by Run.
+	Budget int
+	// BudgetPolicy selects the allocation strategy for RunBudgeted: "ucb"
+	// (default), "halving", or "rr". See package budget.
+	BudgetPolicy string
+	// BatchRuns is the batch size per budget allocation (default 10,
+	// aligning batches with the rules' default CheckEvery).
+	BatchRuns int
+	// BudgetSpent seeds the consumed-run counter when resuming from a saved
+	// budget ledger: the budget left is Budget - BudgetSpent.
+	BudgetSpent int
+	// Chaos, when non-nil, wraps every cell backend in deterministic fault
+	// injection — the sweep-level knob for measuring under failures.
+	Chaos *backend.ChaosConfig
+	// Tracer receives campaign and budget events (nil disables).
+	Tracer obs.Tracer
+	// Registry exports budget gauges (nil disables).
+	Registry *obs.Registry
+	// clock overrides the launcher time source (tests pin it to make sweep
+	// logs byte-comparable across execution strategies).
+	clock func() time.Time
 }
+
+// SetClock freezes the launcher time source, making sweep CSVs
+// byte-comparable across processes (the CLI maps SHARP_CLOCK here). Kept a
+// setter so Design stays JSON-marshalable.
+func (d *Design) SetClock(c func() time.Time) { d.clock = c }
 
 func (d Design) withDefaults() (Design, error) {
 	if len(d.Workloads) == 0 {
@@ -120,10 +160,16 @@ func (c Cell) Key() string {
 	return fmt.Sprintf("%s|%s|d%d|c%d", c.Workload, c.Machine, c.Day, c.Concurrency)
 }
 
-// Outcome is the executed sweep.
+// Outcome is the executed sweep. An interrupted sweep (context cancelled
+// mid-run) returns a partial Outcome holding every completed cell alongside
+// the core.ErrInterrupted-wrapped error, mirroring the launcher's
+// checkpoint contract: with the cache enabled, re-running the same design
+// replays the finished cells and re-measures only the rest.
 type Outcome struct {
 	Design Design
 	Cells  []Cell
+	// Budget is the allocation ledger of a budgeted sweep (nil for Run).
+	Budget *budget.Ledger
 }
 
 // cellPlan is one expanded factor combination awaiting measurement.
@@ -134,15 +180,9 @@ type cellPlan struct {
 	concurrency int
 }
 
-// Run executes the design (deterministically ordered). With
-// Design.Parallel > 1, up to that many cells are measured concurrently on a
-// bounded worker pool; results are still assembled in the canonical
-// grid-expansion order, so the outcome is identical to a sequential run.
-func Run(ctx context.Context, d Design) (*Outcome, error) {
-	d, err := d.withDefaults()
-	if err != nil {
-		return nil, err
-	}
+// plans expands the factor grid in canonical order (workload, machine, day,
+// concurrency — the cell order of every Outcome), validating machine names.
+func (d Design) plans() ([]cellPlan, error) {
 	var plans []cellPlan
 	for _, wl := range d.Workloads {
 		for _, machName := range d.Machines {
@@ -156,7 +196,68 @@ func Run(ctx context.Context, d Design) (*Outcome, error) {
 			}
 		}
 	}
-	launcher := core.NewLauncher()
+	return plans, nil
+}
+
+// cellName labels one cell's campaign in logs and the cache.
+func (d Design) cellName(p cellPlan) string {
+	return fmt.Sprintf("%s/%s@%s", d.Name, p.workload, p.machineName)
+}
+
+// experimentFor builds the cell configuration with a fresh stopping rule
+// (rules are stateful accumulators; replay and measurement each need their
+// own) and a private, seeded backend — cells share no state, which is what
+// makes any execution order produce identical results.
+func (d Design) experimentFor(p cellPlan) (core.Experiment, error) {
+	m, err := machine.ByName(p.machineName)
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	rule, err := stopping.NewNamed(d.RuleName, d.Threshold,
+		stopping.Bounds{MaxSamples: d.MaxRuns})
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	var b backend.Backend = backend.NewSim(m, d.Seed)
+	if d.Chaos != nil {
+		b = backend.NewChaos(b, *d.Chaos)
+	}
+	return core.Experiment{
+		Name:        d.cellName(p),
+		Workload:    p.workload,
+		Backend:     b,
+		Rule:        rule,
+		Concurrency: p.concurrency,
+		Day:         p.day,
+		Seed:        d.Seed,
+	}, nil
+}
+
+// newLauncher builds the sweep's launcher with the design's tracer and
+// clock override applied.
+func (d Design) newLauncher() *core.Launcher {
+	l := core.NewLauncher()
+	l.Tracer = d.Tracer
+	if d.clock != nil {
+		l.Clock = d.clock
+	}
+	return l
+}
+
+// Run executes the design (deterministically ordered). With
+// Design.Parallel > 1, up to that many cells are measured concurrently on a
+// bounded worker pool; results are still assembled in the canonical
+// grid-expansion order, so the outcome is identical to a sequential run.
+func Run(ctx context.Context, d Design) (*Outcome, error) {
+	d, err := d.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	plans, err := d.plans()
+	if err != nil {
+		return nil, err
+	}
+	launcher := d.newLauncher()
 	var store *cache.Store
 	if d.CacheDir != "" {
 		if store, err = cache.Open(d.CacheDir); err != nil {
@@ -164,30 +265,7 @@ func Run(ctx context.Context, d Design) (*Outcome, error) {
 		}
 	}
 	runCell := func(p cellPlan) (Cell, error) {
-		m, err := machine.ByName(p.machineName)
-		if err != nil {
-			return Cell{}, err
-		}
-		name := fmt.Sprintf("%s/%s@%s", d.Name, p.workload, p.machineName)
-		// experiment builds the cell configuration with a fresh stopping
-		// rule (rules are stateful accumulators; replay and measurement
-		// each need their own).
-		experiment := func() (core.Experiment, error) {
-			rule, err := stopping.NewNamed(d.RuleName, d.Threshold,
-				stopping.Bounds{MaxSamples: d.MaxRuns})
-			if err != nil {
-				return core.Experiment{}, err
-			}
-			return core.Experiment{
-				Name:        name,
-				Workload:    p.workload,
-				Backend:     backend.NewSim(m, d.Seed),
-				Rule:        rule,
-				Concurrency: p.concurrency,
-				Day:         p.day,
-				Seed:        d.Seed,
-			}, nil
-		}
+		name := d.cellName(p)
 		cell := func(res *core.Result) Cell {
 			return Cell{
 				Workload: p.workload, Machine: p.machineName,
@@ -199,10 +277,14 @@ func Run(ctx context.Context, d Design) (*Outcome, error) {
 			key = d.cellKey(p)
 			rows, _, err := store.Get(key, name)
 			if err != nil {
-				return Cell{}, err
+				// A damaged entry the store could not self-heal (e.g. a
+				// corrupt commit-point JSON) degrades to a miss: the fresh
+				// measurement below overwrites it. One bad entry must never
+				// abort the sweep.
+				rows = nil
 			}
 			if rows != nil {
-				e, err := experiment()
+				e, err := d.experimentFor(p)
 				if err != nil {
 					return Cell{}, err
 				}
@@ -213,12 +295,19 @@ func Run(ctx context.Context, d Design) (*Outcome, error) {
 				// to a fresh measurement, which overwrites it.
 			}
 		}
-		e, err := experiment()
+		e, err := d.experimentFor(p)
 		if err != nil {
 			return Cell{}, err
 		}
 		res, err := launcher.Run(ctx, e)
 		if err != nil {
+			// A cell that exhausted its failure budget is a measured outcome
+			// — the failure rows are data, and the rest of the grid is still
+			// worth measuring. Completed cells are not cached (the partial
+			// log is not a converged campaign).
+			if errors.Is(err, core.ErrFailureBudget) {
+				return cell(res), nil
+			}
 			return Cell{}, fmt.Errorf("sweep: cell %s@%s day %d c%d: %w",
 				p.workload, p.machineName, p.day, p.concurrency, err)
 		}
@@ -240,6 +329,13 @@ func Run(ctx context.Context, d Design) (*Outcome, error) {
 		for i, p := range plans {
 			c, err := runCell(p)
 			if err != nil {
+				// An interrupt surfaces the completed prefix as a partial
+				// Outcome (the launcher's checkpoint contract, lifted to the
+				// sweep): re-running the design with the cache on replays
+				// these cells instead of re-measuring them.
+				if errors.Is(err, core.ErrInterrupted) {
+					return &Outcome{Design: d, Cells: cells[:i]}, err
+				}
 				return nil, err
 			}
 			cells[i] = c
@@ -264,6 +360,16 @@ func Run(ctx context.Context, d Design) (*Outcome, error) {
 		// Report the lowest-index failure, matching the sequential path.
 		for _, err := range errs {
 			if err != nil {
+				if errors.Is(err, core.ErrInterrupted) {
+					// Keep the completed cells, in canonical order.
+					var done []Cell
+					for i := range cells {
+						if errs[i] == nil && cells[i].Result != nil {
+							done = append(done, cells[i])
+						}
+					}
+					return &Outcome{Design: d, Cells: done}, err
+				}
 				return nil, err
 			}
 		}
@@ -301,18 +407,42 @@ type LevelSummary struct {
 	Median float64
 	P95    float64
 	Modes  int
+	// Inconclusive marks a level with no usable (finite) observations —
+	// e.g. every run of its cells failed under chaos or the failure budget.
+	// The numeric fields are zero, not NaN: a dead level must never poison
+	// a pooled effect.
+	Inconclusive bool
+}
+
+// ErrNoSamples marks an analysis over cells none of which produced a usable
+// (finite) observation — a sweep whose every run failed.
+var ErrNoSamples = errors.New("sweep: no usable samples")
+
+// finiteSamples filters a cell's samples down to usable observations:
+// failed-run cells contribute nothing, and NaN/Inf samples (a degenerate
+// backend metric) are dropped rather than pooled.
+func finiteSamples(dst, samples []float64) []float64 {
+	for _, v := range samples {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
 }
 
 // EffectOf computes the per-level response summaries for a factor
-// ("workload", "machine", "day", "concurrency").
+// ("workload", "machine", "day", "concurrency"). Levels whose cells
+// produced no usable samples (all runs failed) are reported as
+// Inconclusive; if no level has usable data the error wraps ErrNoSamples.
 func (o *Outcome) EffectOf(factor string) (FactorEffect, error) {
 	groups := map[string][]float64{}
 	var order []string
 	add := func(level string, samples []float64) {
 		if _, seen := groups[level]; !seen {
 			order = append(order, level)
+			groups[level] = nil
 		}
-		groups[level] = append(groups[level], samples...)
+		groups[level] = finiteSamples(groups[level], samples)
 	}
 	for _, c := range o.Cells {
 		var level string
@@ -331,22 +461,30 @@ func (o *Outcome) EffectOf(factor string) (FactorEffect, error) {
 		add(level, c.Result.Samples)
 	}
 	eff := FactorEffect{Factor: factor}
+	usable := 0
 	for _, level := range order {
 		s := groups[level]
 		sum, err := stats.Describe(s)
 		if err != nil {
+			eff.Levels = append(eff.Levels, LevelSummary{Level: level, Inconclusive: true})
 			continue
 		}
+		usable++
 		eff.Levels = append(eff.Levels, LevelSummary{
 			Level: level, N: sum.N, Mean: sum.Mean, Median: sum.Median,
 			P95: sum.P95, Modes: stats.CountModes(s),
 		})
 	}
+	if usable == 0 && len(order) > 0 {
+		return eff, fmt.Errorf("%w for factor %q", ErrNoSamples, factor)
+	}
 	return eff, nil
 }
 
 // QuantileTrend fits linear quantile regressions of the response against a
-// numeric factor ("day" or "concurrency") at the given taus.
+// numeric factor ("day" or "concurrency") at the given taus. Non-finite
+// samples are excluded; with no usable observations at all the error wraps
+// ErrNoSamples.
 func (o *Outcome) QuantileTrend(factor string, taus ...float64) ([]stats.QuantRegResult, error) {
 	if len(taus) == 0 {
 		taus = []float64{0.1, 0.5, 0.9}
@@ -363,9 +501,15 @@ func (o *Outcome) QuantileTrend(factor string, taus ...float64) ([]stats.QuantRe
 			return nil, fmt.Errorf("sweep: factor %q is not numeric", factor)
 		}
 		for _, v := range c.Result.Samples {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			xs = append(xs, x)
 			ys = append(ys, v)
 		}
+	}
+	if len(ys) == 0 {
+		return nil, fmt.Errorf("%w for factor %q", ErrNoSamples, factor)
 	}
 	out := make([]stats.QuantRegResult, 0, len(taus))
 	for _, tau := range taus {
@@ -376,6 +520,29 @@ func (o *Outcome) QuantileTrend(factor string, taus ...float64) ([]stats.QuantRe
 		out = append(out, fit)
 	}
 	return out, nil
+}
+
+// MeanCIWidth returns the mean relative CI half-width of the primary metric
+// across cells at the given confidence level — the sweep-wide "statistical
+// confidence per budget" figure of merit. Cells with fewer than two usable
+// samples contribute +Inf (no confidence), so a scheduler that starves a
+// cell cannot look good by skipping it.
+func (o *Outcome) MeanCIWidth(level float64) float64 {
+	if len(o.Cells) == 0 {
+		return math.Inf(1)
+	}
+	total := 0.0
+	for _, c := range o.Cells {
+		var mom stream.Moments
+		for _, v := range finiteSamples(nil, c.Result.Samples) {
+			mom.Add(v)
+		}
+		if mom.N() < 2 {
+			return math.Inf(1)
+		}
+		total += stats.RelativeCIHalfWidthFromMoments(mom.N(), mom.Mean(), mom.StdErr(), level)
+	}
+	return total / float64(len(o.Cells))
 }
 
 // Render summarizes the sweep as Markdown.
